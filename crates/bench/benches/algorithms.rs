@@ -1,0 +1,67 @@
+//! Criterion: the distributed algorithms end-to-end (simulation included),
+//! across sizes and phase budgets — the cost of regenerating E1's rows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use distfl_core::bucket::{BucketParams, GreedyBucket};
+use distfl_core::paydual::{PayDual, PayDualParams};
+use distfl_core::round::{distributed_round, DistRoundParams};
+use distfl_core::{fraclp, FlAlgorithm};
+use distfl_instance::generators::{GridNetwork, InstanceGenerator, UniformRandom};
+
+fn bench_paydual_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paydual_size");
+    for &(m, n) in &[(10usize, 50usize), (20, 200), (40, 800)] {
+        let inst = UniformRandom::new(m, n).unwrap().generate(1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &inst,
+            |b, inst| {
+                let algo = PayDual::new(PayDualParams::with_phases(8));
+                b.iter(|| algo.run(inst, 3).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_paydual_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paydual_phases");
+    let inst = UniformRandom::new(16, 200).unwrap().generate(2).unwrap();
+    for &phases in &[2u32, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(phases), &phases, |b, &phases| {
+            let algo = PayDual::new(PayDualParams::with_phases(phases));
+            b.iter(|| algo.run(&inst, 3).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bucket(c: &mut Criterion) {
+    let inst = UniformRandom::new(16, 200).unwrap().generate(3).unwrap();
+    c.bench_function("bucket_6x4_16x200", |b| {
+        let algo = GreedyBucket::new(BucketParams::new(6, 4));
+        b.iter(|| algo.run(&inst, 3).unwrap());
+    });
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let inst = GridNetwork::new(16, 16, 12, 150).unwrap().generate(4).unwrap();
+    let frac = fraclp::spread_fractional(&inst, 3);
+    c.bench_function("distround_grid_12x150", |b| {
+        let params = DistRoundParams::for_instance(&inst);
+        b.iter(|| distributed_round(&inst, &frac, params, 5).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_paydual_sizes, bench_paydual_phases, bench_bucket, bench_rounding
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion: sequential baselines and the exact solver.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use distfl_core::{greedy, jv, localsearch, mp};
+use distfl_instance::generators::{Euclidean, InstanceGenerator, LineCity, UniformRandom};
+use distfl_lp::{exact, line};
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy");
+    for &(m, n) in &[(10usize, 100usize), (30, 500)] {
+        let inst = UniformRandom::new(m, n).unwrap().generate(1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &inst,
+            |b, inst| b.iter(|| greedy::solve(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_metric_baselines(c: &mut Criterion) {
+    let inst = Euclidean::new(20, 200).unwrap().generate(2).unwrap();
+    c.bench_function("jain_vazirani_20x200", |b| b.iter(|| jv::solve(&inst)));
+    c.bench_function("mettu_plaxton_20x200", |b| b.iter(|| mp::solve(&inst)));
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bnb");
+    group.sample_size(20);
+    for &m in &[12usize, 16, 20] {
+        let inst = UniformRandom::new(m, 60).unwrap().generate(3).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| exact::solve(inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_dp");
+    for &(m, n) in &[(50usize, 1000usize), (200, 5000)] {
+        let gen = LineCity::new(m, n).unwrap();
+        let layout = gen.layout(3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    line::solve_line(&layout.facility_pos, &layout.opening, &layout.client_pos)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_localsearch(c: &mut Criterion) {
+    let inst = Euclidean::new(15, 100).unwrap().generate(4).unwrap();
+    let (start, _) = greedy::solve(&inst);
+    c.bench_function("localsearch_15x100", |b| {
+        b.iter(|| localsearch::optimize(&inst, &start, 50))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_greedy,
+    bench_metric_baselines,
+    bench_exact,
+    bench_line_dp,
+    bench_localsearch
+}
+criterion_main!(benches);

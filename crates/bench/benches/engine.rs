@@ -1,0 +1,96 @@
+//! Criterion: raw simulator round throughput (the substrate's hot path).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use distfl_congest::{Network, NodeLogic, StepCtx, Topology};
+
+/// A node that floods a counter to its neighbors every round.
+struct Flood {
+    rounds: u32,
+    done: bool,
+}
+
+impl NodeLogic for Flood {
+    type Msg = u64;
+    fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+        if ctx.round() < self.rounds {
+            ctx.broadcast(u64::from(ctx.round()));
+        } else {
+            self.done = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+fn bench_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_flood");
+    for &n in &[100usize, 1000, 5000] {
+        let rounds = 10;
+        group.throughput(Throughput::Elements((n * 2 * rounds as usize) as u64));
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter(|| {
+                let topo = Topology::ring(n).unwrap();
+                let nodes = (0..n).map(|_| Flood { rounds, done: false }).collect();
+                let mut net = Network::new(topo, nodes, 7).unwrap();
+                net.run(rounds + 1).unwrap()
+            });
+        });
+    }
+    for &(l, r) in &[(20usize, 200usize), (50, 500)] {
+        let rounds = 5;
+        group.throughput(Throughput::Elements((l * r * 2 * rounds as usize) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bipartite", format!("{l}x{r}")),
+            &(l, r),
+            |b, &(l, r)| {
+                b.iter(|| {
+                    let topo = Topology::complete_bipartite(l, r).unwrap();
+                    let nodes = (0..l + r).map(|_| Flood { rounds, done: false }).collect();
+                    let mut net = Network::new(topo, nodes, 7).unwrap();
+                    net.run(rounds + 1).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_threads");
+    let n = 4000;
+    let rounds = 8;
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("grid_flood", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let topo = Topology::grid(n / 50, 50).unwrap();
+                    let nodes = (0..n).map(|_| Flood { rounds, done: false }).collect();
+                    let config = distfl_congest::CongestConfig {
+                        threads: (threads > 1).then_some(threads),
+                        ..Default::default()
+                    };
+                    let mut net =
+                        Network::with_config(topo, nodes, 7, config).unwrap();
+                    net.run(rounds + 1).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_flood, bench_parallel_vs_serial
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: instance generation throughput (the workload substrate).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use distfl_instance::generators::{
+    CdnTrace, Clustered, Euclidean, GridNetwork, InstanceGenerator, PowerLaw, UniformRandom,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_20x200");
+    let gens: Vec<(&str, Box<dyn InstanceGenerator>)> = vec![
+        ("uniform", Box::new(UniformRandom::new(20, 200).unwrap())),
+        ("euclidean", Box::new(Euclidean::new(20, 200).unwrap())),
+        ("clustered", Box::new(Clustered::new(4, 20, 200).unwrap())),
+        ("grid", Box::new(GridNetwork::new(20, 20, 20, 200).unwrap())),
+        ("powerlaw", Box::new(PowerLaw::new(20, 200, 1e4).unwrap())),
+        ("cdn", Box::new(CdnTrace::new(20, 200).unwrap())),
+    ];
+    for (name, gen) in &gens {
+        group.bench_with_input(BenchmarkId::from_parameter(name), gen, |b, gen| {
+            b.iter(|| gen.generate(7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_text_io(c: &mut Criterion) {
+    let inst = UniformRandom::new(20, 200).unwrap().generate(9).unwrap();
+    let text = distfl_instance::textio::to_string(&inst);
+    c.bench_function("textio_serialize_20x200", |b| {
+        b.iter(|| distfl_instance::textio::to_string(&inst))
+    });
+    c.bench_function("textio_parse_20x200", |b| {
+        b.iter(|| distfl_instance::textio::from_str(&text).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_generators, bench_text_io
+}
+criterion_main!(benches);

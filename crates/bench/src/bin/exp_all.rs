@@ -1,0 +1,10 @@
+//! Runs every experiment E1-E7 and writes all CSVs; the data source for
+//! EXPERIMENTS.md. Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::run_all(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+    let figures = distfl_bench::experiments::figures::standard_figures(&tables);
+    distfl_bench::emit_figures(&figures);
+    println!("all experiments complete; CSVs and SVGs in target/experiments/");
+}

@@ -1,0 +1,7 @@
+//! Experiment E1 binary; see `distfl_bench::experiments::e1_tradeoff`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e1_tradeoff::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

@@ -1,0 +1,7 @@
+//! Experiment E10 binary; see `distfl_bench::experiments::e10_faults`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e10_faults::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

@@ -1,0 +1,7 @@
+//! Experiment E2 binary; see `distfl_bench::experiments::e2_locality`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e2_locality::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

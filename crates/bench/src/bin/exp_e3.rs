@@ -1,0 +1,7 @@
+//! Experiment E3 binary; see `distfl_bench::experiments::e3_rho`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e3_rho::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

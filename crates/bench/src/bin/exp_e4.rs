@@ -1,0 +1,7 @@
+//! Experiment E4 binary; see `distfl_bench::experiments::e4_comparison`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e4_comparison::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

@@ -1,0 +1,7 @@
+//! Experiment E5 binary; see `distfl_bench::experiments::e5_rounding`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e5_rounding::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

@@ -1,0 +1,7 @@
+//! Experiment E6 binary; see `distfl_bench::experiments::e6_congestion`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e6_congestion::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

@@ -1,0 +1,7 @@
+//! Experiment E7 binary; see `distfl_bench::experiments::e7_bucket_ablation`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e7_bucket_ablation::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

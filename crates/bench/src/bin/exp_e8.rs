@@ -1,0 +1,7 @@
+//! Experiment E8 binary; see `distfl_bench::experiments::e8_paydual_ablation`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e8_paydual_ablation::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

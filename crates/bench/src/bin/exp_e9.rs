@@ -1,0 +1,7 @@
+//! Experiment E9 binary; see `distfl_bench::experiments::e9_benchmark`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let tables = distfl_bench::experiments::e9_benchmark::run(distfl_bench::quick_mode());
+    distfl_bench::emit(&tables);
+}

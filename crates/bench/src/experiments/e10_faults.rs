@@ -1,0 +1,153 @@
+//! **E10 — graceful degradation under faults** (this reproduction's own
+//! addition).
+//!
+//! The PODC 2005 model is synchronous and fault-free; a library shipping
+//! the algorithm should still say what happens when the network is not.
+//! PayDual's *safety* is unconditional (clients recover through local
+//! fallbacks, so the output is always feasible); this experiment measures
+//! the *quality* price of message loss: ratio and facility count as the
+//! drop probability rises, plus the crash-stop case of losing a fraction
+//! of facilities at round 0.
+
+use distfl_congest::{FaultPlan, NodeId};
+use distfl_core::paydual::{PayDual, PayDualParams};
+use distfl_core::FlAlgorithm;
+use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+
+use crate::table::num;
+use crate::{mean, Table};
+
+use super::lower_bound_for;
+
+/// Runs E10.
+pub fn run(quick: bool) -> Vec<Table> {
+    let drops: &[f64] =
+        if quick { &[0.0, 0.3] } else { &[0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8] };
+    let seeds: u64 = if quick { 3 } else { 6 };
+    let (m, n) = if quick { (10, 50) } else { (16, 120) };
+
+    let inst = UniformRandom::new(m, n).unwrap().generate(1000).unwrap();
+    let lb = lower_bound_for(&inst);
+
+    let mut table = Table::new(
+        "e10_faults",
+        "E10: PayDual quality under message loss (feasibility is unconditional)",
+        &["drop_prob", "ratio", "ratio_sd", "open", "dropped_frac"],
+    );
+    for &p in drops {
+        let mut ratios = Vec::new();
+        let mut opens = Vec::new();
+        let mut dropped = Vec::new();
+        for s in 0..seeds {
+            let fault =
+                (p > 0.0).then(|| FaultPlan::drop_with_probability(p, 2000 + s));
+            let params = PayDualParams { fault, ..PayDualParams::with_phases(10) };
+            let out = PayDual::new(params).run(&inst, s).expect("paydual run");
+            out.solution.check_feasible(&inst).expect("safety is unconditional");
+            ratios.push(out.solution.cost(&inst).value() / lb);
+            opens.push(out.solution.num_open() as f64);
+            let t = out.transcript.expect("distributed run");
+            let total = t.total_messages() + t.total_dropped();
+            dropped.push(if total == 0 {
+                0.0
+            } else {
+                t.total_dropped() as f64 / total as f64
+            });
+        }
+        table.push(vec![
+            num(p, 2),
+            num(mean(&ratios), 3),
+            num(crate::std_dev(&ratios), 3),
+            num(mean(&opens), 1),
+            num(mean(&dropped), 3),
+        ]);
+    }
+
+    // Crash-stop rows: lose the first k facilities at round 0.
+    let mut crash_table = Table::new(
+        "e10_crashes",
+        "E10b: PayDual quality with crashed facilities (crash-stop at round 0)",
+        &["crashed_facilities", "ratio"],
+    );
+    let crash_counts: &[usize] = if quick { &[0, 2] } else { &[0, 1, 2, 4, 8] };
+    for &k in crash_counts {
+        let ratios: Vec<f64> = (0..seeds)
+            .map(|s| {
+                run_with_crashes(&inst, k, s) / lb
+            })
+            .collect();
+        crash_table.push(vec![k.to_string(), num(mean(&ratios), 3)]);
+    }
+    vec![table, crash_table]
+}
+
+/// Runs PayDual with the first `k` facilities crashed at round 0 and
+/// returns the recovered solution's cost.
+fn run_with_crashes(instance: &distfl_instance::Instance, k: usize, seed: u64) -> f64 {
+    use distfl_congest::{CongestConfig, Network};
+    use distfl_core::paydual::node as pd;
+    use distfl_core::{node_role, topology_of, Role};
+
+    let phases = 10;
+    let topo = topology_of(instance).expect("topology");
+    let nodes = pd::build_nodes(instance, phases, Default::default());
+    let config = CongestConfig {
+        crashes: (0..k).map(|i| (NodeId::new(i as u32), 0)).collect(),
+        ..CongestConfig::default()
+    };
+    let mut net = Network::with_config(topo, nodes, seed, config).expect("network");
+    net.run(distfl_core::theory::paydual_rounds(phases)).expect("run");
+    let m = instance.num_facilities();
+    let assignment: Vec<distfl_instance::FacilityId> = net
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(index, node)| match (node_role(m, NodeId::new(index as u32)), node) {
+            (Role::Client(_), pd::PayDualNode::Client(c)) => Some(
+                c.connected_facility()
+                    .or_else(|| c.fallback_facility())
+                    .expect("clients always have a recovery target"),
+            ),
+            _ => None,
+        })
+        .collect();
+    let solution = distfl_instance::Solution::from_assignment(instance, assignment)
+        .expect("recovered assignment is feasible");
+    solution.cost(instance).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_anchors_the_table_and_loss_never_helps() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        let clean: f64 = rows[0][1].parse().unwrap();
+        let lossy: f64 = rows.last().unwrap()[1].parse().unwrap();
+        assert!(clean >= 1.0 - 1e-9);
+        assert!(lossy >= clean - 0.05, "loss should not beat the clean run");
+        // Dropped fraction tracks the configured probability.
+        let frac: f64 = rows.last().unwrap()[4].parse().unwrap();
+        let p: f64 = rows.last().unwrap()[0].parse().unwrap();
+        assert!((frac - p).abs() < 0.1, "dropped {frac} vs configured {p}");
+    }
+
+    #[test]
+    fn crashes_degrade_but_never_break() {
+        let tables = run(true);
+        let csv = tables[1].to_csv();
+        for row in csv.lines().skip(1) {
+            let ratio: f64 = row.split(',').nth(1).unwrap().parse().unwrap();
+            assert!(ratio >= 1.0 - 1e-9);
+            assert!(ratio < 30.0, "crash ratio {ratio} out of any envelope");
+        }
+    }
+}

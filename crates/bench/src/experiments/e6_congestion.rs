@@ -1,0 +1,91 @@
+//! **E6 — CONGEST compliance and message complexity (paper "Figure 3").**
+//!
+//! Claim: the algorithm is a genuine CONGEST algorithm — at most one
+//! message per directed edge per round, messages of a constant number of
+//! `O(log(Nρ))`-bit scalars — so its total communication is `O(k·|E|)`
+//! messages for a `k`-round budget.
+//!
+//! Report, per topology: edges, rounds, delivered messages, the
+//! utilization `messages / (rounds·2|E|)` (must be ≤ 1), the largest
+//! message, and the per-edge maximum (must be 1).
+
+use distfl_core::paydual::{PayDual, PayDualParams};
+use distfl_core::{topology_of, FlAlgorithm};
+use distfl_instance::generators::{GridNetwork, InstanceGenerator, UniformRandom};
+use distfl_instance::Instance;
+
+use crate::table::num;
+use crate::Table;
+
+/// Runs E6.
+pub fn run(quick: bool) -> Vec<Table> {
+    let phases = 8;
+    let dense: &[(usize, usize)] =
+        if quick { &[(8, 40)] } else { &[(8, 40), (16, 80), (32, 160)] };
+    let sparse: &[(usize, usize, usize)] =
+        if quick { &[(12, 10, 60)] } else { &[(12, 10, 60), (24, 20, 240)] };
+
+    let mut table = Table::new(
+        "e6_congestion",
+        "E6: CONGEST discipline and message complexity (PayDual, 8 phases)",
+        &[
+            "family",
+            "nodes",
+            "edges",
+            "rounds",
+            "messages",
+            "utilization",
+            "max_msg_bits",
+            "max_per_edge",
+            "compliant",
+        ],
+    );
+    let mut record = |family: &str, inst: &Instance| {
+        let edges = topology_of(inst).expect("topology").num_edges() as u64;
+        let out = PayDual::new(PayDualParams::with_phases(phases))
+            .run(inst, 1)
+            .expect("paydual run");
+        let t = out.transcript.expect("distributed run");
+        let capacity = u64::from(t.num_rounds()) * 2 * edges;
+        table.push(vec![
+            family.to_owned(),
+            (inst.num_facilities() + inst.num_clients()).to_string(),
+            edges.to_string(),
+            t.num_rounds().to_string(),
+            t.total_messages().to_string(),
+            num(t.total_messages() as f64 / capacity as f64, 3),
+            t.max_message_bits().to_string(),
+            t.max_messages_per_edge().to_string(),
+            t.congest_compliant(72).to_string(),
+        ]);
+    };
+    for &(m, n) in dense {
+        let inst = UniformRandom::new(m, n).unwrap().generate(600).unwrap();
+        record("dense", &inst);
+    }
+    for &(side, m, n) in sparse {
+        let inst = GridNetwork::new(side, side, m, n).unwrap().generate(600).unwrap();
+        record("grid", &inst);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_is_compliant_with_bounded_utilization() {
+        let tables = run(true);
+        let csv = tables[0].to_csv();
+        for row in csv.lines().skip(1) {
+            let cells: Vec<&str> = row.split(',').collect();
+            let utilization: f64 = cells[5].parse().unwrap();
+            assert!(utilization <= 1.0 + 1e-9, "utilization {utilization} above capacity");
+            assert_eq!(cells[7], "1", "per-edge maximum must be one");
+            assert_eq!(cells[8], "true");
+            let bits: u64 = cells[6].parse().unwrap();
+            assert!(bits <= 72);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! **E7 — ablating the two-level nesting (paper "Table 4").**
+//!
+//! Claim shape: the `√k × √k` split matters. Outer phases control the
+//! geometric bucket width (quality of the greedy ordering); inner
+//! iterations control how completely a bucket is swept before the
+//! threshold advances (they matter up to `Θ(log(m+n))`, then saturate).
+//!
+//! Grid sweep of `(s_out, s_in)` for GreedyBucket on a clustered workload,
+//! reporting measured ratio and round cost per cell.
+
+use distfl_core::bucket::{bucket_rounds, BucketParams, GreedyBucket};
+use distfl_core::FlAlgorithm;
+use distfl_instance::generators::{Clustered, InstanceGenerator};
+
+use crate::table::num;
+use crate::{mean, Table};
+
+use super::lower_bound_for;
+
+/// Runs E7.
+pub fn run(quick: bool) -> Vec<Table> {
+    let grid: &[u32] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let seeds: u64 = if quick { 3 } else { 6 };
+    let (m, n) = if quick { (10, 60) } else { (16, 120) };
+
+    let inst = Clustered::new(3, m, n).unwrap().generate(700).unwrap();
+    let lb = lower_bound_for(&inst);
+
+    let mut table = Table::new(
+        "e7_bucket_ablation",
+        "E7: GreedyBucket nesting ablation (ratio per outer x inner cell)",
+        &["outer", "inner", "rounds", "ratio", "round_cost_per_quality"],
+    );
+    for &outer in grid {
+        for &inner in grid {
+            let params = BucketParams::new(outer, inner);
+            let ratios: Vec<f64> = (0..seeds)
+                .map(|s| {
+                    GreedyBucket::new(params)
+                        .run(&inst, s)
+                        .expect("bucket run")
+                        .solution
+                        .cost(&inst)
+                        .value()
+                        / lb
+                })
+                .collect();
+            let rounds = bucket_rounds(params);
+            let ratio = mean(&ratios);
+            table.push(vec![
+                outer.to_string(),
+                inner.to_string(),
+                rounds.to_string(),
+                num(ratio, 3),
+                num(f64::from(rounds) * ratio, 1),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepest_cell_beats_the_shallowest() {
+        let tables = run(true);
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        let ratio = |outer: &str, inner: &str| -> f64 {
+            rows.iter()
+                .find(|r| r[0] == outer && r[1] == inner)
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        let shallow = ratio("1", "1");
+        let deep = ratio("4", "4");
+        assert!(
+            deep <= shallow + 0.05,
+            "deep nesting ({deep}) should not lose to shallow ({shallow})"
+        );
+    }
+}

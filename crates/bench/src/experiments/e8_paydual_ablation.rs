@@ -1,0 +1,90 @@
+//! **E8 — ablating PayDual's design choices** (this reproduction's own
+//! ablation, called for by DESIGN.md: reconstruction decisions must be
+//! measured, not assumed).
+//!
+//! Two knobs:
+//!
+//! * **connect rule** — max-slack (keeps the dual-fitting accounting
+//!   tight: a client connects where it pays the most) vs
+//!   cheapest-eligible (myopic),
+//! * **final polish** — the free local re-assignment to the cheapest
+//!   kept-open facility, on vs off.
+//!
+//! Reported per (family, budget): the measured ratio of all four
+//! combinations.
+
+use distfl_core::paydual::{ConnectRule, PayDual, PayDualParams};
+use distfl_core::FlAlgorithm;
+use distfl_instance::generators::{Clustered, InstanceGenerator, PowerLaw, UniformRandom};
+use distfl_instance::Instance;
+
+use crate::table::num;
+use crate::Table;
+
+use super::lower_bound_for;
+
+/// Runs E8.
+pub fn run(quick: bool) -> Vec<Table> {
+    let budgets: &[u32] = if quick { &[4] } else { &[2, 8, 24] };
+    let (m, n) = if quick { (10, 60) } else { (16, 120) };
+
+    let families: Vec<(&str, Instance)> = vec![
+        ("uniform", UniformRandom::new(m, n).unwrap().generate(800).unwrap()),
+        ("clustered", Clustered::new(3, m, n).unwrap().generate(800).unwrap()),
+        ("powerlaw", PowerLaw::new(m, n, 1e4).unwrap().generate(800).unwrap()),
+    ];
+
+    let mut table = Table::new(
+        "e8_paydual_ablation",
+        "E8: PayDual design-choice ablation (ratio per variant)",
+        &["family", "phases", "slack+polish", "slack", "cheap+polish", "cheap"],
+    );
+    for (family, inst) in &families {
+        let lb = lower_bound_for(inst);
+        for &phases in budgets {
+            let ratio = |rule: ConnectRule, polish: bool| -> f64 {
+                let params = PayDualParams {
+                    connect_rule: rule,
+                    polish,
+                    ..PayDualParams::with_phases(phases)
+                };
+                PayDual::new(params)
+                    .run(inst, 1)
+                    .expect("paydual run")
+                    .solution
+                    .cost(inst)
+                    .value()
+                    / lb
+            };
+            table.push(vec![
+                (*family).to_owned(),
+                phases.to_string(),
+                num(ratio(ConnectRule::MaxSlack, true), 3),
+                num(ratio(ConnectRule::MaxSlack, false), 3),
+                num(ratio(ConnectRule::CheapestEligible, true), 3),
+                num(ratio(ConnectRule::CheapestEligible, false), 3),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polish_never_hurts() {
+        let tables = run(true);
+        let csv = tables[0].to_csv();
+        for row in csv.lines().skip(1) {
+            let cells: Vec<&str> = row.split(',').collect();
+            let slack_polished: f64 = cells[2].parse().unwrap();
+            let slack_raw: f64 = cells[3].parse().unwrap();
+            let cheap_polished: f64 = cells[4].parse().unwrap();
+            let cheap_raw: f64 = cells[5].parse().unwrap();
+            assert!(slack_polished <= slack_raw + 1e-9, "{row}");
+            assert!(cheap_polished <= cheap_raw + 1e-9, "{row}");
+        }
+    }
+}

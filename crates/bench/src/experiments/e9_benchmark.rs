@@ -1,0 +1,114 @@
+//! **E9 — benchmark-shaped instances** (this reproduction's own addition).
+//!
+//! The facility-location literature reports on Beasley's OR-Library suite
+//! (`cap71`–`cap104`: 16–50 facilities × 50 clients, uniform-ish costs).
+//! This experiment runs the full pipeline on synthetic instances of those
+//! shapes — including the *deployment pipeline*: the distributed PayDual
+//! placement polished by sequential local search — so the library's
+//! numbers are directly comparable in spirit to published UFL tables.
+//! Cells follow the benchmark convention: the *gap to the best known*
+//! solution across the compared methods (1.000 = best), since the larger
+//! shapes exceed the exact solver's reach. (The actual OR-Library files
+//! load through `distfl_instance::orlib` and the CLI; this experiment
+//! keeps the repository self-contained.)
+
+use distfl_core::localsearch;
+use distfl_core::paydual::{PayDual, PayDualParams};
+use distfl_core::FlAlgorithm;
+use distfl_instance::generators::{Euclidean, InstanceGenerator, UniformRandom};
+use distfl_instance::Instance;
+
+use crate::table::num;
+use crate::{mean, Table};
+
+/// Runs E9.
+pub fn run(quick: bool) -> Vec<Table> {
+    let shapes: &[(usize, usize, &str)] = if quick {
+        &[(16, 50, "cap7x-shape")]
+    } else {
+        &[(16, 50, "cap7x-shape"), (25, 50, "cap10x-shape"), (50, 50, "cap13x-shape")]
+    };
+    let seeds: u64 = if quick { 2 } else { 3 };
+
+    let mut table = Table::new(
+        "e9_benchmark",
+        "E9: benchmark-shaped instances (OR-Library sizes), full pipeline",
+        &["shape", "family", "greedy_gap", "paydual16_gap", "pd+ls_gap", "ls_moves"],
+    );
+    for &(m, n, shape) in shapes {
+        let families: Vec<(&str, Box<dyn Fn(u64) -> Instance>)> = vec![
+            (
+                "uniform",
+                Box::new(move |s| UniformRandom::new(m, n).unwrap().generate(s).unwrap()),
+            ),
+            (
+                "euclidean",
+                Box::new(move |s| Euclidean::new(m, n).unwrap().generate(s).unwrap()),
+            ),
+        ];
+        for (family, make) in families {
+            let mut greedy_ratios = Vec::new();
+            let mut pd_ratios = Vec::new();
+            let mut polished_ratios = Vec::new();
+            let mut moves = Vec::new();
+            for s in 0..seeds {
+                let inst = make(900 + s);
+                let (g, _) = distfl_core::greedy::solve(&inst);
+                let greedy_cost = g.cost(&inst).value();
+                let pd = PayDual::new(PayDualParams::with_phases(16))
+                    .run(&inst, s)
+                    .expect("paydual run");
+                let pd_cost = pd.solution.cost(&inst).value();
+                let ls = localsearch::optimize(&inst, &pd.solution, 200);
+                // Benchmark convention: gap to the best known among the
+                // compared methods.
+                let best = greedy_cost.min(pd_cost).min(ls.final_cost);
+                greedy_ratios.push(greedy_cost / best);
+                pd_ratios.push(pd_cost / best);
+                polished_ratios.push(ls.final_cost / best);
+                moves.push(f64::from(ls.moves));
+            }
+            table.push(vec![
+                shape.to_owned(),
+                family.to_owned(),
+                num(mean(&greedy_ratios), 3),
+                num(mean(&pd_ratios), 3),
+                num(mean(&polished_ratios), 3),
+                num(mean(&moves), 1),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polish_dominates_raw_paydual() {
+        let tables = run(true);
+        let csv = tables[0].to_csv();
+        for row in csv.lines().skip(1) {
+            let cells: Vec<&str> = row.split(',').collect();
+            let pd: f64 = cells[3].parse().unwrap();
+            let polished: f64 = cells[4].parse().unwrap();
+            assert!(polished <= pd + 1e-9, "{row}");
+            assert!(polished >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaps_are_anchored_at_the_best_known() {
+        let tables = run(true);
+        let csv = tables[0].to_csv();
+        for row in csv.lines().skip(1) {
+            let cells: Vec<&str> = row.split(',').collect();
+            let gaps: Vec<f64> =
+                cells[2..5].iter().map(|c| c.parse().unwrap()).collect();
+            let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!((min - 1.0).abs() < 0.02, "best-known anchor drifted: {row}");
+            assert!(gaps.iter().all(|&g| g < 2.0), "gap out of band: {row}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Builds the standard figures from experiment tables.
+//!
+//! Every "figure"-type claim (E1, E3, E5, E7) gets a rendered SVG curve in
+//! addition to its CSV: the trade-off curve with its theory envelopes, the
+//! spread sensitivity, the rounding success curve, and the ablation grid.
+
+use crate::figure::Figure;
+use crate::table::Table;
+
+/// Parses a numeric cell (returns `NaN` for non-numeric placeholders so
+/// the figure renderer drops the point).
+fn cell(row: &[String], index: usize) -> f64 {
+    row.get(index).and_then(|c| c.parse().ok()).unwrap_or(f64::NAN)
+}
+
+/// Groups `(key, x, y)` triples into per-key series, preserving order.
+fn group_series(rows: impl Iterator<Item = (String, f64, f64)>) -> Vec<(String, Vec<(f64, f64)>)> {
+    let mut out: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for (key, x, y) in rows {
+        match out.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, points)) => points.push((x, y)),
+            None => out.push((key, vec![(x, y)])),
+        }
+    }
+    out
+}
+
+/// Builds the figures matching the known table ids in `tables`.
+pub fn standard_figures(tables: &[Table]) -> Vec<Figure> {
+    let mut figures = Vec::new();
+    for table in tables {
+        match table.id() {
+            "e1_tradeoff" => {
+                let fam = table.column_index("family");
+                let rounds = table.column_index("rounds");
+                let ratio = table.column_index("ratio");
+                let mut fig = Figure::new(
+                    "fig_e1_tradeoff",
+                    "E1: measured ratio vs round budget",
+                    "CONGEST rounds",
+                    "approximation ratio (vs certified LB)",
+                );
+                for (label, points) in group_series(
+                    table
+                        .rows()
+                        .iter()
+                        .map(|r| (r[fam].clone(), cell(r, rounds), cell(r, ratio))),
+                ) {
+                    fig = fig.with_series(label, points);
+                }
+                figures.push(fig);
+            }
+            "e3_rho" => {
+                let rho = table.column_index("rho");
+                let phases = table.column_index("phases");
+                let ratio = table.column_index("ratio");
+                let needed = table.column_index("phases_for_gamma1.5");
+                let mut fig = Figure::new(
+                    "fig_e3_rho",
+                    "E3: spread sensitivity (ratio per budget; phases needed)",
+                    "coefficient spread rho",
+                    "ratio / phases",
+                );
+                fig.log_x = true;
+                for (label, points) in group_series(table.rows().iter().map(|r| {
+                    (
+                        format!("ratio @ s={}", r[phases]),
+                        r[rho].parse().unwrap_or(f64::NAN),
+                        cell(r, ratio),
+                    )
+                })) {
+                    fig = fig.with_series(label, points);
+                }
+                // One point per rho for the needed-phases curve (dedup).
+                let mut needed_points: Vec<(f64, f64)> = Vec::new();
+                for r in table.rows() {
+                    let x = r[rho].parse().unwrap_or(f64::NAN);
+                    if needed_points.last().is_none_or(|&(px, _)| (px - x).abs() > 1e-12) {
+                        needed_points.push((x, cell(r, needed)));
+                    }
+                }
+                fig = fig.with_series("phases for gamma<=1.5", needed_points);
+                figures.push(fig);
+            }
+            "e5_rounding" => {
+                let trials = table.column_index("trials");
+                let fallback = table.column_index("fallback_frac");
+                let cost = table.column_index("cost_over_lp");
+                let seq = table.column_index("seq_cost_over_lp");
+                let fig = Figure::new(
+                    "fig_e5_rounding",
+                    "E5: rounding-stage trial budget",
+                    "randomized trials T",
+                    "fraction / cost factor",
+                )
+                .with_series(
+                    "fallback fraction",
+                    table
+                        .rows()
+                        .iter()
+                        .map(|r| (cell(r, trials), cell(r, fallback)))
+                        .collect(),
+                )
+                .with_series(
+                    "cost / LP (distributed)",
+                    table.rows().iter().map(|r| (cell(r, trials), cell(r, cost))).collect(),
+                )
+                .with_series(
+                    "cost / LP (sequential)",
+                    table.rows().iter().map(|r| (cell(r, trials), cell(r, seq))).collect(),
+                );
+                figures.push(fig);
+            }
+            "e7_bucket_ablation" => {
+                let outer = table.column_index("outer");
+                let inner = table.column_index("inner");
+                let ratio = table.column_index("ratio");
+                let mut fig = Figure::new(
+                    "fig_e7_ablation",
+                    "E7: GreedyBucket nesting ablation",
+                    "inner iterations",
+                    "approximation ratio",
+                );
+                for (label, points) in group_series(table.rows().iter().map(|r| {
+                    (format!("outer={}", r[outer]), cell(r, inner), cell(r, ratio))
+                })) {
+                    fig = fig.with_series(label, points);
+                }
+                figures.push(fig);
+            }
+            _ => {}
+        }
+    }
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_figures_for_known_tables() {
+        let tables = crate::experiments::e1_tradeoff::run(true);
+        let figs = standard_figures(&tables);
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].id, "fig_e1_tradeoff");
+        assert_eq!(figs[0].series.len(), 2, "one series per family");
+        let svg = figs[0].render_svg();
+        assert!(svg.contains("uniform") && svg.contains("clustered"));
+    }
+
+    #[test]
+    fn unknown_tables_are_ignored() {
+        let t = Table::new("mystery", "m", &["a"]);
+        assert!(standard_figures(&[t]).is_empty());
+    }
+
+    #[test]
+    fn e5_produces_three_series() {
+        let tables = crate::experiments::e5_rounding::run(true);
+        let figs = standard_figures(&tables);
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].series.len(), 3);
+    }
+
+    #[test]
+    fn e7_produces_one_series_per_outer_value() {
+        let tables = crate::experiments::e7_bucket_ablation::run(true);
+        let figs = standard_figures(&tables);
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].series.len(), 2, "quick grid has two outer values");
+    }
+}

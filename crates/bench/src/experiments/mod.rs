@@ -1,0 +1,72 @@
+//! The experiment implementations (one module per claim; see crate docs).
+
+pub mod e1_tradeoff;
+pub mod e2_locality;
+pub mod e3_rho;
+pub mod e4_comparison;
+pub mod e5_rounding;
+pub mod e6_congestion;
+pub mod e7_bucket_ablation;
+pub mod e8_paydual_ablation;
+pub mod e9_benchmark;
+pub mod e10_faults;
+pub mod figures;
+
+use distfl_core::greedy::StarGreedy;
+use distfl_core::FlAlgorithm;
+use distfl_instance::Instance;
+use distfl_lp::bounds;
+
+/// The facility-count limit below which experiments use the exact optimum
+/// as the ratio denominator.
+pub const EXACT_LIMIT: usize = 22;
+
+/// The best certified lower bound available for an experiment instance:
+/// exact optimum for small facility counts, otherwise the better of the
+/// trivial bound and the greedy run's dual-fitting certificate.
+pub fn lower_bound_for(instance: &Instance) -> f64 {
+    let greedy_dual = StarGreedy::new()
+        .run(instance, 0)
+        .expect("greedy cannot fail")
+        .dual
+        .expect("greedy emits a dual certificate");
+    bounds::certified_lower_bound(instance, &[&greedy_dual], EXACT_LIMIT).value
+}
+
+/// Runs every experiment, in order (the `exp_all` binary).
+pub fn run_all(quick: bool) -> Vec<crate::Table> {
+    let mut tables = Vec::new();
+    tables.extend(e1_tradeoff::run(quick));
+    tables.extend(e2_locality::run(quick));
+    tables.extend(e3_rho::run(quick));
+    tables.extend(e4_comparison::run(quick));
+    tables.extend(e5_rounding::run(quick));
+    tables.extend(e6_congestion::run(quick));
+    tables.extend(e7_bucket_ablation::run(quick));
+    tables.extend(e8_paydual_ablation::run(quick));
+    tables.extend(e9_benchmark::run(quick));
+    tables.extend(e10_faults::run(quick));
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+
+    #[test]
+    fn lower_bound_is_positive_and_conservative() {
+        let inst = UniformRandom::new(6, 15).unwrap().generate(0).unwrap();
+        let lb = lower_bound_for(&inst);
+        let opt = distfl_lp::exact::solve(&inst).unwrap().cost.value();
+        assert!(lb > 0.0);
+        assert!((lb - opt).abs() < 1e-9, "small instances use the exact bound");
+    }
+
+    #[test]
+    fn lower_bound_falls_back_beyond_the_exact_limit() {
+        let inst = UniformRandom::new(30, 40).unwrap().generate(0).unwrap();
+        let lb = lower_bound_for(&inst);
+        assert!(lb > 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Dependency-free SVG line figures.
+//!
+//! The experiments' "figures" (E1's trade-off curve, E3's spread
+//! sensitivity, E5's rounding success, E7's ablation) are rendered as
+//! standalone SVG files next to the CSVs, so the reproduction produces
+//! actual figures, not just tables. The renderer is deliberately small:
+//! axes with rounded ticks, optional log scales, one polyline plus
+//! markers per series, and a legend.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (x, y); non-finite points are skipped.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// File stem for the SVG output.
+    pub id: String,
+    /// Title rendered above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale the x axis.
+    pub log_x: bool,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+/// Brand-neutral categorical palette.
+const PALETTE: [&str; 6] = ["#3366cc", "#dc3912", "#109618", "#990099", "#ff9900", "#0099c6"];
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 160.0;
+const MARGIN_TOP: f64 = 42.0;
+const MARGIN_BOTTOM: f64 = 52.0;
+
+impl Figure {
+    /// Creates an empty linear-scale figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        self.series.push(Series { label: label.into(), points });
+        self
+    }
+
+    /// All finite points across series, transformed for scale.
+    fn transformed(&self) -> Vec<Vec<(f64, f64)>> {
+        let tx = |x: f64| if self.log_x { x.max(f64::MIN_POSITIVE).log10() } else { x };
+        let ty = |y: f64| if self.log_y { y.max(f64::MIN_POSITIVE).log10() } else { y };
+        self.series
+            .iter()
+            .map(|s| {
+                s.points
+                    .iter()
+                    .filter(|(x, y)| x.is_finite() && y.is_finite())
+                    .map(|&(x, y)| (tx(x), ty(y)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Renders the figure as an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the figure has no finite data points.
+    pub fn render_svg(&self) -> String {
+        let data = self.transformed();
+        let all: Vec<(f64, f64)> = data.iter().flatten().copied().collect();
+        assert!(!all.is_empty(), "figure {} has no data", self.id);
+        let (mut x_min, mut x_max) = min_max(all.iter().map(|p| p.0));
+        let (mut y_min, mut y_max) = min_max(all.iter().map(|p| p.1));
+        if x_max - x_min < 1e-12 {
+            x_min -= 0.5;
+            x_max += 0.5;
+        }
+        if y_max - y_min < 1e-12 {
+            y_min -= 0.5;
+            y_max += 0.5;
+        }
+        // A little headroom.
+        let y_pad = (y_max - y_min) * 0.06;
+        y_min -= y_pad;
+        y_max += y_pad;
+
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let sx = move |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = move |y: f64| MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" font-size="15" font-weight="bold">{}</text>"#,
+            MARGIN_LEFT,
+            escape(&self.title)
+        );
+
+        // Axes.
+        let _ = write!(
+            svg,
+            r##"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="#333"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="#333"/>"##,
+            l = MARGIN_LEFT,
+            r = MARGIN_LEFT + plot_w,
+            t = MARGIN_TOP,
+            b = MARGIN_TOP + plot_h,
+        );
+        // Ticks (5 per axis, inverse-transformed labels).
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
+            let fy = y_min + (y_max - y_min) * f64::from(i) / 4.0;
+            let lx = if self.log_x { 10f64.powf(fx) } else { fx };
+            let ly = if self.log_y { 10f64.powf(fy) } else { fy };
+            let _ = write!(
+                svg,
+                r##"<line x1="{x}" y1="{b}" x2="{x}" y2="{b2}" stroke="#333"/><text x="{x}" y="{ty}" font-size="11" text-anchor="middle">{label}</text>"##,
+                x = sx(fx),
+                b = MARGIN_TOP + plot_h,
+                b2 = MARGIN_TOP + plot_h + 5.0,
+                ty = MARGIN_TOP + plot_h + 18.0,
+                label = tick_label(lx),
+            );
+            let _ = write!(
+                svg,
+                r##"<line x1="{l2}" y1="{y}" x2="{l}" y2="{y}" stroke="#333"/><text x="{tx}" y="{y2}" font-size="11" text-anchor="end">{label}</text>"##,
+                l = MARGIN_LEFT,
+                l2 = MARGIN_LEFT - 5.0,
+                y = sy(fy),
+                tx = MARGIN_LEFT - 8.0,
+                y2 = sy(fy) + 4.0,
+                label = tick_label(ly),
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (si, (series, points)) in self.series.iter().zip(&data).enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            if points.len() > 1 {
+                let path: Vec<String> = points
+                    .iter()
+                    .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+                    .collect();
+                let _ = write!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                    path.join(" ")
+                );
+            }
+            for &(x, y) in points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_TOP + 14.0 + 18.0 * si as f64;
+            let lx = MARGIN_LEFT + plot_w + 12.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" font-size="11">{}</text>"#,
+                lx + 18.0,
+                lx + 24.0,
+                ly + 4.0,
+                escape(&series.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// Minimum and maximum of an iterator of finite values.
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+/// Short human tick label.
+fn tick_label(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e5 || (a > 0.0 && a < 1e-2) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Escapes XML-special characters.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Writes figures as `<id>.svg` under the results directory, printing the
+/// paths.
+pub fn emit_figures(figures: &[Figure]) {
+    let dir = crate::results_dir();
+    for figure in figures {
+        let path = dir.join(format!("{}.svg", figure.id));
+        std::fs::write(&path, figure.render_svg()).expect("write figure svg");
+        println!("[figure: {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure::new("fig_test", "A <test> figure", "rounds", "ratio")
+            .with_series("alpha", vec![(1.0, 2.0), (2.0, 1.5), (4.0, 1.2)])
+            .with_series("beta", vec![(1.0, 3.0), (4.0, 2.0)])
+    }
+
+    #[test]
+    fn renders_expected_structure() {
+        let svg = sample().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("alpha") && svg.contains("beta"));
+        assert!(svg.contains("&lt;test&gt;"), "title is escaped");
+        assert!(svg.contains("rounds") && svg.contains("ratio"));
+    }
+
+    #[test]
+    fn log_scale_positions_decades_evenly() {
+        let fig = Figure {
+            log_x: true,
+            ..Figure::new("f", "t", "x", "y")
+                .with_series("s", vec![(1.0, 1.0), (10.0, 2.0), (100.0, 3.0)])
+        };
+        let svg = fig.render_svg();
+        // Extract the three circle x positions; spacing must be equal.
+        let xs: Vec<f64> = svg
+            .match_indices("<circle cx=\"")
+            .map(|(i, _)| {
+                let rest = &svg[i + 12..];
+                rest[..rest.find('"').unwrap()].parse().unwrap()
+            })
+            .collect();
+        assert_eq!(xs.len(), 3);
+        let d1 = xs[1] - xs[0];
+        let d2 = xs[2] - xs[1];
+        assert!((d1 - d2).abs() < 0.1, "log spacing uneven: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn single_point_series_renders_without_line() {
+        let fig = Figure::new("f", "t", "x", "y").with_series("lonely", vec![(3.0, 3.0)]);
+        let svg = fig.render_svg();
+        assert_eq!(svg.matches("<polyline").count(), 0);
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let fig = Figure::new("f", "t", "x", "y")
+            .with_series("s", vec![(1.0, 1.0), (f64::NAN, 2.0), (2.0, f64::INFINITY), (3.0, 2.0)]);
+        let svg = fig.render_svg();
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_figure_panics() {
+        let _ = Figure::new("f", "t", "x", "y").render_svg();
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(tick_label(1_000_000.0), "1e6");
+        assert_eq!(tick_label(150.0), "150");
+        assert_eq!(tick_label(1.2345), "1.23");
+        assert_eq!(tick_label(2.0), "2");
+        assert_eq!(tick_label(0.001), "1e-3");
+    }
+}

@@ -1,0 +1,64 @@
+//! # distfl-bench
+//!
+//! The experiment harness of the `distfl` reproduction. The PODC 2005
+//! paper is purely analytical, so its "tables and figures" are its
+//! claims; each experiment here turns one claim into a measurable sweep
+//! (see `DESIGN.md` §4 and `EXPERIMENTS.md` for the index):
+//!
+//! | id | claim | module |
+//! |----|-------|--------|
+//! | E1 | round/approximation trade-off | [`experiments::e1_tradeoff`] |
+//! | E2 | locality: rounds independent of input size | [`experiments::e2_locality`] |
+//! | E3 | dependence on the coefficient spread `ρ` | [`experiments::e3_rho`] |
+//! | E4 | algorithm comparison across workloads | [`experiments::e4_comparison`] |
+//! | E5 | rounding stage: `log(m+n)` loss and success prob | [`experiments::e5_rounding`] |
+//! | E6 | CONGEST compliance and message complexity | [`experiments::e6_congestion`] |
+//! | E7 | ablation of the two-level phase nesting | [`experiments::e7_bucket_ablation`] |
+//!
+//! Every experiment is a library function returning [`Table`]s, so the
+//! binaries (`exp_e1` … `exp_e7`, `exp_all`) are thin wrappers and the
+//! harness itself is unit-tested. Tables are printed aligned and written
+//! as CSV under `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod figure;
+mod stats;
+mod table;
+
+pub use figure::{emit_figures, Figure, Series};
+pub use stats::{mean, std_dev};
+pub use table::Table;
+
+use std::path::PathBuf;
+
+/// Where experiment CSVs are written.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("experiments");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Prints tables and writes their CSVs; the uniform tail of every
+/// experiment binary.
+pub fn emit(tables: &[Table]) {
+    let dir = results_dir();
+    for table in tables {
+        println!("{}", table.render());
+        let path = dir.join(format!("{}.csv", table.id()));
+        std::fs::write(&path, table.to_csv()).expect("write experiment csv");
+        println!("[written: {}]\n", path.display());
+    }
+}
+
+/// Whether quick mode is requested (smaller sweeps), via `--quick` or the
+/// `DISTFL_QUICK` environment variable.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("DISTFL_QUICK").is_some()
+}

@@ -1,0 +1,680 @@
+//! The synchronous round engine.
+
+use crate::error::CongestError;
+use crate::fault::FaultPlan;
+use crate::message::Payload;
+use crate::metrics::{RoundStats, Transcript};
+use crate::node::{NodeId, NodeLogic};
+use crate::rng::NodeRng;
+use crate::topology::Topology;
+use crate::trace::{Event, EventKind, Recorder};
+
+/// What to do when a node sends two messages over the same directed edge in
+/// one round (a CONGEST violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Fail the run with [`CongestError::EdgeCongestion`] (the default:
+    /// correct algorithms never violate the discipline).
+    #[default]
+    Reject,
+    /// Deliver everything but record the violation in the transcript's
+    /// `max_messages_per_edge`, so experiments can report it.
+    Record,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CongestConfig {
+    /// Handling of one-message-per-edge violations.
+    pub duplicate_policy: DuplicatePolicy,
+    /// Number of worker threads for parallel stepping; `None` or `Some(1)`
+    /// runs serially. Results are identical either way.
+    pub threads: Option<usize>,
+    /// Optional deterministic message-drop plan.
+    pub fault: Option<FaultPlan>,
+    /// Crash-stop schedule: `(node, round)` pairs; from `round` on, the
+    /// node neither steps nor sends (crash-stop failures). Crashed nodes
+    /// count as done for termination purposes.
+    pub crashes: Vec<(NodeId, u32)>,
+    /// Optional hard per-message bit budget; a message declaring more
+    /// bits fails the run with [`CongestError::MessageTooLarge`]. `None`
+    /// records sizes in the transcript without enforcing.
+    pub max_message_bits: Option<u64>,
+    /// Whether to record per-message [`Event`]s (slow; for debugging).
+    pub record_events: bool,
+}
+
+/// Per-round context handed to [`NodeLogic::step`].
+///
+/// Provides the node's identity, neighbors, inbox, a deterministic random
+/// stream, and the send interface.
+#[derive(Debug)]
+pub struct StepCtx<'a, M: Payload> {
+    id: NodeId,
+    round: u32,
+    neighbors: &'a [NodeId],
+    inbox: &'a [(NodeId, M)],
+    rng: NodeRng,
+    outbox: Vec<(NodeId, M)>,
+    send_error: Option<CongestError>,
+}
+
+impl<'a, M: Payload> StepCtx<'a, M> {
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current round number (0-based).
+    #[inline]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// This node's sorted neighbor list.
+    #[inline]
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.neighbors
+    }
+
+    /// This node's degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Messages received this round as `(sender, message)` pairs, sorted by
+    /// sender id.
+    #[inline]
+    pub fn inbox(&self) -> &'a [(NodeId, M)] {
+        self.inbox
+    }
+
+    /// The message from `src` this round, if any (and if unique).
+    pub fn from(&self, src: NodeId) -> Option<&'a M> {
+        let pos = self.inbox.partition_point(|(s, _)| *s < src);
+        match self.inbox.get(pos) {
+            Some((s, m)) if *s == src => Some(m),
+            _ => None,
+        }
+    }
+
+    /// This node's deterministic random stream for this round.
+    ///
+    /// Streams are derived from `(master seed, node id, round)`, so parallel
+    /// and serial execution observe identical randomness.
+    #[inline]
+    pub fn rng(&mut self) -> &mut NodeRng {
+        &mut self.rng
+    }
+
+    /// Queues `msg` for delivery to neighbor `dst` next round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::NotNeighbor`] if `dst` is not adjacent; the
+    /// violation is also latched so the engine fails the round even if the
+    /// caller ignores the error.
+    pub fn send(&mut self, dst: NodeId, msg: M) -> Result<(), CongestError> {
+        if self.neighbors.binary_search(&dst).is_err() {
+            let err = CongestError::NotNeighbor { from: self.id, to: dst };
+            self.send_error.get_or_insert(err.clone());
+            return Err(err);
+        }
+        self.outbox.push((dst, msg));
+        Ok(())
+    }
+
+    /// Sends a clone of `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        for &nb in self.neighbors {
+            self.outbox.push((nb, msg.clone()));
+        }
+    }
+}
+
+/// Outcome of stepping one node.
+struct StepOutcome<M> {
+    outbox: Vec<(NodeId, M)>,
+    error: Option<CongestError>,
+}
+
+/// A synchronous CONGEST network executing one [`NodeLogic`] per node.
+///
+/// See the [crate documentation](crate) for a complete example.
+pub struct Network<L: NodeLogic> {
+    topo: Topology,
+    nodes: Vec<L>,
+    config: CongestConfig,
+    master_seed: u64,
+    round: u32,
+    inboxes: Vec<Vec<(NodeId, L::Msg)>>,
+    transcript: Transcript,
+    recorder: Recorder,
+}
+
+impl<L: NodeLogic> std::fmt::Debug for Network<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("num_nodes", &self.nodes.len())
+            .field("round", &self.round)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: NodeLogic> Network<L> {
+    /// Creates a network with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::NodeCountMismatch`] if `nodes.len()` differs
+    /// from the topology's node count.
+    pub fn new(topo: Topology, nodes: Vec<L>, master_seed: u64) -> Result<Self, CongestError> {
+        Self::with_config(topo, nodes, master_seed, CongestConfig::default())
+    }
+
+    /// Creates a network with an explicit [`CongestConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::NodeCountMismatch`] if `nodes.len()` differs
+    /// from the topology's node count.
+    pub fn with_config(
+        topo: Topology,
+        nodes: Vec<L>,
+        master_seed: u64,
+        config: CongestConfig,
+    ) -> Result<Self, CongestError> {
+        if topo.num_nodes() != nodes.len() {
+            return Err(CongestError::NodeCountMismatch {
+                topology: topo.num_nodes(),
+                logics: nodes.len(),
+            });
+        }
+        let n = nodes.len();
+        let recorder = if config.record_events { Recorder::enabled() } else { Recorder::disabled() };
+        Ok(Network {
+            topo,
+            nodes,
+            config,
+            master_seed,
+            round: 0,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            transcript: Transcript::new(),
+            recorder,
+        })
+    }
+
+    /// The communication graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// All node logics, indexed by node id.
+    pub fn nodes(&self) -> &[L] {
+        &self.nodes
+    }
+
+    /// The logic of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &L {
+        &self.nodes[id.index()]
+    }
+
+    /// Consumes the network, returning the node logics.
+    pub fn into_nodes(self) -> Vec<L> {
+        self.nodes
+    }
+
+    /// The statistics accumulated so far.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// The event recorder (empty unless `record_events` was set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The next round to execute (0-based).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Whether node `index` has crashed by round `round`.
+    fn is_crashed(&self, index: usize, round: u32) -> bool {
+        self.config
+            .crashes
+            .iter()
+            .any(|&(id, r)| id.index() == index && r <= round)
+    }
+
+    /// Whether every node reports done (crashed nodes count as done).
+    pub fn all_done(&self) -> bool {
+        let round = self.round;
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, l)| l.is_done() || self.is_crashed(i, round))
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::NotNeighbor`] if any node addressed a
+    /// non-neighbor, or [`CongestError::EdgeCongestion`] under
+    /// [`DuplicatePolicy::Reject`].
+    pub fn step(&mut self) -> Result<RoundStats, CongestError> {
+        let round = self.round;
+        let inboxes = std::mem::take(&mut self.inboxes);
+        let outcomes = self.step_all_nodes(&inboxes, round);
+        // Reuse the inbox buffers for the next round.
+        self.inboxes = inboxes;
+        for ib in &mut self.inboxes {
+            ib.clear();
+        }
+
+        for outcome in &outcomes {
+            if let Some(err) = &outcome.error {
+                return Err(err.clone());
+            }
+        }
+
+        let mut stats = RoundStats { round, ..RoundStats::default() };
+        for (src_index, outcome) in outcomes.into_iter().enumerate() {
+            let src = NodeId::new(src_index as u32);
+            // Count per-destination multiplicity for congestion accounting.
+            let mut sorted: Vec<(NodeId, L::Msg)> = outcome.outbox;
+            sorted.sort_by_key(|(dst, _)| *dst);
+            let mut run_dst: Option<NodeId> = None;
+            let mut run_len: u64 = 0;
+            for (dst, msg) in sorted {
+                if run_dst == Some(dst) {
+                    run_len += 1;
+                } else {
+                    run_dst = Some(dst);
+                    run_len = 1;
+                }
+                if run_len > 1 && self.config.duplicate_policy == DuplicatePolicy::Reject {
+                    return Err(CongestError::EdgeCongestion { from: src, to: dst, round });
+                }
+                stats.max_messages_per_edge = stats.max_messages_per_edge.max(run_len);
+                let dropped =
+                    self.config.fault.as_ref().is_some_and(|f| f.drops(round, src, dst));
+                if dropped {
+                    stats.dropped += 1;
+                    self.recorder.record(Event { round, kind: EventKind::Drop, src, dst });
+                    continue;
+                }
+                let bits = msg.size_bits();
+                if let Some(limit) = self.config.max_message_bits {
+                    if bits > limit {
+                        return Err(CongestError::MessageTooLarge {
+                            from: src,
+                            to: dst,
+                            bits,
+                            limit,
+                        });
+                    }
+                }
+                stats.messages += 1;
+                stats.bits += bits;
+                stats.max_message_bits = stats.max_message_bits.max(bits);
+                self.recorder.record(Event { round, kind: EventKind::Deliver, src, dst });
+                self.inboxes[dst.index()].push((src, msg));
+            }
+        }
+        debug_assert!(self
+            .inboxes
+            .iter()
+            .all(|ib| ib.windows(2).all(|w| w[0].0 <= w[1].0)));
+
+        self.transcript.push(stats);
+        self.round += 1;
+        Ok(stats)
+    }
+
+    /// Steps every non-done node, serially or in parallel per the config.
+    fn step_all_nodes(
+        &mut self,
+        inboxes: &[Vec<(NodeId, L::Msg)>],
+        round: u32,
+    ) -> Vec<StepOutcome<L::Msg>> {
+        let threads = self.config.threads.unwrap_or(1).max(1);
+        let n = self.nodes.len();
+        let crashed: Vec<bool> = (0..n).map(|i| self.is_crashed(i, round)).collect();
+        let mut outcomes: Vec<StepOutcome<L::Msg>> = Vec::with_capacity(n);
+        if threads <= 1 || n < 2 * threads {
+            for (index, node) in self.nodes.iter_mut().enumerate() {
+                if crashed[index] {
+                    outcomes.push(StepOutcome { outbox: Vec::new(), error: None });
+                } else {
+                    outcomes.push(step_one(
+                        &self.topo,
+                        node,
+                        index,
+                        &inboxes[index],
+                        round,
+                        self.master_seed,
+                    ));
+                }
+            }
+        } else {
+            outcomes.extend((0..n).map(|_| StepOutcome { outbox: Vec::new(), error: None }));
+            let chunk = n.div_ceil(threads);
+            let topo = &self.topo;
+            let seed = self.master_seed;
+            let node_chunks = self.nodes.chunks_mut(chunk);
+            let inbox_chunks = inboxes.chunks(chunk);
+            let outcome_chunks = outcomes.chunks_mut(chunk);
+            let crashed_ref = &crashed;
+            crossbeam::thread::scope(|scope| {
+                for (chunk_index, ((nodes, inbs), outs)) in
+                    node_chunks.zip(inbox_chunks).zip(outcome_chunks).enumerate()
+                {
+                    let base = chunk_index * chunk;
+                    scope.spawn(move |_| {
+                        for (offset, node) in nodes.iter_mut().enumerate() {
+                            let index = base + offset;
+                            if crashed_ref[index] {
+                                outs[offset] =
+                                    StepOutcome { outbox: Vec::new(), error: None };
+                            } else {
+                                outs[offset] =
+                                    step_one(topo, node, index, &inbs[offset], round, seed);
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+        outcomes
+    }
+
+    /// Runs rounds until every node is done or `max_rounds` is reached.
+    ///
+    /// Returns a clone of the transcript on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Network::step`] errors and returns
+    /// [`CongestError::RoundLimit`] if the protocol does not terminate in
+    /// `max_rounds` rounds.
+    pub fn run(&mut self, max_rounds: u32) -> Result<Transcript, CongestError> {
+        while !self.all_done() {
+            if self.round >= max_rounds {
+                let pending = self.nodes.iter().filter(|l| !l.is_done()).count();
+                return Err(CongestError::RoundLimit { limit: max_rounds, pending });
+            }
+            self.step()?;
+        }
+        Ok(self.transcript.clone())
+    }
+}
+
+/// Steps a single node, producing its outbox.
+fn step_one<L: NodeLogic>(
+    topo: &Topology,
+    node: &mut L,
+    index: usize,
+    inbox: &[(NodeId, L::Msg)],
+    round: u32,
+    master_seed: u64,
+) -> StepOutcome<L::Msg> {
+    if node.is_done() {
+        return StepOutcome { outbox: Vec::new(), error: None };
+    }
+    let id = NodeId::new(index as u32);
+    let mut ctx = StepCtx {
+        id,
+        round,
+        neighbors: topo.neighbors(id),
+        inbox,
+        rng: NodeRng::derive(master_seed, id.raw(), round),
+        outbox: Vec::new(),
+        send_error: None,
+    };
+    node.step(&mut ctx);
+    StepOutcome { outbox: ctx.outbox, error: ctx.send_error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Floods the node's id for `ttl` rounds, summing everything heard.
+    struct Flood {
+        ttl: u32,
+        heard: u64,
+        done: bool,
+    }
+
+    impl NodeLogic for Flood {
+        type Msg = u64;
+        fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+            self.heard += ctx.inbox().iter().map(|(_, m)| *m).sum::<u64>();
+            if ctx.round() < self.ttl {
+                ctx.broadcast(u64::from(ctx.id().raw()) + 1);
+            } else {
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn flood_net(n: usize, ttl: u32, threads: Option<usize>) -> Network<Flood> {
+        let topo = Topology::ring(n).unwrap();
+        let nodes = (0..n).map(|_| Flood { ttl, heard: 0, done: false }).collect();
+        let config = CongestConfig { threads, ..CongestConfig::default() };
+        Network::with_config(topo, nodes, 7, config).unwrap()
+    }
+
+    #[test]
+    fn flood_terminates_and_counts() {
+        let mut net = flood_net(6, 2, None);
+        let t = net.run(10).unwrap();
+        assert_eq!(t.num_rounds(), 3);
+        // Nodes broadcast in rounds 0 and 1 (2 messages each, 6 nodes).
+        assert_eq!(t.total_messages(), 2 * 12);
+        assert!(t.congest_compliant(64));
+        // Each node heard its two neighbors twice.
+        for (i, node) in net.nodes().iter().enumerate() {
+            let left = ((i + 5) % 6) as u64 + 1;
+            let right = ((i + 1) % 6) as u64 + 1;
+            assert_eq!(node.heard, 2 * (left + right), "node {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut serial = flood_net(31, 3, None);
+        let mut parallel = flood_net(31, 3, Some(4));
+        let ts = serial.run(10).unwrap();
+        let tp = parallel.run(10).unwrap();
+        assert_eq!(ts, tp);
+        let hs: Vec<u64> = serial.nodes().iter().map(|n| n.heard).collect();
+        let hp: Vec<u64> = parallel.nodes().iter().map(|n| n.heard).collect();
+        assert_eq!(hs, hp);
+    }
+
+    #[test]
+    fn round_limit_error() {
+        struct Never;
+        impl NodeLogic for Never {
+            type Msg = ();
+            fn step(&mut self, _: &mut StepCtx<'_, ()>) {}
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let topo = Topology::ring(3).unwrap();
+        let mut net = Network::new(topo, vec![Never, Never, Never], 0).unwrap();
+        let err = net.run(5).unwrap_err();
+        assert_eq!(err, CongestError::RoundLimit { limit: 5, pending: 3 });
+    }
+
+    #[test]
+    fn node_count_mismatch() {
+        let topo = Topology::ring(3).unwrap();
+        let err = Network::new(topo, vec![Flood { ttl: 0, heard: 0, done: false }], 0).unwrap_err();
+        assert!(matches!(err, CongestError::NodeCountMismatch { topology: 3, logics: 1 }));
+    }
+
+    #[test]
+    fn send_to_non_neighbor_fails_round() {
+        struct Bad;
+        impl NodeLogic for Bad {
+            type Msg = u64;
+            fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+                // Node 0 tries to reach node 2 across the ring of 4: not
+                // adjacent. The error is latched even though we ignore it.
+                if ctx.id() == NodeId::new(0) {
+                    let _ = ctx.send(NodeId::new(2), 1);
+                }
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let topo = Topology::ring(4).unwrap();
+        let mut net = Network::new(topo, vec![Bad, Bad, Bad, Bad], 0).unwrap();
+        let err = net.step().unwrap_err();
+        assert_eq!(err, CongestError::NotNeighbor { from: NodeId::new(0), to: NodeId::new(2) });
+    }
+
+    #[test]
+    fn duplicate_send_rejected_by_default() {
+        struct Dup { done: bool }
+        impl NodeLogic for Dup {
+            type Msg = u64;
+            fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+                let nb = ctx.neighbors()[0];
+                ctx.send(nb, 1).unwrap();
+                ctx.send(nb, 2).unwrap();
+                self.done = true;
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let topo = Topology::ring(3).unwrap();
+        let mk = || vec![Dup { done: false }, Dup { done: false }, Dup { done: false }];
+        let mut net = Network::new(topo.clone(), mk(), 0).unwrap();
+        assert!(matches!(net.step(), Err(CongestError::EdgeCongestion { .. })));
+
+        // Record policy delivers and reports the violation instead.
+        let config =
+            CongestConfig { duplicate_policy: DuplicatePolicy::Record, ..CongestConfig::default() };
+        let mut net = Network::with_config(topo, mk(), 0, config).unwrap();
+        let stats = net.step().unwrap();
+        assert_eq!(stats.max_messages_per_edge, 2);
+        assert_eq!(stats.messages, 6);
+    }
+
+    #[test]
+    fn fault_plan_drops_messages() {
+        let topo = Topology::ring(5).unwrap();
+        let nodes = (0..5).map(|_| Flood { ttl: 1, heard: 0, done: false }).collect();
+        let config = CongestConfig {
+            fault: Some(FaultPlan::drop_with_probability(1.0, 3)),
+            ..CongestConfig::default()
+        };
+        let mut net = Network::with_config(topo, nodes, 0, config).unwrap();
+        let t = net.run(10).unwrap();
+        assert_eq!(t.total_messages(), 0);
+        // One broadcast round: 5 nodes x 2 neighbors, all dropped.
+        assert_eq!(t.total_dropped(), 10);
+        assert!(net.nodes().iter().all(|n| n.heard == 0));
+    }
+
+    #[test]
+    fn message_size_budget_is_enforced_when_configured() {
+        let topo = Topology::ring(3).unwrap();
+        let mk = || (0..3).map(|_| Flood { ttl: 1, heard: 0, done: false }).collect();
+        // 64-bit messages pass a 64-bit budget...
+        let config =
+            CongestConfig { max_message_bits: Some(64), ..CongestConfig::default() };
+        let mut net = Network::with_config(topo.clone(), mk(), 0, config).unwrap();
+        assert!(net.run(5).is_ok());
+        // ...and fail a 32-bit one.
+        let config =
+            CongestConfig { max_message_bits: Some(32), ..CongestConfig::default() };
+        let mut net = Network::with_config(topo, mk(), 0, config).unwrap();
+        let err = net.run(5).unwrap_err();
+        assert!(matches!(err, CongestError::MessageTooLarge { bits: 64, limit: 32, .. }));
+    }
+
+    #[test]
+    fn recorder_captures_deliveries() {
+        let topo = Topology::ring(3).unwrap();
+        let nodes = (0..3).map(|_| Flood { ttl: 1, heard: 0, done: false }).collect();
+        let config = CongestConfig { record_events: true, ..CongestConfig::default() };
+        let mut net = Network::with_config(topo, nodes, 0, config).unwrap();
+        net.run(10).unwrap();
+        assert_eq!(net.recorder().events_of(EventKind::Deliver).count(), 6);
+    }
+
+    #[test]
+    fn inbox_from_lookup() {
+        struct Probe {
+            saw_left: bool,
+            done: bool,
+        }
+        impl NodeLogic for Probe {
+            type Msg = u64;
+            fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+                if ctx.round() == 0 {
+                    ctx.broadcast(u64::from(ctx.id().raw()));
+                } else {
+                    let left = ctx.neighbors()[0];
+                    self.saw_left = ctx.from(left).is_some();
+                    assert!(ctx.from(ctx.id()).is_none());
+                    self.done = true;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let topo = Topology::ring(4).unwrap();
+        let nodes = (0..4).map(|_| Probe { saw_left: false, done: false }).collect();
+        let mut net = Network::new(topo, nodes, 0).unwrap();
+        net.run(5).unwrap();
+        assert!(net.nodes().iter().all(|p| p.saw_left));
+    }
+
+    #[test]
+    fn deterministic_rng_across_replays() {
+        struct Roll {
+            value: u64,
+            done: bool,
+        }
+        impl NodeLogic for Roll {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut StepCtx<'_, ()>) {
+                self.value = ctx.rng().below(1_000_000);
+                self.done = true;
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let run = || {
+            let topo = Topology::ring(8).unwrap();
+            let nodes = (0..8).map(|_| Roll { value: 0, done: false }).collect();
+            let mut net = Network::new(topo, nodes, 42).unwrap();
+            net.run(2).unwrap();
+            net.into_nodes().iter().map(|r| r.value).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic per-node randomness.
+//!
+//! Every node gets an independent random stream derived from the network's
+//! master seed, its node id, and the current round. Because streams are
+//! derived rather than shared, serial and parallel execution of the engine
+//! produce identical results.
+
+use rand::{Error as RandError, RngCore};
+
+/// SplitMix64: a tiny, high-quality, platform-independent PRNG used to
+/// derive per-node streams. Implements [`rand::RngCore`], so node logic can
+/// use the full `rand` API on top of it.
+#[derive(Debug, Clone)]
+pub struct NodeRng {
+    state: u64,
+}
+
+/// One SplitMix64 output step.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl NodeRng {
+    /// Creates a stream from a raw seed.
+    pub fn from_seed(seed: u64) -> Self {
+        NodeRng { state: seed }
+    }
+
+    /// Derives the stream for `(master_seed, node, round)`.
+    ///
+    /// Distinct `(node, round)` pairs yield statistically independent
+    /// streams; re-deriving with the same triple yields the same stream.
+    pub fn derive(master_seed: u64, node: u32, round: u32) -> Self {
+        // Mix the coordinates through two SplitMix64 steps so that nearby
+        // (node, round) pairs land far apart in state space.
+        let mut s = master_seed ^ 0xD6E8_FEB8_6659_FD93;
+        let _ = splitmix64(&mut s);
+        s ^= (u64::from(node) << 32) | u64::from(round);
+        let _ = splitmix64(&mut s);
+        NodeRng { state: s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_raw();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+impl RngCore for NodeRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_raw().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), RandError> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_derivation() {
+        let mut a = NodeRng::derive(7, 3, 1);
+        let mut b = NodeRng::derive(7, 3, 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let mut base = NodeRng::derive(7, 3, 1);
+        let mut other_node = NodeRng::derive(7, 4, 1);
+        let mut other_round = NodeRng::derive(7, 3, 2);
+        let mut other_seed = NodeRng::derive(8, 3, 1);
+        let b: Vec<u64> = (0..4).map(|_| base.next_raw()).collect();
+        assert_ne!(b, (0..4).map(|_| other_node.next_raw()).collect::<Vec<_>>());
+        assert_ne!(b, (0..4).map(|_| other_round.next_raw()).collect::<Vec<_>>());
+        assert_ne!(b, (0..4).map(|_| other_seed.next_raw()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = NodeRng::from_seed(99);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut r = NodeRng::from_seed(123);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough_and_in_range() {
+        let mut r = NodeRng::from_seed(5);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            counts[v as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} out of tolerance");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = NodeRng::from_seed(1);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(!r.bernoulli(-3.0));
+        assert!(r.bernoulli(42.0));
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_covers_partial_chunks() {
+        let mut r = NodeRng::from_seed(2);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

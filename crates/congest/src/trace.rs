@@ -1,0 +1,97 @@
+//! Lightweight event recording for debugging and tests.
+
+use crate::node::NodeId;
+
+/// Kind of a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message was delivered.
+    Deliver,
+    /// A message was dropped by fault injection.
+    Drop,
+    /// A node reported done this round.
+    Done,
+}
+
+/// One recorded simulator event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Round in which the event happened.
+    pub round: u32,
+    /// Kind of event.
+    pub kind: EventKind,
+    /// Source node (for `Done`, the node itself).
+    pub src: NodeId,
+    /// Destination node (for `Done`, the node itself).
+    pub dst: NodeId,
+}
+
+/// Collects [`Event`]s when enabled; a disabled recorder is free.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl Recorder {
+    /// A recorder that stores events.
+    pub fn enabled() -> Self {
+        Recorder { enabled: true, events: Vec::new() }
+    }
+
+    /// A recorder that ignores events (the default).
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// Whether events are being stored.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled.
+    pub fn record(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Recorded events of a given kind.
+    pub fn events_of(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: u32, kind: EventKind) -> Event {
+        Event { round, kind, src: NodeId::new(0), dst: NodeId::new(1) }
+    }
+
+    #[test]
+    fn disabled_recorder_ignores() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(ev(0, EventKind::Deliver));
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_stores_in_order() {
+        let mut r = Recorder::enabled();
+        r.record(ev(0, EventKind::Deliver));
+        r.record(ev(1, EventKind::Drop));
+        r.record(ev(1, EventKind::Deliver));
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.events_of(EventKind::Deliver).count(), 2);
+        assert_eq!(r.events_of(EventKind::Drop).count(), 1);
+        assert_eq!(r.events()[0].round, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Crash-stop failure injection tests.
+
+use distfl_congest::{CongestConfig, Network, NodeId, NodeLogic, StepCtx, Topology};
+
+/// Broadcasts a counter every round until `rounds`, then stops.
+struct Beacon {
+    rounds: u32,
+    heard: u64,
+    done: bool,
+}
+
+impl NodeLogic for Beacon {
+    type Msg = u64;
+    fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+        self.heard += ctx.inbox().len() as u64;
+        if ctx.round() < self.rounds {
+            ctx.broadcast(1);
+        } else {
+            self.done = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+fn net(crashes: Vec<(NodeId, u32)>) -> Network<Beacon> {
+    let topo = Topology::ring(6).unwrap();
+    let nodes = (0..6).map(|_| Beacon { rounds: 4, heard: 0, done: false }).collect();
+    let config = CongestConfig { crashes, ..CongestConfig::default() };
+    Network::with_config(topo, nodes, 1, config).unwrap()
+}
+
+#[test]
+fn crashed_nodes_stop_sending_but_run_completes() {
+    let mut healthy = net(Vec::new());
+    let t_healthy = healthy.run(10).unwrap();
+
+    let mut crashed = net(vec![(NodeId::new(2), 2)]);
+    let t_crashed = crashed.run(10).unwrap();
+
+    // Node 2 sends in rounds 0..2 only: 2 fewer broadcast rounds x 2
+    // neighbors = 4 fewer messages.
+    assert_eq!(t_healthy.total_messages() - t_crashed.total_messages(), 4);
+    // Its neighbors hear less.
+    assert!(crashed.nodes()[1].heard < healthy.nodes()[1].heard);
+    // The crashed node never reports done itself, yet the run terminates.
+    assert!(!crashed.nodes()[2].done);
+}
+
+#[test]
+fn crash_at_round_zero_silences_a_node_completely() {
+    let mut crashed = net(vec![(NodeId::new(0), 0)]);
+    let t = crashed.run(10).unwrap();
+    // Node 0 never sends: 4 rounds x 2 neighbors missing.
+    assert_eq!(t.total_messages(), 4 * 12 - 8);
+    assert_eq!(crashed.nodes()[0].heard, 0, "crashed nodes do not process inboxes");
+}
+
+#[test]
+fn everyone_crashed_terminates_immediately() {
+    let crashes = (0..6).map(|i| (NodeId::new(i), 0)).collect();
+    let mut all_crashed = net(crashes);
+    let t = all_crashed.run(10).unwrap();
+    assert_eq!(t.num_rounds(), 0, "nothing to execute");
+}
+
+#[test]
+fn crashes_are_deterministic_and_parallel_consistent() {
+    let run = |threads: Option<usize>| {
+        let topo = Topology::grid(4, 5).unwrap();
+        let nodes = (0..20).map(|_| Beacon { rounds: 5, heard: 0, done: false }).collect();
+        let config = CongestConfig {
+            threads,
+            crashes: vec![(NodeId::new(3), 1), (NodeId::new(11), 3)],
+            ..CongestConfig::default()
+        };
+        let mut net = Network::with_config(topo, nodes, 9, config).unwrap();
+        let t = net.run(12).unwrap();
+        let heard: Vec<u64> = net.nodes().iter().map(|n| n.heard).collect();
+        (t, heard)
+    };
+    let (ts, hs) = run(None);
+    let (tp, hp) = run(Some(4));
+    assert_eq!(ts, tp);
+    assert_eq!(hs, hp);
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the CONGEST engine over random topologies.
+
+use proptest::prelude::*;
+
+use distfl_congest::bfs::{aggregate, AggregateOp};
+use distfl_congest::{
+    CongestConfig, CongestError, FaultPlan, Network, NodeId, NodeLogic, StepCtx, Topology,
+};
+
+/// A recipe for a random simple graph: node count plus an edge mask.
+#[derive(Debug, Clone)]
+struct GraphRecipe {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+fn graph_strategy(connected: bool) -> impl Strategy<Value = GraphRecipe> {
+    (3usize..12, prop::collection::vec((0usize..12, 0usize..12), 0..30)).prop_map(
+        move |(n, raw)| {
+            let mut edges: Vec<(usize, usize)> = raw
+                .into_iter()
+                .map(|(a, b)| (a % n, b % n))
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            if connected {
+                // Add a spanning path so the graph is connected.
+                for i in 0..n - 1 {
+                    edges.push((i, i + 1));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            GraphRecipe { n, edges }
+        },
+    )
+}
+
+fn build(recipe: &GraphRecipe) -> Topology {
+    Topology::from_edges(
+        recipe.n,
+        recipe
+            .edges
+            .iter()
+            .map(|&(a, b)| (NodeId::new(a as u32), NodeId::new(b as u32))),
+    )
+    .expect("recipe produces simple graphs")
+}
+
+/// Broadcasts its id for a fixed number of rounds; records everything.
+struct Chatter {
+    rounds: u32,
+    sent: u64,
+    heard: Vec<u32>,
+    done: bool,
+}
+
+impl Chatter {
+    fn new(rounds: u32) -> Self {
+        Chatter { rounds, sent: 0, heard: Vec::new(), done: false }
+    }
+}
+
+impl NodeLogic for Chatter {
+    type Msg = u32;
+    fn step(&mut self, ctx: &mut StepCtx<'_, u32>) {
+        self.heard.extend(ctx.inbox().iter().map(|(_, m)| *m));
+        if ctx.round() < self.rounds {
+            ctx.broadcast(ctx.id().raw());
+            self.sent += ctx.degree() as u64;
+        } else {
+            self.done = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn messages_are_conserved(recipe in graph_strategy(false), rounds in 1u32..5) {
+        let topo = build(&recipe);
+        let nodes: Vec<Chatter> = (0..recipe.n).map(|_| Chatter::new(rounds)).collect();
+        let mut net = Network::new(topo, nodes, 1).unwrap();
+        let t = net.run(rounds + 2).unwrap();
+        let sent: u64 = net.nodes().iter().map(|c| c.sent).sum();
+        let heard: u64 = net.nodes().iter().map(|c| c.heard.len() as u64).sum();
+        prop_assert_eq!(t.total_messages(), sent);
+        prop_assert_eq!(heard, sent, "every sent message is delivered exactly once");
+        prop_assert_eq!(t.total_dropped(), 0);
+    }
+
+    #[test]
+    fn parallel_execution_is_identical(recipe in graph_strategy(false), threads in 2usize..6) {
+        let topo = build(&recipe);
+        let run = |threads: Option<usize>| {
+            let nodes: Vec<Chatter> = (0..recipe.n).map(|_| Chatter::new(3)).collect();
+            let config = CongestConfig { threads, ..CongestConfig::default() };
+            let mut net = Network::with_config(build(&recipe), nodes, 7, config).unwrap();
+            let t = net.run(10).unwrap();
+            let heard: Vec<Vec<u32>> =
+                net.nodes().iter().map(|c| c.heard.clone()).collect();
+            (t, heard)
+        };
+        let _ = topo;
+        let (ts, hs) = run(None);
+        let (tp, hp) = run(Some(threads));
+        prop_assert_eq!(ts, tp);
+        prop_assert_eq!(hs, hp);
+    }
+
+    #[test]
+    fn drops_scale_with_probability(recipe in graph_strategy(false), seed in 0u64..100) {
+        let topo = build(&recipe);
+        if topo.num_edges() == 0 {
+            return Ok(());
+        }
+        let run_dropped = |p: f64| {
+            let nodes: Vec<Chatter> = (0..recipe.n).map(|_| Chatter::new(4)).collect();
+            let config = CongestConfig {
+                fault: Some(FaultPlan::drop_with_probability(p, seed)),
+                ..CongestConfig::default()
+            };
+            let mut net = Network::with_config(build(&recipe), nodes, 1, config).unwrap();
+            net.run(10).unwrap().total_dropped()
+        };
+        prop_assert_eq!(run_dropped(0.0), 0);
+        let all = run_dropped(1.0);
+        let half = run_dropped(0.5);
+        prop_assert!(half <= all);
+        let sent = 4 * 2 * topo.num_edges() as u64;
+        prop_assert_eq!(all, sent, "p=1 drops everything that was sent");
+    }
+
+    #[test]
+    fn inboxes_are_sorted_by_sender(recipe in graph_strategy(false)) {
+        struct Check { ok: bool, done: bool }
+        impl NodeLogic for Check {
+            type Msg = u32;
+            fn step(&mut self, ctx: &mut StepCtx<'_, u32>) {
+                if ctx.round() == 0 {
+                    ctx.broadcast(0);
+                } else {
+                    self.ok = ctx.inbox().windows(2).all(|w| w[0].0 <= w[1].0);
+                    self.done = true;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let topo = build(&recipe);
+        let nodes: Vec<Check> = (0..recipe.n).map(|_| Check { ok: false, done: false }).collect();
+        let mut net = Network::new(topo, nodes, 0).unwrap();
+        net.run(5).unwrap();
+        prop_assert!(net.nodes().iter().all(|c| c.ok));
+    }
+
+    #[test]
+    fn tree_aggregation_is_exact_on_random_connected_graphs(
+        recipe in graph_strategy(true),
+        root in 0usize..12,
+        values in prop::collection::vec(0.0f64..100.0, 12),
+    ) {
+        let topo = build(&recipe);
+        let root = NodeId::new((root % recipe.n) as u32);
+        let vals = &values[..recipe.n];
+        let (sum, t) = aggregate(&topo, root, vals, AggregateOp::Sum).unwrap();
+        prop_assert!((sum - vals.iter().sum::<f64>()).abs() < 1e-9);
+        prop_assert!(t.congest_compliant(72));
+        let (mn, _) = aggregate(&topo, root, vals, AggregateOp::Min).unwrap();
+        prop_assert_eq!(mn, vals.iter().copied().fold(f64::INFINITY, f64::min));
+    }
+
+    #[test]
+    fn connectivity_check_agrees_with_aggregation(recipe in graph_strategy(false)) {
+        let topo = build(&recipe);
+        let vals = vec![1.0; recipe.n];
+        let outcome = aggregate(&topo, NodeId::new(0), &vals, AggregateOp::Sum);
+        if topo.is_connected() {
+            let (sum, _) = outcome.unwrap();
+            prop_assert_eq!(sum, recipe.n as f64);
+        } else {
+            let is_round_limit = matches!(outcome, Err(CongestError::RoundLimit { .. }));
+            prop_assert!(is_round_limit, "disconnected graph should hit the round limit");
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Soft-capacitated facility location — the standard extension of UFL
+//! machinery to capacity constraints.
+//!
+//! In the *soft*-capacitated problem each facility has a capacity `u_i`
+//! and may be opened in multiple copies: opening `x` copies costs
+//! `x·f_i` and serves at most `x·u_i` clients. The classic reduction maps
+//! it back to UFL: solve the uncapacitated instance with amortized
+//! connection costs `c'_ij = c_ij + f_i/u_i`, then open
+//! `⌈(clients served at i)/u_i⌉` copies. Any `ρ`-approximation for UFL
+//! becomes an `O(ρ)`-approximation for the soft-capacitated problem (the
+//! amortized term pre-pays all but the first copy), so every algorithm in
+//! this crate — including the distributed ones — lifts to capacities for
+//! free. That compositionality is the point of this module.
+
+use distfl_instance::{Cost, FacilityId, Instance, InstanceBuilder, Solution};
+
+use crate::error::CoreError;
+use crate::runner::FlAlgorithm;
+
+/// A soft-capacitated instance: a base UFL instance plus per-facility
+/// capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitatedInstance {
+    base: Instance,
+    capacities: Vec<u32>,
+}
+
+impl CapacitatedInstance {
+    /// Wraps a base instance with capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] if the capacity vector's
+    /// length differs from the facility count or any capacity is zero.
+    pub fn new(base: Instance, capacities: Vec<u32>) -> Result<Self, CoreError> {
+        if capacities.len() != base.num_facilities() {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "expected {} capacities, got {}",
+                    base.num_facilities(),
+                    capacities.len()
+                ),
+            });
+        }
+        if capacities.iter().any(|&u| u == 0) {
+            return Err(CoreError::InvalidParams {
+                reason: "capacities must be at least 1".to_owned(),
+            });
+        }
+        Ok(CapacitatedInstance { base, capacities })
+    }
+
+    /// Uniform capacity `u` on every facility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] if `u == 0`.
+    pub fn uniform(base: Instance, u: u32) -> Result<Self, CoreError> {
+        let m = base.num_facilities();
+        Self::new(base, vec![u; m])
+    }
+
+    /// The underlying UFL instance.
+    pub fn base(&self) -> &Instance {
+        &self.base
+    }
+
+    /// The capacity of facility `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn capacity(&self, i: FacilityId) -> u32 {
+        self.capacities[i.index()]
+    }
+
+    /// The reduced UFL instance with amortized connection costs
+    /// `c'_ij = c_ij + f_i/u_i`.
+    pub fn reduced(&self) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let fids: Vec<FacilityId> = self
+            .base
+            .facilities()
+            .map(|i| b.add_facility(self.base.opening_cost(i)))
+            .collect();
+        for j in self.base.clients() {
+            let c = b.add_client();
+            for &(i, cost) in self.base.client_links(j) {
+                let amortized = self.base.opening_cost(i).value()
+                    / f64::from(self.capacities[i.index()]);
+                b.link(c, fids[i.index()], Cost::new(cost.value() + amortized)
+                        .expect("finite amortized cost"))
+                    .expect("copying valid links");
+            }
+        }
+        b.build().expect("reduction of a valid instance is valid")
+    }
+}
+
+/// A soft-capacitated solution: per-facility copy counts plus an
+/// assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitatedSolution {
+    /// Copies opened per facility.
+    pub copies: Vec<u32>,
+    /// The client assignment (in terms of the base instance).
+    pub assignment: Solution,
+}
+
+impl CapacitatedSolution {
+    /// Total cost: `Σ copies_i·f_i + Σ c` on the base instance.
+    pub fn cost(&self, instance: &CapacitatedInstance) -> f64 {
+        let opening: f64 = instance
+            .base
+            .facilities()
+            .map(|i| f64::from(self.copies[i.index()]) * instance.base.opening_cost(i).value())
+            .sum();
+        opening + self.assignment.connection_cost(&instance.base).value()
+    }
+
+    /// Verifies feasibility: the assignment is feasible for the base
+    /// instance and no facility serves more than `copies·capacity`
+    /// clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] naming the violation.
+    pub fn check_feasible(&self, instance: &CapacitatedInstance) -> Result<(), CoreError> {
+        self.assignment.check_feasible(&instance.base)?;
+        for i in instance.base.facilities() {
+            let served = instance
+                .base
+                .clients()
+                .filter(|&j| self.assignment.assigned(j) == i)
+                .count() as u64;
+            let allowed =
+                u64::from(self.copies[i.index()]) * u64::from(instance.capacities[i.index()]);
+            if served > allowed {
+                return Err(CoreError::InvalidParams {
+                    reason: format!(
+                        "facility {i} serves {served} clients but has capacity for {allowed}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves the soft-capacitated problem by the amortized-cost reduction,
+/// using any UFL algorithm (sequential or distributed) as the engine.
+///
+/// # Errors
+///
+/// Propagates the engine's errors.
+pub fn solve_soft(
+    instance: &CapacitatedInstance,
+    engine: &dyn FlAlgorithm,
+    seed: u64,
+) -> Result<CapacitatedSolution, CoreError> {
+    let reduced = instance.reduced();
+    let outcome = engine.run(&reduced, seed)?;
+    // Map the reduced solution back: same assignment, copies from load.
+    let assignment: Vec<FacilityId> =
+        instance.base.clients().map(|j| outcome.solution.assigned(j)).collect();
+    let mut served = vec![0u32; instance.base.num_facilities()];
+    for &i in &assignment {
+        served[i.index()] += 1;
+    }
+    let copies: Vec<u32> = served
+        .iter()
+        .zip(&instance.capacities)
+        .map(|(&s, &u)| s.div_ceil(u))
+        .collect();
+    let assignment = Solution::from_assignment(&instance.base, assignment)?;
+    let solution = CapacitatedSolution { copies, assignment };
+    solution.check_feasible(instance)?;
+    Ok(solution)
+}
+
+/// Optimally re-assigns clients for a *fixed* copy vector under **hard**
+/// capacities (at most `copies_i · u_i` clients at facility `i`), by
+/// solving the transportation min-cost flow exactly.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] if the copy vector's shape is
+/// wrong or its total capacity cannot serve every client through existing
+/// links.
+pub fn assign_hard(
+    instance: &CapacitatedInstance,
+    copies: &[u32],
+) -> Result<CapacitatedSolution, CoreError> {
+    let m = instance.base.num_facilities();
+    let n = instance.base.num_clients();
+    if copies.len() != m {
+        return Err(CoreError::InvalidParams {
+            reason: format!("expected {m} copy counts, got {}", copies.len()),
+        });
+    }
+    // Nodes: 0 = source, 1..=m facilities, m+1..=m+n clients, m+n+1 sink.
+    let mut net = distfl_lp::flow::FlowNetwork::new(m + n + 2);
+    let sink = m + n + 1;
+    for i in instance.base.facilities() {
+        let cap = i64::from(copies[i.index()]) * i64::from(instance.capacities[i.index()]);
+        net.add_edge(0, 1 + i.index(), cap, 0.0);
+    }
+    let mut link_edges = Vec::new();
+    for j in instance.base.clients() {
+        for &(i, c) in instance.base.client_links(j) {
+            let e = net.add_edge(1 + i.index(), 1 + m + j.index(), 1, c.value());
+            link_edges.push((j, i, e));
+        }
+        net.add_edge(1 + m + j.index(), sink, 1, 0.0);
+    }
+    let (flow, _) = net.min_cost_flow(0, sink, n as i64);
+    if flow < n as i64 {
+        return Err(CoreError::InvalidParams {
+            reason: format!("hard capacities can serve only {flow} of {n} clients"),
+        });
+    }
+    let mut assignment = vec![FacilityId::new(0); n];
+    let mut assigned = vec![false; n];
+    for (j, i, e) in link_edges {
+        if net.flow_on(e) > 0 {
+            assignment[j.index()] = i;
+            assigned[j.index()] = true;
+        }
+    }
+    debug_assert!(assigned.iter().all(|&a| a), "full flow assigns every client");
+    let assignment = Solution::from_assignment(&instance.base, assignment)?;
+    let solution = CapacitatedSolution { copies: copies.to_vec(), assignment };
+    solution.check_feasible(instance)?;
+    Ok(solution)
+}
+
+/// Full hard-capacity pipeline: solve the soft relaxation with `engine`,
+/// keep its copy counts, then re-assign clients *optimally* under hard
+/// capacities via min-cost flow. Never worse than the soft assignment.
+///
+/// # Errors
+///
+/// Propagates engine and assignment errors.
+pub fn solve_hard(
+    instance: &CapacitatedInstance,
+    engine: &dyn FlAlgorithm,
+    seed: u64,
+) -> Result<CapacitatedSolution, CoreError> {
+    let soft = solve_soft(instance, engine, seed)?;
+    assign_hard(instance, &soft.copies)
+}
+
+/// A certified lower bound on the soft-capacitated optimum: the base UFL
+/// optimum is one (capacities only add cost), and so is the reduced
+/// instance's LP-style bound divided by 2 (each copy beyond the first is
+/// pre-paid by the amortized terms at rate ≥ 1/2).
+pub fn lower_bound(instance: &CapacitatedInstance, exact_limit: usize) -> f64 {
+    let base_lb =
+        distfl_lp::bounds::certified_lower_bound(&instance.base, &[], exact_limit).value;
+    let reduced_lb =
+        distfl_lp::bounds::certified_lower_bound(&instance.reduced(), &[], exact_limit).value;
+    base_lb.max(reduced_lb / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::StarGreedy;
+    use crate::paydual::{PayDual, PayDualParams};
+    use distfl_instance::generators::{Clustered, InstanceGenerator, UniformRandom};
+
+    fn capacitated(seed: u64, u: u32) -> CapacitatedInstance {
+        let base = UniformRandom::new(6, 30).unwrap().generate(seed).unwrap();
+        CapacitatedInstance::uniform(base, u).unwrap()
+    }
+
+    #[test]
+    fn reduction_shifts_costs_by_amortized_opening() {
+        let inst = capacitated(1, 5);
+        let reduced = inst.reduced();
+        let base = inst.base();
+        for j in base.clients() {
+            for (i, c) in base.client_links(j) {
+                let expected = c.value() + base.opening_cost(*i).value() / 5.0;
+                let got = reduced.connection_cost(j, *i).unwrap().value();
+                assert!((got - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_engine_produces_feasible_capacitated_solutions() {
+        for u in [1u32, 3, 10] {
+            let inst = capacitated(2, u);
+            let sol = solve_soft(&inst, &StarGreedy::new(), 0).unwrap();
+            sol.check_feasible(&inst).unwrap();
+            // Copy counts are exactly the ceil of load over capacity.
+            for i in inst.base().facilities() {
+                let served = inst
+                    .base()
+                    .clients()
+                    .filter(|&j| sol.assignment.assigned(j) == i)
+                    .count() as u32;
+                assert_eq!(sol.copies[i.index()], served.div_ceil(u));
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_engine_lifts_to_capacities() {
+        let inst = capacitated(3, 4);
+        let engine = PayDual::new(PayDualParams::with_phases(10));
+        let sol = solve_soft(&inst, &engine, 7).unwrap();
+        sol.check_feasible(&inst).unwrap();
+        let lb = lower_bound(&inst, 10);
+        let ratio = sol.cost(&inst) / lb;
+        assert!(ratio >= 1.0 - 1e-9);
+        assert!(ratio < 8.0, "capacitated ratio {ratio} out of envelope");
+    }
+
+    #[test]
+    fn capacity_one_forces_one_copy_per_client() {
+        let inst = capacitated(4, 1);
+        let sol = solve_soft(&inst, &StarGreedy::new(), 0).unwrap();
+        let total_copies: u32 = sol.copies.iter().sum();
+        assert_eq!(total_copies, 30, "u=1 means one copy per served client");
+    }
+
+    #[test]
+    fn tighter_capacity_costs_more() {
+        let base = Clustered::new(3, 6, 24).unwrap().generate(5).unwrap();
+        let loose =
+            solve_soft(&CapacitatedInstance::uniform(base.clone(), 24).unwrap(),
+                &StarGreedy::new(), 0)
+            .unwrap()
+            .cost(&CapacitatedInstance::uniform(base.clone(), 24).unwrap());
+        let tight =
+            solve_soft(&CapacitatedInstance::uniform(base.clone(), 2).unwrap(),
+                &StarGreedy::new(), 0)
+            .unwrap()
+            .cost(&CapacitatedInstance::uniform(base, 2).unwrap());
+        assert!(tight >= loose - 1e-9, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let base = UniformRandom::new(3, 6).unwrap().generate(0).unwrap();
+        assert!(CapacitatedInstance::new(base.clone(), vec![1, 1]).is_err());
+        assert!(CapacitatedInstance::new(base.clone(), vec![1, 0, 2]).is_err());
+        let inst = CapacitatedInstance::uniform(base, 2).unwrap();
+        // Hand-build an over-capacity solution: everyone to facility 0,
+        // one copy.
+        let assignment = Solution::from_assignment(
+            inst.base(),
+            vec![FacilityId::new(0); 6],
+        )
+        .unwrap();
+        let bad = CapacitatedSolution { copies: vec![1, 0, 0], assignment };
+        assert!(matches!(bad.check_feasible(&inst), Err(CoreError::InvalidParams { .. })));
+    }
+
+    #[test]
+    fn hard_assignment_is_optimal_for_fixed_copies() {
+        // 2 facilities with one copy of capacity 1 each, 2 clients:
+        // the flow must pick the cheaper perfect matching.
+        let base = distfl_instance::Instance::from_dense(
+            vec![Cost::new(1.0).unwrap(), Cost::new(1.0).unwrap()],
+            vec![
+                vec![Cost::new(1.0).unwrap(), Cost::new(10.0).unwrap()],
+                vec![Cost::new(2.0).unwrap(), Cost::new(3.0).unwrap()],
+            ],
+        )
+        .unwrap();
+        let inst = CapacitatedInstance::uniform(base, 1).unwrap();
+        let sol = assign_hard(&inst, &[1, 1]).unwrap();
+        // Matching {c0->f0 (1), c1->f1 (3)} = 4 beats {c0->f1, c1->f0} = 12.
+        assert_eq!(sol.assignment.assigned(distfl_instance::ClientId::new(0)).index(), 0);
+        assert_eq!(sol.assignment.assigned(distfl_instance::ClientId::new(1)).index(), 1);
+    }
+
+    #[test]
+    fn hard_assignment_detects_insufficient_capacity() {
+        let inst = capacitated(7, 1);
+        // Only one copy anywhere: 30 clients cannot fit.
+        let mut copies = vec![0u32; 6];
+        copies[0] = 1;
+        assert!(matches!(
+            assign_hard(&inst, &copies),
+            Err(CoreError::InvalidParams { .. })
+        ));
+        assert!(assign_hard(&inst, &[1, 1]).is_err(), "wrong shape rejected");
+    }
+
+    #[test]
+    fn hard_pipeline_never_loses_to_the_soft_assignment() {
+        for seed in 0..4 {
+            let inst = capacitated(seed, 3);
+            let soft = solve_soft(&inst, &StarGreedy::new(), 0).unwrap();
+            let hard = solve_hard(&inst, &StarGreedy::new(), 0).unwrap();
+            hard.check_feasible(&inst).unwrap();
+            assert_eq!(hard.copies, soft.copies);
+            assert!(
+                hard.cost(&inst) <= soft.cost(&inst) + 1e-9,
+                "seed {seed}: hard {} vs soft {}",
+                hard.cost(&inst),
+                soft.cost(&inst)
+            );
+            // Hard capacities actually respected per copy.
+            for i in inst.base().facilities() {
+                let served = inst
+                    .base()
+                    .clients()
+                    .filter(|&j| hard.assignment.assigned(j) == i)
+                    .count() as u64;
+                assert!(served <= u64::from(hard.copies[i.index()]) * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn uncapacitated_limit_recovers_ufl_costs() {
+        // With huge capacities, the reduction's amortized term vanishes
+        // and the capacitated cost approaches plain UFL.
+        let base = UniformRandom::new(6, 24).unwrap().generate(6).unwrap();
+        let inst = CapacitatedInstance::uniform(base.clone(), 1_000_000).unwrap();
+        let cap = solve_soft(&inst, &StarGreedy::new(), 0).unwrap().cost(&inst);
+        let (plain, _) = crate::greedy::solve(&base);
+        let plain_cost = plain.cost(&base).value();
+        assert!(
+            (cap - plain_cost).abs() / plain_cost < 0.05,
+            "capacitated {cap} vs plain {plain_cost}"
+        );
+    }
+}

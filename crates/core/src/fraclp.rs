@@ -1,0 +1,163 @@
+//! Fractional opening vectors for the rounding stage.
+//!
+//! The PODC 2005 pipeline is *solve the LP approximately, then round*. The
+//! dual-ascent stage ([`crate::paydual`]) produces near-integral primal
+//! information, so for studying the rounding stage in isolation
+//! (experiment E5) this module provides genuinely fractional, feasible
+//! primal points:
+//!
+//! * [`spread_fractional`] — every client spreads its demand uniformly
+//!   over its `width` cheapest links (the canonical "hard to round"
+//!   shape),
+//! * [`payment_fractional`] — openings proportional to the dual payments
+//!   a [`distfl_lp::DualSolution`] offers each facility, completed to
+//!   feasibility client by client.
+//!
+//! Both construct provably feasible [`FractionalSolution`]s (asserted in
+//! tests via `check_feasible`).
+
+use distfl_instance::{FacilityId, Instance};
+use distfl_lp::{DualSolution, FractionalSolution};
+
+/// A feasible fractional point where client `j` assigns `1/width` to each
+/// of its `width` cheapest links (fewer if its degree is smaller), and
+/// `y_i` is the maximum assignment placed on `i`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn spread_fractional(instance: &Instance, width: usize) -> FractionalSolution {
+    assert!(width > 0, "width must be positive");
+    let mut y = vec![0.0f64; instance.num_facilities()];
+    let x: Vec<Vec<(FacilityId, f64)>> = instance
+        .clients()
+        .map(|j| {
+            let mut links: Vec<(FacilityId, f64)> = instance
+                .client_links(j)
+                .iter()
+                .map(|&(i, c)| (i, c.value()))
+                .collect();
+            links.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let take = width.min(links.len());
+            let share = 1.0 / take as f64;
+            links[..take]
+                .iter()
+                .map(|&(i, _)| {
+                    y[i.index()] = y[i.index()].max(share);
+                    (i, share)
+                })
+                .collect()
+        })
+        .collect();
+    FractionalSolution::new(y, x)
+}
+
+/// A feasible fractional point whose openings reflect how much a dual
+/// point pays each facility: `y_i = min(1, payment_i / f_i)` (`1` for free
+/// facilities), then each client covers itself greedily over its cheapest
+/// links, raising `y` where needed so that `x ≤ y` and `Σx = 1` hold
+/// exactly.
+pub fn payment_fractional(instance: &Instance, dual: &DualSolution) -> FractionalSolution {
+    let mut y: Vec<f64> = instance
+        .facilities()
+        .map(|i| {
+            let f = instance.opening_cost(i).value();
+            if f == 0.0 {
+                1.0
+            } else {
+                (dual.payment(instance, i) / f).min(1.0)
+            }
+        })
+        .collect();
+    let x: Vec<Vec<(FacilityId, f64)>> = instance
+        .clients()
+        .map(|j| {
+            let mut links: Vec<(FacilityId, f64)> = instance
+                .client_links(j)
+                .iter()
+                .map(|&(i, c)| (i, c.value()))
+                .collect();
+            links.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let mut need = 1.0f64;
+            let mut assignment = Vec::new();
+            for &(i, _) in &links {
+                if need <= 0.0 {
+                    break;
+                }
+                let take = y[i.index()].min(need);
+                if take > 0.0 {
+                    assignment.push((i, take));
+                    need -= take;
+                }
+            }
+            if need > 1e-12 {
+                // Not enough fractional opening along the cheap links:
+                // raise the cheapest facility's opening to absorb the rest.
+                let (i, _) = links[0];
+                y[i.index()] = (y[i.index()] + need).min(1.0).max(need);
+                match assignment.iter_mut().find(|(fi, _)| *fi == i) {
+                    Some((_, v)) => *v += need,
+                    None => assignment.push((i, need)),
+                }
+            }
+            assignment
+        })
+        .collect();
+    FractionalSolution::new(y, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{GridNetwork, InstanceGenerator, UniformRandom};
+
+    #[test]
+    fn spread_is_feasible_and_fractional() {
+        let inst = UniformRandom::new(6, 20).unwrap().generate(1).unwrap();
+        let frac = spread_fractional(&inst, 3);
+        frac.check_feasible(&inst, 1e-9).unwrap();
+        // Genuinely fractional: some y strictly inside (0, 1).
+        assert!(frac.y().iter().any(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn spread_width_one_is_integral() {
+        let inst = UniformRandom::new(5, 12).unwrap().generate(2).unwrap();
+        let frac = spread_fractional(&inst, 1);
+        frac.check_feasible(&inst, 1e-9).unwrap();
+        assert!(frac.y().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn spread_clamps_to_degree_on_sparse_instances() {
+        let inst = GridNetwork::with_radius(8, 8, 5, 25, 2).unwrap().generate(3).unwrap();
+        let frac = spread_fractional(&inst, 10);
+        frac.check_feasible(&inst, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn payment_fractional_is_feasible_for_any_dual() {
+        let inst = UniformRandom::new(6, 18).unwrap().generate(4).unwrap();
+        for scale in [0.0, 1.0, 100.0] {
+            let dual = DualSolution::new(vec![scale; 18]);
+            let frac = payment_fractional(&inst, &dual);
+            frac.check_feasible(&inst, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn stronger_duals_open_more() {
+        let inst = UniformRandom::new(6, 18).unwrap().generate(5).unwrap();
+        let weak = payment_fractional(&inst, &DualSolution::new(vec![0.0; 18]));
+        let strong = payment_fractional(&inst, &DualSolution::new(vec![500.0; 18]));
+        let sum = |f: &FractionalSolution| f.y().iter().sum::<f64>();
+        assert!(sum(&strong) >= sum(&weak));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let inst = UniformRandom::new(2, 2).unwrap().generate(0).unwrap();
+        let _ = spread_fractional(&inst, 0);
+    }
+}

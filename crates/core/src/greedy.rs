@@ -1,0 +1,241 @@
+//! Sequential star greedy (Hochbaum) — the `H_n`-approximation yardstick.
+//!
+//! Repeatedly pick the *star* (a facility plus a subset of unserved linked
+//! clients) minimizing `(residual opening cost + Σ connection costs) /
+//! #clients`, open the facility, and serve the star. This is the algorithm
+//! whose continuous selection order the distributed PayDual compresses into
+//! `O(k)` rounds; for non-metric instances its `H_n` factor is optimal (up
+//! to constants) unless P = NP.
+//!
+//! The implementation also records the classic dual-fitting certificate:
+//! client `j` served at ratio `r` gets `α_j = r`, and `α / H_n` is
+//! dual-feasible — so the greedy run itself certifies a lower bound of
+//! `cost / H_n` on `OPT`.
+
+use distfl_instance::{FacilityId, Instance, Solution};
+use distfl_lp::DualSolution;
+
+use crate::error::CoreError;
+use crate::runner::{FlAlgorithm, Outcome};
+use crate::theory::harmonic;
+
+/// The sequential star-greedy baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StarGreedy;
+
+impl StarGreedy {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        StarGreedy
+    }
+}
+
+/// The best star of facility `i` over currently unserved clients:
+/// `(ratio, clients)` minimizing `(residual_f + Σ c)/k`, or `None` if no
+/// unserved client is linked.
+fn best_star(
+    instance: &Instance,
+    i: FacilityId,
+    residual_f: f64,
+    served: &[bool],
+) -> Option<(f64, Vec<distfl_instance::ClientId>)> {
+    let mut costs: Vec<(f64, distfl_instance::ClientId)> = instance
+        .facility_links(i)
+        .iter()
+        .filter(|(j, _)| !served[j.index()])
+        .map(|&(j, c)| (c.value(), j))
+        .collect();
+    if costs.is_empty() {
+        return None;
+    }
+    costs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut best_ratio = f64::INFINITY;
+    let mut best_k = 0;
+    let mut prefix = 0.0;
+    for (k, (c, _)) in costs.iter().enumerate() {
+        prefix += c;
+        let ratio = (residual_f + prefix) / (k + 1) as f64;
+        if ratio < best_ratio {
+            best_ratio = ratio;
+            best_k = k + 1;
+        }
+    }
+    let clients = costs[..best_k].iter().map(|&(_, j)| j).collect();
+    Some((best_ratio, clients))
+}
+
+/// Full output of a greedy run.
+#[derive(Debug, Clone)]
+pub struct GreedyRun {
+    /// The greedy solution.
+    pub solution: Solution,
+    /// Per-client service ratio (the dual certificate).
+    pub ratios: Vec<f64>,
+    /// Number of stars picked (iterations of the outer loop).
+    pub iterations: u32,
+}
+
+/// Runs star greedy, returning the solution and the per-client service
+/// ratios (the dual certificate).
+pub fn solve(instance: &Instance) -> (Solution, Vec<f64>) {
+    let run = solve_detailed(instance);
+    (run.solution, run.ratios)
+}
+
+/// Runs star greedy with full diagnostics.
+pub fn solve_detailed(instance: &Instance) -> GreedyRun {
+    let n = instance.num_clients();
+    let m = instance.num_facilities();
+    let mut served = vec![false; n];
+    let mut opened = vec![false; m];
+    let mut assignment = vec![FacilityId::new(0); n];
+    let mut ratios = vec![0.0f64; n];
+    let mut remaining = n;
+    let mut iterations = 0u32;
+
+    while remaining > 0 {
+        iterations += 1;
+        let mut best: Option<(f64, FacilityId, Vec<distfl_instance::ClientId>)> = None;
+        for i in instance.facilities() {
+            let residual = if opened[i.index()] { 0.0 } else { instance.opening_cost(i).value() };
+            if let Some((ratio, clients)) = best_star(instance, i, residual, &served) {
+                let better = match &best {
+                    None => true,
+                    Some((r, bi, _)) => ratio < *r || (ratio == *r && i < *bi),
+                };
+                if better {
+                    best = Some((ratio, i, clients));
+                }
+            }
+        }
+        let (ratio, i, clients) =
+            best.expect("instance invariant: every client is linked, so a star exists");
+        opened[i.index()] = true;
+        for j in clients {
+            served[j.index()] = true;
+            assignment[j.index()] = i;
+            ratios[j.index()] = ratio;
+            remaining -= 1;
+        }
+    }
+
+    let solution = Solution::from_assignment(instance, assignment)
+        .expect("greedy assigns over existing links");
+    GreedyRun { solution, ratios, iterations }
+}
+
+impl FlAlgorithm for StarGreedy {
+    fn name(&self) -> String {
+        "greedy".to_owned()
+    }
+
+    fn run(&self, instance: &Instance, _seed: u64) -> Result<Outcome, CoreError> {
+        let (solution, ratios) = solve(instance);
+        // Dual-fitting certificate: ratios scaled by H_n are feasible.
+        let h = harmonic(instance.num_clients());
+        let alpha: Vec<f64> = ratios.iter().map(|r| r / h).collect();
+        Ok(Outcome {
+            solution,
+            transcript: None,
+            dual: Some(DualSolution::new(alpha)),
+            modeled_rounds: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{
+        AdversarialGreedy, InstanceGenerator, UniformRandom,
+    };
+    use distfl_instance::{Cost, InstanceBuilder};
+    use distfl_lp::exact;
+
+    #[test]
+    fn serves_everyone_feasibly() {
+        for seed in 0..5 {
+            let inst = UniformRandom::new(7, 25).unwrap().generate(seed).unwrap();
+            let (sol, ratios) = solve(&inst);
+            sol.check_feasible(&inst).unwrap();
+            assert!(ratios.iter().all(|r| *r > 0.0));
+        }
+    }
+
+    #[test]
+    fn picks_the_obvious_shared_facility() {
+        // One cheap facility serving everyone cheaply vs expensive singles.
+        let mut b = InstanceBuilder::new();
+        let hub = b.add_facility(Cost::new(2.0).unwrap());
+        let solo = b.add_facility(Cost::new(100.0).unwrap());
+        for _ in 0..4 {
+            let j = b.add_client();
+            b.link(j, hub, Cost::new(1.0).unwrap()).unwrap();
+            b.link(j, solo, Cost::new(1.0).unwrap()).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let (sol, _) = solve(&inst);
+        assert!(sol.is_open(hub));
+        assert!(!sol.is_open(solo));
+        assert_eq!(sol.cost(&inst).value(), 6.0);
+    }
+
+    #[test]
+    fn is_fooled_by_the_adversarial_family() {
+        let gen = AdversarialGreedy::new(16).unwrap();
+        let inst = gen.generate(0).unwrap();
+        let (sol, _) = solve(&inst);
+        let cost = sol.cost(&inst).value();
+        // Greedy should pay (close to) the H_n-inflated decoy cost.
+        assert!(
+            (cost - gen.greedy_cost()).abs() < 1e-6,
+            "greedy paid {cost}, decoy trap is {}",
+            gen.greedy_cost()
+        );
+        assert!(cost / gen.optimal_cost() > 2.0);
+    }
+
+    #[test]
+    fn within_h_n_of_optimum_on_random_instances() {
+        for seed in 0..8 {
+            let inst = UniformRandom::new(6, 15).unwrap().generate(seed).unwrap();
+            let (sol, _) = solve(&inst);
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            let bound = harmonic(15) * opt;
+            assert!(
+                sol.cost(&inst).value() <= bound + 1e-9,
+                "seed {seed}: greedy {} above H_n * OPT = {bound}",
+                sol.cost(&inst).value()
+            );
+        }
+    }
+
+    #[test]
+    fn dual_certificate_is_valid() {
+        for seed in 0..5 {
+            let inst = UniformRandom::new(6, 18).unwrap().generate(seed).unwrap();
+            let outcome = StarGreedy::new().run(&inst, 0).unwrap();
+            let dual = outcome.dual.unwrap();
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            let lb = dual.lower_bound(&inst, distfl_lp::TOLERANCE);
+            assert!(lb <= opt + 1e-6, "seed {seed}: certificate {lb} above OPT {opt}");
+        }
+    }
+
+    #[test]
+    fn reopened_facility_pays_opening_once() {
+        // Facility serves one client at ratio r1, later picked again with
+        // residual 0. Construct: hub f=10, c=1 for client A, c=100 for
+        // client B; decoy f=1,c=1 for B only... simpler: just check that
+        // total cost accounts each opening once on a crafted instance.
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(Cost::new(10.0).unwrap());
+        let a = b.add_client();
+        let c = b.add_client();
+        b.link(a, f, Cost::new(1.0).unwrap()).unwrap();
+        b.link(c, f, Cost::new(50.0).unwrap()).unwrap();
+        let inst = b.build().unwrap();
+        let (sol, _) = solve(&inst);
+        assert_eq!(sol.cost(&inst).value(), 10.0 + 1.0 + 50.0);
+    }
+}

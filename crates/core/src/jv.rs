@@ -1,0 +1,328 @@
+//! Jain–Vazirani primal–dual 3-approximation (metric baseline).
+//!
+//! Phase 1 is a continuous dual ascent, simulated exactly with a discrete
+//! event loop: all unconnected clients raise `α_j` at unit rate; a client
+//! tight with a facility (`α_j ≥ c_ij`) contributes `α_j − c_ij` toward its
+//! opening cost; a fully-paid facility opens *temporarily* and absorbs its
+//! tight clients (and any client that becomes tight with it later). Phase 2
+//! prunes: temporarily-open facilities conflict when a common client
+//! contributes positively to both; a greedy (by opening time) maximal
+//! independent set of the conflict graph is opened permanently, and clients
+//! connect to the nearest permanently open facility — at most `3·α_j` away
+//! in a metric, giving the 3-approximation.
+//!
+//! PayDual is the CONGEST-compressed cousin of phase 1; this sequential
+//! implementation is both a quality baseline on metric inputs and a source
+//! of *feasible* dual solutions (its `α/3` is always dual-feasible up to
+//! the contributor sets, and the raw `α` is scaled by the measured
+//! feasibility factor before being used as a bound).
+
+use distfl_instance::{ClientId, FacilityId, Instance, Solution};
+use distfl_lp::DualSolution;
+
+use crate::error::CoreError;
+use crate::runner::{FlAlgorithm, Outcome};
+
+/// The Jain–Vazirani baseline.
+///
+/// Requires a complete metric instance for its guarantee; the metricity
+/// check can be skipped with [`JainVazirani::unchecked`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JainVazirani {
+    /// Additive tolerance for the metricity check (`f64::INFINITY` skips
+    /// it).
+    pub tolerance: f64,
+}
+
+impl JainVazirani {
+    /// A baseline with the default metricity tolerance (`1e-6`).
+    pub fn new() -> Self {
+        JainVazirani { tolerance: 1e-6 }
+    }
+
+    /// Skips the (quadratic) metricity validation.
+    pub fn unchecked() -> Self {
+        JainVazirani { tolerance: f64::INFINITY }
+    }
+}
+
+impl Default for JainVazirani {
+    fn default() -> Self {
+        JainVazirani::new()
+    }
+}
+
+/// Result of the exact phase-1 dual ascent.
+#[derive(Debug, Clone)]
+pub struct DualAscent {
+    /// Final dual value per client (its connection time).
+    pub alpha: Vec<f64>,
+    /// Temporarily open facilities in opening order.
+    pub temp_open: Vec<FacilityId>,
+}
+
+/// Runs the exact continuous dual ascent (phase 1).
+pub fn dual_ascent(instance: &Instance) -> DualAscent {
+    let n = instance.num_clients();
+    let m = instance.num_facilities();
+    let mut alpha = vec![0.0f64; n];
+    let mut connected = vec![false; n];
+    let mut open = vec![false; m];
+    let mut frozen = vec![0.0f64; m]; // payment frozen from connected clients
+    let mut temp_open = Vec::new();
+    let mut active = n;
+    let mut t = 0.0f64;
+
+    while active > 0 {
+        // Next event: either a client becomes tight with a facility, or a
+        // facility becomes fully paid.
+        let mut next = f64::INFINITY;
+        for j in instance.clients() {
+            if connected[j.index()] {
+                continue;
+            }
+            for &(i, c) in instance.client_links(j) {
+                let c = c.value();
+                if c > t {
+                    next = next.min(c);
+                } else if open[i.index()] {
+                    // Already tight with an open facility: immediate event.
+                    next = t;
+                }
+            }
+        }
+        for i in instance.facilities() {
+            if open[i.index()] {
+                continue;
+            }
+            let f = instance.opening_cost(i).value();
+            let mut paid = frozen[i.index()];
+            let mut rate = 0u32;
+            for &(j, c) in instance.facility_links(i) {
+                if !connected[j.index()] && c.value() <= t {
+                    paid += t - c.value();
+                    rate += 1;
+                }
+            }
+            if paid >= f {
+                next = t; // fully paid right now
+            } else if rate > 0 {
+                next = next.min(t + (f - paid) / f64::from(rate));
+            }
+        }
+        debug_assert!(next.is_finite(), "ascent must always have a next event");
+        t = next.max(t);
+
+        // Open every facility that is fully paid at time t.
+        for i in instance.facilities() {
+            if open[i.index()] {
+                continue;
+            }
+            let f = instance.opening_cost(i).value();
+            let mut paid = frozen[i.index()];
+            for &(j, c) in instance.facility_links(i) {
+                if !connected[j.index()] && c.value() <= t {
+                    paid += t - c.value();
+                }
+            }
+            if paid >= f - 1e-12 {
+                open[i.index()] = true;
+                temp_open.push(i);
+            }
+        }
+        // Connect every active client tight with an open facility.
+        for j in instance.clients() {
+            if connected[j.index()] {
+                continue;
+            }
+            let tight_open = instance
+                .client_links(j)
+                .iter()
+                .any(|&(i, c)| open[i.index()] && c.value() <= t);
+            if tight_open {
+                connected[j.index()] = true;
+                alpha[j.index()] = t;
+                active -= 1;
+                // Freeze this client's contributions into *all* facilities
+                // it is paying (they stop growing).
+                for &(i, c) in instance.client_links(j) {
+                    if !open[i.index()] && c.value() < t {
+                        frozen[i.index()] += t - c.value();
+                    }
+                }
+            }
+        }
+    }
+
+    DualAscent { alpha, temp_open }
+}
+
+/// Runs the full Jain–Vazirani algorithm.
+pub fn solve(instance: &Instance) -> (Solution, DualSolution) {
+    let ascent = dual_ascent(instance);
+    let alpha = &ascent.alpha;
+
+    // Contributor sets: beta_ij > 0 iff alpha_j > c_ij (standard
+    // simplification).
+    let contributes = |j: ClientId, i: FacilityId| -> bool {
+        instance
+            .connection_cost(j, i)
+            .is_some_and(|c| alpha[j.index()] > c.value() + 1e-12)
+    };
+
+    // Greedy maximal independent set in opening order.
+    let mut chosen: Vec<FacilityId> = Vec::new();
+    for &i in &ascent.temp_open {
+        let conflicts = chosen.iter().any(|&i2| {
+            instance
+                .facility_links(i)
+                .iter()
+                .any(|&(j, _)| contributes(j, i) && contributes(j, i2))
+        });
+        if !conflicts {
+            chosen.push(i);
+        }
+    }
+    debug_assert!(!chosen.is_empty(), "at least one facility opens");
+
+    // Connect each client to the nearest chosen facility it is linked to;
+    // sparse instances fall back to the cheapest bundle.
+    let assignment: Vec<FacilityId> = instance
+        .clients()
+        .map(|j| {
+            instance
+                .client_links(j)
+                .iter()
+                .filter(|(i, _)| chosen.contains(i))
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .map(|(i, _)| *i)
+                .unwrap_or_else(|| {
+                    instance
+                        .client_links(j)
+                        .iter()
+                        .map(|&(i, c)| (i, c + instance.opening_cost(i)))
+                        .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                        .map(|(i, _)| i)
+                        .expect("instance invariant: every client has a link")
+                })
+        })
+        .collect();
+    let solution = Solution::from_assignment(instance, assignment)
+        .expect("assignment uses existing links");
+    (solution, DualSolution::new(ascent.alpha))
+}
+
+impl FlAlgorithm for JainVazirani {
+    fn name(&self) -> String {
+        "jain-vazirani".to_owned()
+    }
+
+    fn run(&self, instance: &Instance, _seed: u64) -> Result<Outcome, CoreError> {
+        if self.tolerance.is_finite() {
+            let defect = distfl_instance::metric::metricity_defect(instance);
+            if defect > self.tolerance {
+                return Err(CoreError::RequiresMetric { defect });
+            }
+        }
+        let (solution, dual) = solve(instance);
+        Ok(Outcome { solution, transcript: None, dual: Some(dual), modeled_rounds: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{Clustered, Euclidean, InstanceGenerator, UniformRandom};
+    use distfl_instance::{Cost, InstanceBuilder};
+    use distfl_lp::exact;
+
+    #[test]
+    fn single_facility_duals_split_the_opening_cost() {
+        // Two clients at cost 1 of a facility with f = 4: both reach
+        // tightness at t=1, pay jointly, facility opens at t = 3.
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(Cost::new(4.0).unwrap());
+        let c0 = b.add_client();
+        let c1 = b.add_client();
+        b.link(c0, f, Cost::new(1.0).unwrap()).unwrap();
+        b.link(c1, f, Cost::new(1.0).unwrap()).unwrap();
+        let inst = b.build().unwrap();
+        let ascent = dual_ascent(&inst);
+        assert!((ascent.alpha[0] - 3.0).abs() < 1e-9, "alpha {:?}", ascent.alpha);
+        assert!((ascent.alpha[1] - 3.0).abs() < 1e-9);
+        assert_eq!(ascent.temp_open, vec![f]);
+    }
+
+    #[test]
+    fn asymmetric_tightness_times() {
+        // f = 3; clients at costs 1 and 2. Client 0 tight at 1, client 1 at
+        // 2. Payment: (t-1) for t in [1,2], then (t-1)+(t-2); full at
+        // 2t - 3 = 3 -> t = 3.
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(Cost::new(3.0).unwrap());
+        let c0 = b.add_client();
+        let c1 = b.add_client();
+        b.link(c0, f, Cost::new(1.0).unwrap()).unwrap();
+        b.link(c1, f, Cost::new(2.0).unwrap()).unwrap();
+        let inst = b.build().unwrap();
+        let ascent = dual_ascent(&inst);
+        assert!((ascent.alpha[0] - 3.0).abs() < 1e-9);
+        assert!((ascent.alpha[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_client_connects_at_tightness() {
+        // Facility opens early from a cheap client; an expensive client
+        // connects exactly when it becomes tight.
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(Cost::new(1.0).unwrap());
+        let c0 = b.add_client();
+        let c1 = b.add_client();
+        b.link(c0, f, Cost::new(1.0).unwrap()).unwrap();
+        b.link(c1, f, Cost::new(10.0).unwrap()).unwrap();
+        let inst = b.build().unwrap();
+        let ascent = dual_ascent(&inst);
+        assert!((ascent.alpha[0] - 2.0).abs() < 1e-9, "alpha {:?}", ascent.alpha);
+        assert!((ascent.alpha[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_three_opt_on_metric_instances() {
+        for seed in 0..6 {
+            let inst = Euclidean::new(7, 20).unwrap().generate(seed).unwrap();
+            let (sol, _) = solve(&inst);
+            sol.check_feasible(&inst).unwrap();
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            let ratio = sol.cost(&inst).value() / opt;
+            assert!(ratio <= 3.0 + 1e-9, "seed {seed}: JV ratio {ratio}");
+        }
+        for seed in 0..4 {
+            let inst = Clustered::new(3, 6, 18).unwrap().generate(seed).unwrap();
+            let (sol, _) = solve(&inst);
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            let ratio = sol.cost(&inst).value() / opt;
+            assert!(ratio <= 3.0 + 1e-9, "clustered seed {seed}: JV ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn dual_is_a_valid_lower_bound_source() {
+        for seed in 0..5 {
+            let inst = Euclidean::new(6, 15).unwrap().generate(seed).unwrap();
+            let (_, dual) = solve(&inst);
+            let lb = dual.lower_bound(&inst, distfl_lp::TOLERANCE);
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            assert!(lb <= opt + 1e-6, "seed {seed}: {lb} > OPT {opt}");
+            assert!(lb > 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_non_metric_inputs() {
+        let inst = UniformRandom::new(5, 12).unwrap().generate(0).unwrap();
+        let err = JainVazirani::new().run(&inst, 0).unwrap_err();
+        assert!(matches!(err, CoreError::RequiresMetric { .. }));
+        let out = JainVazirani::unchecked().run(&inst, 0).unwrap();
+        out.solution.check_feasible(&inst).unwrap();
+    }
+}

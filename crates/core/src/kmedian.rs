@@ -1,0 +1,469 @@
+//! k-median via Lagrangian relaxation — the classic *extension* of
+//! facility-location primal–dual machinery (Jain–Vazirani §4): to open at
+//! most `k` facilities minimizing total connection cost, give every
+//! facility a uniform Lagrangian price `z` and binary-search `z` until the
+//! facility-location solution opens `≤ k` facilities; larger prices open
+//! fewer facilities.
+//!
+//! Two solvers share the probing driver:
+//!
+//! * [`sequential`] — probes with the Jain–Vazirani 3-approximation
+//!   (metric instances),
+//! * [`distributed`] — probes with [`crate::paydual::PayDual`], so each
+//!   probe is a full `O(k)`-round CONGEST run; the whole search costs
+//!   `O(log(n·c_max/ε))` distributed executions, each independent — the
+//!   natural way to lift the paper's algorithm to cardinality constraints.
+//!
+//! Both return the best `≤ k`-open solution seen across all probes. An
+//! [`exact`] solver (small `m`) provides the test-suite ground truth.
+//!
+//! k-median is a complete-metric problem; both probing solvers require a
+//! complete instance so that any open set can serve every client.
+
+use distfl_instance::{Cost, FacilityId, Instance, InstanceBuilder, Solution};
+
+use crate::error::CoreError;
+use crate::jv;
+use crate::paydual::{PayDual, PayDualParams};
+use crate::runner::FlAlgorithm;
+
+/// Result of a k-median computation.
+#[derive(Debug, Clone)]
+pub struct KMedianResult {
+    /// The solution (at most `k` facilities open; opening costs of the
+    /// original instance are ignored by the objective).
+    pub solution: Solution,
+    /// Its k-median objective: total connection cost.
+    pub connection_cost: f64,
+    /// How many Lagrangian probes the search used.
+    pub probes: u32,
+}
+
+/// Rebuilds the instance with a uniform opening cost `z` on every facility.
+fn with_uniform_opening(instance: &Instance, z: f64) -> Instance {
+    let mut b = InstanceBuilder::new();
+    let fids: Vec<FacilityId> = instance
+        .facilities()
+        .map(|_| b.add_facility(Cost::new(z).expect("finite non-negative price")))
+        .collect();
+    for j in instance.clients() {
+        let c = b.add_client();
+        for &(i, cost) in instance.client_links(j) {
+            b.link(c, fids[i.index()], cost).expect("copying valid links");
+        }
+    }
+    b.build().expect("copy of a valid instance is valid")
+}
+
+/// Validates common k-median preconditions.
+fn check_inputs(instance: &Instance, k: usize) -> Result<(), CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidParams { reason: "k must be at least 1".into() });
+    }
+    if !instance.is_complete() {
+        return Err(CoreError::InvalidParams {
+            reason: "k-median probing requires a complete instance".into(),
+        });
+    }
+    Ok(())
+}
+
+/// The largest useful Lagrangian price: one client alone paying for the
+/// most expensive detour.
+fn price_ceiling(instance: &Instance) -> f64 {
+    let max_c = instance
+        .clients()
+        .flat_map(|j| instance.client_links(j).iter().map(|(_, c)| c.value()))
+        .fold(0.0f64, f64::max);
+    (instance.num_clients() as f64) * max_c.max(1.0) * 2.0
+}
+
+/// Generic Lagrangian driver: binary-search `z`, keep the best `≤ k`-open
+/// solution.
+fn search<F>(instance: &Instance, k: usize, probes: u32, mut solve_at: F) -> KMedianResult
+where
+    F: FnMut(&Instance) -> Solution,
+{
+    let mut lo = 0.0f64;
+    let mut hi = price_ceiling(instance);
+    let mut best: Option<Solution> = None;
+    let mut used = 0;
+    for _ in 0..probes {
+        used += 1;
+        let z = f64::midpoint(lo, hi);
+        let priced = with_uniform_opening(instance, z);
+        let solution = solve_at(&priced);
+        let over_budget = solution.num_open() > k;
+        // Every probe yields a candidate: over-budget solutions are trimmed
+        // to the best k of their own open set (the Lagrangian open count
+        // can jump past k without ever hitting it exactly).
+        let candidate =
+            if over_budget { trim_to_k(instance, &solution, k) } else { solution };
+        let better = best.as_ref().is_none_or(|b| {
+            connection_only(instance, &candidate) < connection_only(instance, b)
+        });
+        if better {
+            best = Some(candidate);
+        }
+        if over_budget {
+            lo = z;
+        } else {
+            hi = z;
+        }
+    }
+    let solution = best.unwrap_or_else(|| {
+        // Even the highest probed price opened too many facilities (can
+        // happen with degenerate all-zero connection costs): open the
+        // single facility with the cheapest total assignment.
+        let i = instance
+            .facilities()
+            .min_by(|&a, &b| {
+                total_assignment_cost(instance, a).total_cmp(&total_assignment_cost(instance, b))
+            })
+            .expect("instances have facilities");
+        Solution::from_assignment(instance, vec![i; instance.num_clients()])
+            .expect("complete instance: single facility serves everyone")
+    });
+    let connection_cost = connection_only(instance, &solution);
+    KMedianResult { solution, connection_cost, probes: used }
+}
+
+/// Total connection cost of `solution` on the *original* instance.
+fn connection_only(instance: &Instance, solution: &Solution) -> f64 {
+    solution.connection_cost(instance).value()
+}
+
+/// Selects the best `k` facilities among `solution`'s open set by greedy
+/// marginal cost reduction, reassigning every client (completeness
+/// assumed).
+fn trim_to_k(instance: &Instance, solution: &Solution, k: usize) -> Solution {
+    let candidates: Vec<FacilityId> = solution.open_facilities().collect();
+    debug_assert!(candidates.len() > k);
+    let n = instance.num_clients();
+    let mut kept: Vec<FacilityId> = Vec::with_capacity(k);
+    let mut cur_best = vec![f64::INFINITY; n];
+    for _ in 0..k {
+        let mut best: Option<(FacilityId, f64)> = None;
+        for &i in &candidates {
+            if kept.contains(&i) {
+                continue;
+            }
+            let new_cost: f64 = instance
+                .clients()
+                .map(|j| {
+                    let c = instance
+                        .connection_cost(j, i)
+                        .expect("complete instance")
+                        .value();
+                    c.min(cur_best[j.index()])
+                })
+                .sum();
+            if best.is_none_or(|(_, b)| new_cost < b) {
+                best = Some((i, new_cost));
+            }
+        }
+        let (i, _) = best.expect("more candidates than k");
+        kept.push(i);
+        for j in instance.clients() {
+            let c = instance.connection_cost(j, i).expect("complete instance").value();
+            cur_best[j.index()] = cur_best[j.index()].min(c);
+        }
+    }
+    let assignment: Vec<FacilityId> = instance
+        .clients()
+        .map(|j| {
+            kept.iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    instance
+                        .connection_cost(j, a)
+                        .expect("complete instance")
+                        .cmp(&instance.connection_cost(j, b).expect("complete instance"))
+                        .then(a.cmp(&b))
+                })
+                .expect("k >= 1 facilities kept")
+        })
+        .collect();
+    Solution::from_assignment(instance, assignment)
+        .expect("complete instance: any open set is feasible")
+}
+
+/// Cost of assigning every client to facility `i` (completeness assumed).
+fn total_assignment_cost(instance: &Instance, i: FacilityId) -> f64 {
+    instance
+        .clients()
+        .map(|j| instance.connection_cost(j, i).expect("complete instance").value())
+        .sum()
+}
+
+/// k-median via Jain–Vazirani probing (sequential; metric instances).
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] for `k = 0` or an incomplete instance.
+pub fn sequential(instance: &Instance, k: usize) -> Result<KMedianResult, CoreError> {
+    check_inputs(instance, k)?;
+    Ok(search(instance, k, 40, |priced| {
+        let (solution, _) = jv::solve(priced);
+        solution.reassign_greedily(priced)
+    }))
+}
+
+/// k-median via distributed PayDual probing: every probe is an independent
+/// `O(phases)`-round CONGEST execution.
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] for invalid parameters or an incomplete
+/// instance.
+pub fn distributed(
+    instance: &Instance,
+    k: usize,
+    phases: u32,
+    seed: u64,
+) -> Result<KMedianResult, CoreError> {
+    check_inputs(instance, k)?;
+    if phases == 0 {
+        return Err(CoreError::InvalidParams { reason: "need at least one phase".into() });
+    }
+    let algo = PayDual::new(PayDualParams::with_phases(phases));
+    Ok(search(instance, k, 24, |priced| {
+        algo.run(priced, seed).expect("paydual succeeds on valid instances").solution
+    }))
+}
+
+/// Exact k-median by branch-and-bound over facility subsets of size ≤ `k`
+/// (test-suite ground truth; refuses more than `limit` facilities).
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] for `k = 0` or an oversized instance.
+pub fn exact(instance: &Instance, k: usize, limit: usize) -> Result<KMedianResult, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidParams { reason: "k must be at least 1".into() });
+    }
+    let m = instance.num_facilities();
+    if m > limit {
+        return Err(CoreError::InvalidParams {
+            reason: format!("exact k-median refused: {m} facilities exceeds limit {limit}"),
+        });
+    }
+    let n = instance.num_clients();
+    // suffix_min[f][j]: cheapest link of j among facilities f.. .
+    let mut suffix_min = vec![vec![f64::INFINITY; n]; m + 1];
+    for f in (0..m).rev() {
+        let (head, tail) = suffix_min.split_at_mut(f + 1);
+        head[f].clone_from(&tail[0]);
+        for &(j, c) in instance.facility_links(FacilityId::new(f as u32)) {
+            let slot = &mut head[f][j.index()];
+            *slot = slot.min(c.value());
+        }
+    }
+
+    struct S<'a> {
+        instance: &'a Instance,
+        k: usize,
+        suffix_min: &'a [Vec<f64>],
+        best_cost: f64,
+        best_open: Vec<FacilityId>,
+        cur_open: Vec<FacilityId>,
+        cur_best: Vec<f64>,
+    }
+    impl S<'_> {
+        fn recurse(&mut self, f: usize) {
+            let mut bound = 0.0;
+            let can_extend = self.cur_open.len() < self.k;
+            for (j, &cur) in self.cur_best.iter().enumerate() {
+                let reachable = if can_extend {
+                    cur.min(self.suffix_min[f][j])
+                } else {
+                    cur
+                };
+                if !reachable.is_finite() {
+                    return;
+                }
+                bound += reachable;
+                if bound >= self.best_cost {
+                    return;
+                }
+            }
+            if f == self.instance.num_facilities() {
+                if bound < self.best_cost {
+                    self.best_cost = bound;
+                    self.best_open = self.cur_open.clone();
+                }
+                return;
+            }
+            let i = FacilityId::new(f as u32);
+            if can_extend {
+                let saved: Vec<(usize, f64)> = self
+                    .instance
+                    .facility_links(i)
+                    .iter()
+                    .filter_map(|&(j, c)| {
+                        let slot = self.cur_best[j.index()];
+                        (c.value() < slot).then(|| {
+                            self.cur_best[j.index()] = c.value();
+                            (j.index(), slot)
+                        })
+                    })
+                    .collect();
+                self.cur_open.push(i);
+                self.recurse(f + 1);
+                self.cur_open.pop();
+                for &(j, old) in saved.iter().rev() {
+                    self.cur_best[j] = old;
+                }
+            }
+            self.recurse(f + 1);
+        }
+    }
+    let mut s = S {
+        instance,
+        k,
+        suffix_min: &suffix_min,
+        best_cost: f64::INFINITY,
+        best_open: Vec::new(),
+        cur_open: Vec::new(),
+        cur_best: vec![f64::INFINITY; n],
+    };
+    s.recurse(0);
+    let open = s.best_open;
+    let assignment: Vec<FacilityId> = instance
+        .clients()
+        .map(|j| {
+            instance
+                .client_links(j)
+                .iter()
+                .filter(|(i, _)| open.contains(i))
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .map(|(i, _)| *i)
+                .expect("optimal k-median set covers every client")
+        })
+        .collect();
+    let solution =
+        Solution::from_assignment(instance, assignment).expect("assignment over links");
+    let connection_cost = connection_only(instance, &solution);
+    Ok(KMedianResult { solution, connection_cost, probes: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{Clustered, Euclidean, InstanceGenerator, UniformRandom};
+
+    #[test]
+    fn exact_matches_brute_force_on_tiny_instances() {
+        let inst = Euclidean::new(5, 10).unwrap().generate(1).unwrap();
+        for k in 1..=4usize {
+            let opt = exact(&inst, k, 10).unwrap();
+            // Brute force over all subsets of size <= k.
+            let mut best = f64::INFINITY;
+            for mask in 1u32..(1 << 5) {
+                if (mask.count_ones() as usize) > k {
+                    continue;
+                }
+                let open: Vec<FacilityId> = (0..5)
+                    .filter(|b| mask & (1 << b) != 0)
+                    .map(|b| FacilityId::new(b as u32))
+                    .collect();
+                let cost: f64 = inst
+                    .clients()
+                    .map(|j| {
+                        open.iter()
+                            .map(|&i| inst.connection_cost(j, i).unwrap().value())
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .sum();
+                best = best.min(cost);
+            }
+            assert!((opt.connection_cost - best).abs() < 1e-9, "k={k}");
+            assert!(opt.solution.num_open() <= k);
+        }
+    }
+
+    #[test]
+    fn exact_cost_decreases_in_k() {
+        let inst = Clustered::new(3, 8, 24).unwrap().generate(2).unwrap();
+        let costs: Vec<f64> =
+            (1..=6).map(|k| exact(&inst, k, 10).unwrap().connection_cost).collect();
+        for w in costs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "costs not monotone: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_respects_k_and_is_competitive() {
+        let inst = Euclidean::new(8, 30).unwrap().generate(3).unwrap();
+        for k in [1usize, 2, 4] {
+            let got = sequential(&inst, k).unwrap();
+            assert!(got.solution.num_open() <= k, "k={k}: opened {}", got.solution.num_open());
+            got.solution.check_feasible(&inst).unwrap();
+            let opt = exact(&inst, k, 10).unwrap().connection_cost;
+            assert!(
+                got.connection_cost <= 6.0 * opt + 1e-9,
+                "k={k}: {} vs optimum {opt}",
+                got.connection_cost
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_respects_k_and_is_competitive() {
+        let inst = Clustered::new(3, 8, 24).unwrap().generate(4).unwrap();
+        for k in [1usize, 3] {
+            let got = distributed(&inst, k, 10, 7).unwrap();
+            assert!(got.solution.num_open() <= k);
+            got.solution.check_feasible(&inst).unwrap();
+            let opt = exact(&inst, k, 10).unwrap().connection_cost;
+            assert!(
+                got.connection_cost <= 8.0 * opt + 1e-6,
+                "k={k}: {} vs optimum {opt}",
+                got.connection_cost
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_instance_with_matching_k_is_nearly_exact() {
+        // 3 tight clusters, k=3: probing should find the cluster centers.
+        let inst =
+            Clustered::with_geometry(3, 9, 30, 100.0, 1.0).unwrap().generate(5).unwrap();
+        let got = sequential(&inst, 3).unwrap();
+        let opt = exact(&inst, 3, 10).unwrap().connection_cost;
+        assert!(
+            got.connection_cost <= 1.5 * opt + 1e-9,
+            "{} vs {opt}",
+            got.connection_cost
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let complete = Euclidean::new(3, 5).unwrap().generate(0).unwrap();
+        assert!(sequential(&complete, 0).is_err());
+        assert!(distributed(&complete, 0, 4, 0).is_err());
+        assert!(distributed(&complete, 2, 0, 0).is_err());
+        assert!(exact(&complete, 0, 10).is_err());
+        assert!(exact(&complete, 2, 2).is_err());
+
+        // Sparse instance rejected by the probing solvers.
+        let sparse = distfl_instance::generators::GridNetwork::with_radius(6, 6, 4, 10, 2)
+            .unwrap()
+            .generate(1)
+            .unwrap();
+        if !sparse.is_complete() {
+            assert!(sequential(&sparse, 2).is_err());
+        }
+    }
+
+    #[test]
+    fn uniform_instances_work_too() {
+        // Non-metric completeness is enough for the driver itself (JV's
+        // guarantee needs metric, but the machinery must stay feasible).
+        let inst = UniformRandom::new(6, 18).unwrap().generate(6).unwrap();
+        let got = distributed(&inst, 2, 8, 1).unwrap();
+        assert!(got.solution.num_open() <= 2);
+        got.solution.check_feasible(&inst).unwrap();
+    }
+}

@@ -1,0 +1,226 @@
+//! Local search (add / drop / swap) — the classic UFL post-optimizer.
+//!
+//! Starting from any feasible solution, repeatedly apply the best
+//! improving move among:
+//!
+//! * **add** — open one more facility (clients re-route to it if cheaper),
+//! * **drop** — close an open facility (its clients re-route to the
+//!   cheapest remaining open facility),
+//! * **swap** — close one open facility and open a closed one.
+//!
+//! On metric instances a local optimum of this neighborhood is a
+//! 3-approximation (Arya et al.), and in practice local search squeezes
+//! the last percent out of any starting point — which is exactly how a
+//! deployment would use the distributed algorithms: PayDual produces a
+//! good placement in `O(k)` rounds, and an (inherently sequential /
+//! centralized) local-search pass polishes it offline. The experiments
+//! keep the two regimes separate for honesty; this module is the bridge
+//! for users who want final quality.
+
+use distfl_instance::{FacilityId, Instance, Solution};
+
+/// Outcome of a local-search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSearchRun {
+    /// The locally-optimal (or iteration-capped) solution.
+    pub solution: Solution,
+    /// Cost before optimization.
+    pub initial_cost: f64,
+    /// Cost after optimization.
+    pub final_cost: f64,
+    /// Improving moves applied.
+    pub moves: u32,
+    /// Whether a true local optimum was reached (false = iteration cap).
+    pub converged: bool,
+}
+
+/// Cost of serving every client by its cheapest facility in `open`
+/// (`None` if some client has no link into `open`).
+fn assignment_cost(instance: &Instance, open: &[bool]) -> Option<f64> {
+    let mut total = 0.0;
+    for j in instance.clients() {
+        let best = instance
+            .client_links(j)
+            .iter()
+            .filter(|(i, _)| open[i.index()])
+            .map(|(_, c)| c.value())
+            .fold(f64::INFINITY, f64::min);
+        if !best.is_finite() {
+            return None;
+        }
+        total += best;
+    }
+    Some(total)
+}
+
+/// Total cost of an open set (opening + optimal assignment), `None` if
+/// infeasible.
+fn open_set_cost(instance: &Instance, open: &[bool]) -> Option<f64> {
+    let opening: f64 = instance
+        .facilities()
+        .filter(|i| open[i.index()])
+        .map(|i| instance.opening_cost(i).value())
+        .sum();
+    assignment_cost(instance, open).map(|a| a + opening)
+}
+
+/// Runs best-improvement local search from `start`, with an iteration cap.
+///
+/// # Panics
+///
+/// Panics if `start` is infeasible for `instance`.
+pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalSearchRun {
+    start.check_feasible(instance).expect("local search needs a feasible start");
+    let m = instance.num_facilities();
+    let mut open: Vec<bool> = instance.facilities().map(|i| start.is_open(i)).collect();
+    let initial_cost = start.cost(instance).value();
+    let mut current = open_set_cost(instance, &open).expect("feasible start");
+    // The optimal reassignment may already beat the given assignment.
+    let mut moves = 0;
+    let mut converged = false;
+
+    while moves < max_moves {
+        let mut best: Option<(Vec<bool>, f64)> = None;
+        let consider = |candidate: Vec<bool>, best: &mut Option<(Vec<bool>, f64)>| {
+            if let Some(cost) = open_set_cost(instance, &candidate) {
+                if cost < current - 1e-9
+                    && best.as_ref().is_none_or(|(_, b)| cost < *b)
+                {
+                    *best = Some((candidate, cost));
+                }
+            }
+        };
+        for a in 0..m {
+            if !open[a] {
+                // Add.
+                let mut cand = open.clone();
+                cand[a] = true;
+                consider(cand, &mut best);
+            } else {
+                // Drop.
+                let mut cand = open.clone();
+                cand[a] = false;
+                consider(cand, &mut best);
+                // Swap a -> b.
+                for b in 0..m {
+                    if !open[b] {
+                        let mut cand = open.clone();
+                        cand[a] = false;
+                        cand[b] = true;
+                        consider(cand, &mut best);
+                    }
+                }
+            }
+        }
+        match best {
+            Some((next, cost)) => {
+                open = next;
+                current = cost;
+                moves += 1;
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let assignment: Vec<FacilityId> = instance
+        .clients()
+        .map(|j| {
+            instance
+                .client_links(j)
+                .iter()
+                .filter(|(i, _)| open[i.index()])
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .map(|(i, _)| *i)
+                .expect("local-search open sets stay feasible")
+        })
+        .collect();
+    let solution = Solution::from_assignment(instance, assignment)
+        .expect("assignment over existing links");
+    let final_cost = solution.cost(instance).value();
+    LocalSearchRun { solution, initial_cost, final_cost, moves, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paydual::{PayDual, PayDualParams};
+    use crate::runner::FlAlgorithm;
+    use distfl_instance::generators::{Euclidean, InstanceGenerator, UniformRandom};
+    use distfl_lp::exact;
+
+    #[test]
+    fn never_worse_and_often_better() {
+        for seed in 0..6 {
+            let inst = UniformRandom::new(8, 30).unwrap().generate(seed).unwrap();
+            let coarse = PayDual::new(PayDualParams::with_phases(2))
+                .run(&inst, 1)
+                .unwrap()
+                .solution;
+            let run = optimize(&inst, &coarse, 200);
+            run.solution.check_feasible(&inst).unwrap();
+            assert!(run.final_cost <= run.initial_cost + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reaches_the_optimum_from_a_bad_start_on_small_instances() {
+        let mut improved_to_optimal = 0;
+        for seed in 0..6 {
+            let inst = UniformRandom::new(6, 15).unwrap().generate(seed).unwrap();
+            // Worst reasonable start: open everything.
+            let assignment: Vec<FacilityId> =
+                inst.clients().map(|j| inst.cheapest_link(j).0).collect();
+            let all_open = Solution::new(
+                &inst,
+                vec![true; 6],
+                assignment,
+            )
+            .unwrap();
+            let run = optimize(&inst, &all_open, 500);
+            assert!(run.converged);
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            if (run.final_cost - opt).abs() < 1e-9 {
+                improved_to_optimal += 1;
+            }
+            assert!(run.final_cost <= opt * 3.0 + 1e-9, "local optimum above 3x OPT");
+        }
+        assert!(improved_to_optimal >= 3, "local search should usually find OPT here");
+    }
+
+    #[test]
+    fn local_optimum_is_stable() {
+        let inst = Euclidean::new(6, 20).unwrap().generate(3).unwrap();
+        let (greedy, _) = crate::greedy::solve(&inst);
+        let first = optimize(&inst, &greedy, 500);
+        assert!(first.converged);
+        // Re-running from the local optimum makes no further moves.
+        let second = optimize(&inst, &first.solution, 500);
+        assert_eq!(second.moves, 0);
+        assert!((second.final_cost - first.final_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let inst = UniformRandom::new(8, 30).unwrap().generate(9).unwrap();
+        let assignment: Vec<FacilityId> =
+            inst.clients().map(|j| inst.cheapest_link(j).0).collect();
+        let all_open = Solution::new(&inst, vec![true; 8], assignment).unwrap();
+        let run = optimize(&inst, &all_open, 1);
+        assert!(run.moves <= 1);
+    }
+
+    #[test]
+    fn end_to_end_pipeline_distributed_then_polish() {
+        let inst = Euclidean::new(10, 40).unwrap().generate(4).unwrap();
+        let fast = PayDual::new(PayDualParams::with_phases(4)).run(&inst, 2).unwrap();
+        let run = optimize(&inst, &fast.solution, 300);
+        let opt = exact::solve(&inst).unwrap().cost.value();
+        let before = fast.solution.cost(&inst).value() / opt;
+        let after = run.final_cost / opt;
+        assert!(after <= before + 1e-9);
+        assert!(after < 1.3, "polished ratio {after} should be near-optimal");
+    }
+}

@@ -1,0 +1,155 @@
+//! The greedy-tight lower-bound family.
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+use crate::instance::InstanceBuilder;
+
+use super::{check_sizes, InstanceGenerator};
+
+/// The classic instance family on which sequential greedy pays a factor of
+/// `H_n` while the optimum opens a single facility:
+///
+/// * a **hub** facility with opening cost `F` serving every client at
+///   connection cost 0 (`OPT = F`),
+/// * `n` **decoy** facilities, decoy `k` serving only client `k` at cost 0
+///   with opening cost `F·(1−ε)/(n−k+1)`.
+///
+/// Greedy's best star ratio is always the next decoy (by the `(1−ε)`
+/// margin), so it opens all `n` decoys for total `F·(1−ε)·H_n`. This family
+/// certifies that the `log(m+n)` factor in the distributed bound is not an
+/// analysis artifact, and exercises zero connection costs.
+///
+/// The construction is deterministic; `generate` ignores its seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialGreedy {
+    n: usize,
+    hub_cost: f64,
+    epsilon: f64,
+}
+
+impl AdversarialGreedy {
+    /// `n` clients, hub cost `F = 100`, margin `ε = 0.01`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for `n == 0`.
+    pub fn new(n: usize) -> Result<Self, InstanceError> {
+        Self::with_parameters(n, 100.0, 0.01)
+    }
+
+    /// Explicit hub cost and greedy-luring margin.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for `n == 0`, non-positive hub cost, or
+    /// a margin outside `(0, 1)`.
+    pub fn with_parameters(n: usize, hub_cost: f64, epsilon: f64) -> Result<Self, InstanceError> {
+        check_sizes(1, n)?;
+        if !hub_cost.is_finite() || hub_cost <= 0.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("hub cost must be positive, got {hub_cost}"),
+            });
+        }
+        if !epsilon.is_finite() || !(0.0..1.0).contains(&epsilon) || epsilon == 0.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("margin must lie in (0, 1), got {epsilon}"),
+            });
+        }
+        Ok(AdversarialGreedy { n, hub_cost, epsilon })
+    }
+
+    /// The cost of the intended optimum (opening only the hub).
+    pub fn optimal_cost(&self) -> f64 {
+        self.hub_cost
+    }
+
+    /// The cost greedy is lured into: `F·(1−ε)·H_n`.
+    pub fn greedy_cost(&self) -> f64 {
+        let h: f64 = (1..=self.n).map(|k| 1.0 / k as f64).sum();
+        self.hub_cost * (1.0 - self.epsilon) * h
+    }
+}
+
+impl InstanceGenerator for AdversarialGreedy {
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+
+    fn generate(&self, _seed: u64) -> Result<Instance, InstanceError> {
+        let mut b = InstanceBuilder::new();
+        let hub = b.add_facility(Cost::new(self.hub_cost)?);
+        let decoys: Vec<_> = (1..=self.n)
+            .map(|k| {
+                let f = self.hub_cost * (1.0 - self.epsilon) / (self.n - k + 1) as f64;
+                Cost::new(f).map(|c| b.add_facility(c))
+            })
+            .collect::<Result<_, _>>()?;
+        for k in 0..self.n {
+            let j = b.add_client();
+            b.link(j, hub, Cost::ZERO)?;
+            b.link(j, decoys[k], Cost::ZERO)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{ClientId, FacilityId};
+    use crate::Solution;
+
+    #[test]
+    fn structure() {
+        let gen = AdversarialGreedy::new(8).unwrap();
+        let inst = gen.generate(0).unwrap();
+        assert_eq!(inst.num_facilities(), 9);
+        assert_eq!(inst.num_clients(), 8);
+        assert_eq!(inst.num_links(), 16);
+    }
+
+    #[test]
+    fn hub_solution_costs_optimal() {
+        let gen = AdversarialGreedy::new(6).unwrap();
+        let inst = gen.generate(0).unwrap();
+        let hub = FacilityId::new(0);
+        let sol = Solution::from_assignment(&inst, vec![hub; 6]).unwrap();
+        assert!((sol.cost(&inst).value() - gen.optimal_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decoy_solution_costs_h_n_factor() {
+        let gen = AdversarialGreedy::new(6).unwrap();
+        let inst = gen.generate(0).unwrap();
+        let assignment: Vec<FacilityId> =
+            (0..6).map(|k| FacilityId::new((k + 1) as u32)).collect();
+        let sol = Solution::from_assignment(&inst, assignment).unwrap();
+        assert!((sol.cost(&inst).value() - gen.greedy_cost()).abs() < 1e-9);
+        // Sanity: the gap really is ~H_6 ≈ 2.45.
+        let gap = sol.cost(&inst).value() / gen.optimal_cost();
+        assert!(gap > 2.0, "gap {gap}");
+        let _ = ClientId::new(0);
+    }
+
+    #[test]
+    fn decoy_ratio_beats_hub_at_every_greedy_step() {
+        // Greedy's ratio for decoy k (1 client) must undercut the hub's
+        // ratio over the remaining n-k+1 clients.
+        let gen = AdversarialGreedy::new(10).unwrap();
+        for k in 1..=10usize {
+            let remaining = 10 - k + 1;
+            let decoy_ratio = gen.hub_cost * (1.0 - gen.epsilon) / remaining as f64;
+            let hub_ratio = gen.hub_cost / remaining as f64;
+            assert!(decoy_ratio < hub_ratio);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(AdversarialGreedy::new(0).is_err());
+        assert!(AdversarialGreedy::with_parameters(3, 0.0, 0.1).is_err());
+        assert!(AdversarialGreedy::with_parameters(3, 10.0, 0.0).is_err());
+        assert!(AdversarialGreedy::with_parameters(3, 10.0, 1.0).is_err());
+    }
+}

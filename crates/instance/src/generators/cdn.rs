@@ -1,0 +1,167 @@
+//! Synthetic CDN cache-placement workload (production-trace substitute).
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+
+use super::{check_sizes, dist, rng_for, uniform_in, InstanceGenerator};
+
+/// A synthetic content-delivery workload, standing in for the production
+/// demand traces a systems evaluation would use (see DESIGN.md §5):
+///
+/// * clients are demand regions at random plane coordinates whose request
+///   volumes follow a Zipf law (exponent `zipf_s`, heaviest region first),
+/// * facilities are candidate cache sites (random coordinates) whose
+///   opening cost models site build-out, uniform in `[base, 3·base)`,
+/// * the connection cost of region `j` to site `i` is
+///   `latency(distance) · volume_j` — placing a cache near heavy regions
+///   pays, exactly the economics of real CDN placement.
+///
+/// Demand weighting makes the instance *non-metric* in general (a heavy and
+/// a light region at the same location have different connection costs), so
+/// this family exercises the paper's non-metric regime with realistic
+/// structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdnTrace {
+    sites: usize,
+    regions: usize,
+    side: f64,
+    zipf_s: f64,
+    base_cost: f64,
+}
+
+impl CdnTrace {
+    /// Defaults: 1000×1000 plane, Zipf exponent 1.0, base site cost 500.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions.
+    pub fn new(sites: usize, regions: usize) -> Result<Self, InstanceError> {
+        Self::with_parameters(sites, regions, 1000.0, 1.0, 500.0)
+    }
+
+    /// Full parameter control.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions or non-positive
+    /// geometry/cost parameters.
+    pub fn with_parameters(
+        sites: usize,
+        regions: usize,
+        side: f64,
+        zipf_s: f64,
+        base_cost: f64,
+    ) -> Result<Self, InstanceError> {
+        check_sizes(sites, regions)?;
+        if !(side.is_finite() && zipf_s.is_finite() && base_cost.is_finite())
+            || side <= 0.0
+            || zipf_s < 0.0
+            || base_cost <= 0.0
+        {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!(
+                    "side ({side}), zipf exponent ({zipf_s}) and base cost ({base_cost}) must be positive"
+                ),
+            });
+        }
+        Ok(CdnTrace { sites, regions, side, zipf_s, base_cost })
+    }
+
+    /// The Zipf demand volume of region `rank` (0 = heaviest), normalized
+    /// so volumes sum to `regions`.
+    pub fn demand_volume(&self, rank: usize) -> f64 {
+        let weight = |r: usize| 1.0 / ((r + 1) as f64).powf(self.zipf_s);
+        let total: f64 = (0..self.regions).map(weight).sum();
+        weight(rank) * self.regions as f64 / total
+    }
+}
+
+impl InstanceGenerator for CdnTrace {
+    fn name(&self) -> &'static str {
+        "cdn"
+    }
+
+    fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
+        let mut rng = rng_for(seed);
+        let point = |rng: &mut rand::rngs::StdRng| {
+            (uniform_in(rng, 0.0, self.side), uniform_in(rng, 0.0, self.side))
+        };
+        let site_pts: Vec<(f64, f64)> = (0..self.sites).map(|_| point(&mut rng)).collect();
+        let region_pts: Vec<(f64, f64)> = (0..self.regions).map(|_| point(&mut rng)).collect();
+        let opening: Vec<Cost> = (0..self.sites)
+            .map(|_| Cost::new(uniform_in(&mut rng, self.base_cost, 3.0 * self.base_cost)))
+            .collect::<Result<_, _>>()?;
+        // Latency model: propagation delay proportional to distance plus a
+        // fixed last-mile term, so co-located pairs are cheap but never free.
+        let latency = |d: f64| 1.0 + d / 10.0;
+        let costs: Vec<Vec<Cost>> = region_pts
+            .iter()
+            .enumerate()
+            .map(|(rank, &p)| {
+                let volume = self.demand_volume(rank);
+                site_pts
+                    .iter()
+                    .map(|&q| Cost::new(latency(dist(p, q)) * volume))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        Instance::from_dense(opening, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let inst = CdnTrace::new(6, 20).unwrap().generate(1).unwrap();
+        assert_eq!(inst.num_facilities(), 6);
+        assert_eq!(inst.num_clients(), 20);
+        assert!(inst.is_complete());
+    }
+
+    #[test]
+    fn zipf_volumes_are_skewed_and_normalized() {
+        let gen = CdnTrace::new(3, 50).unwrap();
+        let volumes: Vec<f64> = (0..50).map(|r| gen.demand_volume(r)).collect();
+        // Heaviest region dominates the lightest by about 50x at s=1.
+        assert!(volumes[0] / volumes[49] > 40.0);
+        // Monotone decreasing.
+        assert!(volumes.windows(2).all(|w| w[0] >= w[1]));
+        let total: f64 = volumes.iter().sum();
+        assert!((total - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_regions_have_proportionally_larger_costs() {
+        let gen = CdnTrace::new(5, 30).unwrap();
+        let inst = gen.generate(7).unwrap();
+        // Region 0 (heaviest) should have a larger average link cost than
+        // region 29 (lightest) by roughly the volume ratio.
+        let avg = |j: u32| {
+            let links = inst.client_links(crate::ClientId::new(j));
+            links.iter().map(|(_, c)| c.value()).sum::<f64>() / links.len() as f64
+        };
+        let ratio = avg(0) / avg(29);
+        let volume_ratio = gen.demand_volume(0) / gen.demand_volume(29);
+        assert!(ratio > volume_ratio * 0.2, "cost ratio {ratio} vs volume ratio {volume_ratio}");
+    }
+
+    #[test]
+    fn zero_zipf_exponent_means_uniform_demand() {
+        let gen = CdnTrace::with_parameters(3, 10, 100.0, 0.0, 50.0).unwrap();
+        for r in 0..10 {
+            assert!((gen.demand_volume(r) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(CdnTrace::with_parameters(0, 5, 1.0, 1.0, 1.0).is_err());
+        assert!(CdnTrace::with_parameters(3, 5, 0.0, 1.0, 1.0).is_err());
+        assert!(CdnTrace::with_parameters(3, 5, 1.0, -1.0, 1.0).is_err());
+        assert!(CdnTrace::with_parameters(3, 5, 1.0, 1.0, 0.0).is_err());
+    }
+}

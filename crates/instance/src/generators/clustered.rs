@@ -1,0 +1,136 @@
+//! Metric instances with clustered (Gaussian-blob) geometry.
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+
+use super::{check_sizes, dist, rng_for, standard_normal, uniform_in, InstanceGenerator};
+
+/// Metric instances where clients form Gaussian blobs around `clusters`
+/// random centers and facilities are drawn near centers as well. Clustered
+/// demand is where facility-location algorithms differentiate: the optimal
+/// solution opens roughly one facility per cluster, so the greedy's star
+/// ratios and the dual-ascent payments have strong structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustered {
+    clusters: usize,
+    m: usize,
+    n: usize,
+    side: f64,
+    spread: f64,
+}
+
+impl Clustered {
+    /// Defaults: `side = 100`, blob standard deviation `side/20`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions or zero clusters.
+    pub fn new(clusters: usize, m: usize, n: usize) -> Result<Self, InstanceError> {
+        Self::with_geometry(clusters, m, n, 100.0, 5.0)
+    }
+
+    /// Explicit square side and blob standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions, zero clusters, or
+    /// non-positive geometry parameters.
+    pub fn with_geometry(
+        clusters: usize,
+        m: usize,
+        n: usize,
+        side: f64,
+        spread: f64,
+    ) -> Result<Self, InstanceError> {
+        check_sizes(m, n)?;
+        if clusters == 0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: "need at least one cluster".to_owned(),
+            });
+        }
+        if !(side.is_finite() && spread.is_finite()) || side <= 0.0 || spread <= 0.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("side ({side}) and spread ({spread}) must be positive"),
+            });
+        }
+        Ok(Clustered { clusters, m, n, side, spread })
+    }
+}
+
+impl InstanceGenerator for Clustered {
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+
+    fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
+        let mut rng = rng_for(seed);
+        let centers: Vec<(f64, f64)> = (0..self.clusters)
+            .map(|_| (uniform_in(&mut rng, 0.0, self.side), uniform_in(&mut rng, 0.0, self.side)))
+            .collect();
+        let blob_point = |rng: &mut rand::rngs::StdRng, center: (f64, f64)| {
+            let x = (center.0 + self.spread * standard_normal(rng)).clamp(0.0, self.side);
+            let y = (center.1 + self.spread * standard_normal(rng)).clamp(0.0, self.side);
+            (x, y)
+        };
+        let facilities: Vec<(f64, f64)> = (0..self.m)
+            .map(|k| blob_point(&mut rng, centers[k % self.clusters]))
+            .collect();
+        let clients: Vec<(f64, f64)> = (0..self.n)
+            .map(|k| blob_point(&mut rng, centers[k % self.clusters]))
+            .collect();
+        // Opening costs comparable to an inter-cluster hop, so opening one
+        // facility per cluster is the interesting regime.
+        let opening: Vec<Cost> = (0..self.m)
+            .map(|_| Cost::new(uniform_in(&mut rng, self.side / 4.0, self.side / 2.0)))
+            .collect::<Result<_, _>>()?;
+        let costs: Vec<Vec<Cost>> = clients
+            .iter()
+            .map(|&p| {
+                facilities
+                    .iter()
+                    .map(|&q| Cost::new(dist(p, q)))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        Instance::from_dense(opening, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric;
+
+    #[test]
+    fn shape_and_metricity() {
+        let inst = Clustered::new(3, 6, 18).unwrap().generate(1).unwrap();
+        assert_eq!(inst.num_facilities(), 6);
+        assert_eq!(inst.num_clients(), 18);
+        assert!(inst.is_complete());
+        assert!(metric::is_metric(&inst, 1e-9));
+    }
+
+    #[test]
+    fn clustering_creates_cheap_links() {
+        // With tight blobs, each client should have at least one facility
+        // far closer than the square diameter.
+        let inst =
+            Clustered::with_geometry(4, 8, 24, 100.0, 1.0).unwrap().generate(7).unwrap();
+        let mut near = 0;
+        for j in inst.clients() {
+            let (_, c) = inst.cheapest_link(j);
+            if c.value() < 25.0 {
+                near += 1;
+            }
+        }
+        assert!(near >= 20, "only {near}/24 clients have a nearby facility");
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Clustered::new(0, 3, 3).is_err());
+        assert!(Clustered::with_geometry(2, 3, 3, -1.0, 1.0).is_err());
+        assert!(Clustered::with_geometry(2, 3, 3, 10.0, 0.0).is_err());
+    }
+}

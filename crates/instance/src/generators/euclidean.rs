@@ -1,0 +1,112 @@
+//! Metric instances from random points in the plane.
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+
+use super::{check_sizes, dist, rng_for, uniform_in, InstanceGenerator};
+
+/// Dense metric instances: facilities and clients are uniform points in a
+/// `side × side` square, connection costs are Euclidean distances, opening
+/// costs are uniform in `[side/4, side)`. The constant-factor baselines
+/// (Jain–Vazirani, Mettu–Plaxton) are applicable on this family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Euclidean {
+    m: usize,
+    n: usize,
+    side: f64,
+}
+
+impl Euclidean {
+    /// Unit-square-scaled default (`side = 100`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions.
+    pub fn new(m: usize, n: usize) -> Result<Self, InstanceError> {
+        Self::with_side(m, n, 100.0)
+    }
+
+    /// Explicit square side length.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions or a non-positive
+    /// side.
+    pub fn with_side(m: usize, n: usize, side: f64) -> Result<Self, InstanceError> {
+        check_sizes(m, n)?;
+        if !side.is_finite() || side <= 0.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("side must be positive, got {side}"),
+            });
+        }
+        Ok(Euclidean { m, n, side })
+    }
+}
+
+impl InstanceGenerator for Euclidean {
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+
+    fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
+        let mut rng = rng_for(seed);
+        let point = |rng: &mut rand::rngs::StdRng| {
+            (uniform_in(rng, 0.0, self.side), uniform_in(rng, 0.0, self.side))
+        };
+        let facilities: Vec<(f64, f64)> = (0..self.m).map(|_| point(&mut rng)).collect();
+        let clients: Vec<(f64, f64)> = (0..self.n).map(|_| point(&mut rng)).collect();
+        let opening: Vec<Cost> = (0..self.m)
+            .map(|_| Cost::new(uniform_in(&mut rng, self.side / 4.0, self.side)))
+            .collect::<Result<_, _>>()?;
+        let costs: Vec<Vec<Cost>> = clients
+            .iter()
+            .map(|&p| {
+                facilities
+                    .iter()
+                    .map(|&q| Cost::new(dist(p, q)))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        Instance::from_dense(opening, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric;
+
+    #[test]
+    fn shape() {
+        let inst = Euclidean::new(4, 10).unwrap().generate(5).unwrap();
+        assert_eq!(inst.num_facilities(), 4);
+        assert_eq!(inst.num_clients(), 10);
+        assert!(inst.is_complete());
+    }
+
+    #[test]
+    fn instances_are_metric() {
+        let inst = Euclidean::new(5, 8).unwrap().generate(11).unwrap();
+        assert!(metric::is_metric(&inst, 1e-9));
+    }
+
+    #[test]
+    fn costs_bounded_by_diameter() {
+        let side = 50.0;
+        let inst = Euclidean::with_side(3, 6, side).unwrap().generate(2).unwrap();
+        let diag = side * std::f64::consts::SQRT_2;
+        for j in inst.clients() {
+            for (_, c) in inst.client_links(j) {
+                assert!(c.value() <= diag);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_side() {
+        assert!(Euclidean::with_side(2, 2, 0.0).is_err());
+        assert!(Euclidean::with_side(2, 2, -3.0).is_err());
+        assert!(Euclidean::with_side(2, 2, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Sparse graph-metric instances on a grid network.
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+use crate::instance::InstanceBuilder;
+
+use super::{check_sizes, rng_for, uniform_in, InstanceGenerator};
+
+/// Sparse instances whose connection costs are hop distances in a
+/// `rows × cols` grid network — the "sensor network / multi-hop radio"
+/// shape distributed facility location is usually motivated by. A client is
+/// linked only to facilities within `radius` hops (plus its globally
+/// nearest facility, so feasibility is guaranteed), making the CONGEST
+/// communication graph genuinely sparse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridNetwork {
+    rows: usize,
+    cols: usize,
+    m: usize,
+    n: usize,
+    radius: usize,
+}
+
+impl GridNetwork {
+    /// Default radius: a quarter of the grid perimeter dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions or more facilities
+    /// than grid cells.
+    pub fn new(rows: usize, cols: usize, m: usize, n: usize) -> Result<Self, InstanceError> {
+        Self::with_radius(rows, cols, m, n, (rows + cols).div_ceil(4))
+    }
+
+    /// Explicit link radius in hops.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions, more facilities
+    /// than grid cells, or a zero radius.
+    pub fn with_radius(
+        rows: usize,
+        cols: usize,
+        m: usize,
+        n: usize,
+        radius: usize,
+    ) -> Result<Self, InstanceError> {
+        check_sizes(m, n)?;
+        if rows == 0 || cols == 0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("grid dimensions must be positive, got {rows}x{cols}"),
+            });
+        }
+        if m > rows * cols {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("cannot place {m} facilities on a {rows}x{cols} grid"),
+            });
+        }
+        if radius == 0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: "radius must be at least one hop".to_owned(),
+            });
+        }
+        Ok(GridNetwork { rows, cols, m, n, radius })
+    }
+
+    /// Hop distance between two cells (L1 distance on the grid).
+    fn hops(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = (a / self.cols, a % self.cols);
+        let (br, bc) = (b / self.cols, b % self.cols);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+}
+
+impl InstanceGenerator for GridNetwork {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
+        let mut rng = rng_for(seed);
+        let cells = self.rows * self.cols;
+
+        // Facilities occupy distinct cells (partial Fisher-Yates).
+        let mut pool: Vec<usize> = (0..cells).collect();
+        for k in 0..self.m {
+            let pick = k + (uniform_in(&mut rng, 0.0, (cells - k) as f64) as usize).min(cells - k - 1);
+            pool.swap(k, pick);
+        }
+        let facility_cells: Vec<usize> = pool[..self.m].to_vec();
+
+        // Clients are placed anywhere (cells may repeat).
+        let client_cells: Vec<usize> = (0..self.n)
+            .map(|_| (uniform_in(&mut rng, 0.0, cells as f64) as usize).min(cells - 1))
+            .collect();
+
+        let mut builder = InstanceBuilder::new();
+        let scale = (self.rows + self.cols) as f64;
+        let fids: Vec<_> = (0..self.m)
+            .map(|_| {
+                let f = uniform_in(&mut rng, scale / 2.0, 2.0 * scale);
+                Cost::new(f).map(|c| builder.add_facility(c))
+            })
+            .collect::<Result<_, _>>()?;
+
+        for &cell in &client_cells {
+            let j = builder.add_client();
+            let mut linked = false;
+            let mut nearest: Option<(usize, usize)> = None; // (facility idx, hops)
+            for (fi, &fcell) in facility_cells.iter().enumerate() {
+                let h = self.hops(cell, fcell);
+                if nearest.is_none_or(|(_, best)| h < best) {
+                    nearest = Some((fi, h));
+                }
+                if h <= self.radius {
+                    // Hop cost 1.0 per hop; co-located pairs cost one hop's
+                    // worth of local delivery rather than zero.
+                    builder.link(j, fids[fi], Cost::new(h.max(1) as f64)?)?;
+                    linked = true;
+                }
+            }
+            if !linked {
+                let (fi, h) = nearest.expect("at least one facility exists");
+                builder.link(j, fids[fi], Cost::new(h.max(1) as f64)?)?;
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_sparsity() {
+        let gen = GridNetwork::with_radius(10, 10, 8, 30, 3).unwrap();
+        let inst = gen.generate(4).unwrap();
+        assert_eq!(inst.num_facilities(), 8);
+        assert_eq!(inst.num_clients(), 30);
+        // Radius-3 neighborhoods are much smaller than the grid, so the
+        // instance must be sparse.
+        assert!(inst.num_links() < 8 * 30, "instance unexpectedly dense");
+        // And every client still has a link (guaranteed fallback).
+        for j in inst.clients() {
+            assert!(!inst.client_links(j).is_empty());
+        }
+    }
+
+    #[test]
+    fn link_costs_are_hop_counts() {
+        let inst = GridNetwork::new(6, 6, 4, 12).unwrap().generate(9).unwrap();
+        for j in inst.clients() {
+            for (_, c) in inst.client_links(j) {
+                let v = c.value();
+                assert!(v >= 1.0 && v.fract() == 0.0, "cost {v} is not a hop count");
+            }
+        }
+    }
+
+    #[test]
+    fn facilities_occupy_distinct_cells() {
+        // Indirect check: with m == cells, generation still succeeds, which
+        // requires all cells distinct.
+        let gen = GridNetwork::with_radius(3, 3, 9, 5, 2).unwrap();
+        let inst = gen.generate(0).unwrap();
+        assert_eq!(inst.num_facilities(), 9);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(GridNetwork::new(0, 5, 1, 1).is_err());
+        assert!(GridNetwork::new(2, 2, 5, 1).is_err());
+        assert!(GridNetwork::with_radius(5, 5, 2, 2, 0).is_err());
+    }
+
+    #[test]
+    fn hops_is_l1() {
+        let g = GridNetwork::new(5, 7, 1, 1).unwrap();
+        assert_eq!(g.hops(0, 0), 0);
+        // Cell 0 = (0,0); cell 2*7+3 = (2,3).
+        assert_eq!(g.hops(0, 2 * 7 + 3), 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Line-metric instances with exposed layout (exact solvable at scale).
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+
+use super::{check_sizes, rng_for, uniform_in, InstanceGenerator};
+
+/// The geometric layout behind a [`LineCity`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineLayout {
+    /// Facility positions along the line.
+    pub facility_pos: Vec<f64>,
+    /// Facility opening costs.
+    pub opening: Vec<f64>,
+    /// Client positions along the line.
+    pub client_pos: Vec<f64>,
+}
+
+/// Metric instances on a line ("main street"): facilities and clients at
+/// uniform positions in `[0, length)`, connection cost `|p − q|`, opening
+/// costs uniform in `[length/20, length/4)`.
+///
+/// The layout is exposed via [`LineCity::layout`], so the exact
+/// line-metric DP (`distfl_lp::line`) can certify the true optimum at
+/// sizes far beyond the subset branch-and-bound — this is the family the
+/// experiments use for exact ratios on *large* instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineCity {
+    m: usize,
+    n: usize,
+    length: f64,
+}
+
+impl LineCity {
+    /// Default street length 1000.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions.
+    pub fn new(m: usize, n: usize) -> Result<Self, InstanceError> {
+        Self::with_length(m, n, 1000.0)
+    }
+
+    /// Explicit street length.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions or a non-positive
+    /// length.
+    pub fn with_length(m: usize, n: usize, length: f64) -> Result<Self, InstanceError> {
+        check_sizes(m, n)?;
+        if !length.is_finite() || length <= 0.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("length must be positive, got {length}"),
+            });
+        }
+        Ok(LineCity { m, n, length })
+    }
+
+    /// The deterministic layout for `seed` (same randomness as
+    /// [`InstanceGenerator::generate`]).
+    pub fn layout(&self, seed: u64) -> LineLayout {
+        let mut rng = rng_for(seed);
+        let facility_pos: Vec<f64> =
+            (0..self.m).map(|_| uniform_in(&mut rng, 0.0, self.length)).collect();
+        let client_pos: Vec<f64> =
+            (0..self.n).map(|_| uniform_in(&mut rng, 0.0, self.length)).collect();
+        let opening: Vec<f64> = (0..self.m)
+            .map(|_| uniform_in(&mut rng, self.length / 20.0, self.length / 4.0))
+            .collect();
+        LineLayout { facility_pos, opening, client_pos }
+    }
+}
+
+impl InstanceGenerator for LineCity {
+    fn name(&self) -> &'static str {
+        "line"
+    }
+
+    fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
+        let layout = self.layout(seed);
+        let opening: Vec<Cost> =
+            layout.opening.iter().map(|&f| Cost::new(f)).collect::<Result<_, _>>()?;
+        let costs: Vec<Vec<Cost>> = layout
+            .client_pos
+            .iter()
+            .map(|&q| {
+                layout
+                    .facility_pos
+                    .iter()
+                    .map(|&p| Cost::new((p - q).abs()))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        Instance::from_dense(opening, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric;
+    use crate::{ClientId, FacilityId};
+
+    #[test]
+    fn instance_matches_its_layout() {
+        let gen = LineCity::new(6, 20).unwrap();
+        let layout = gen.layout(5);
+        let inst = gen.generate(5).unwrap();
+        for (j, &q) in layout.client_pos.iter().enumerate() {
+            for (i, &p) in layout.facility_pos.iter().enumerate() {
+                let c = inst
+                    .connection_cost(ClientId::new(j as u32), FacilityId::new(i as u32))
+                    .unwrap()
+                    .value();
+                assert!((c - (p - q).abs()).abs() < 1e-12);
+            }
+        }
+        for (i, &f) in layout.opening.iter().enumerate() {
+            assert_eq!(inst.opening_cost(FacilityId::new(i as u32)).value(), f);
+        }
+    }
+
+    #[test]
+    fn line_instances_are_metric() {
+        let inst = LineCity::new(5, 12).unwrap().generate(3).unwrap();
+        assert!(metric::is_metric(&inst, 1e-9));
+    }
+
+    #[test]
+    fn rejects_invalid_length() {
+        assert!(LineCity::with_length(2, 2, 0.0).is_err());
+        assert!(LineCity::with_length(2, 2, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Instances with exactly pinned coefficient spread `ρ`.
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+
+use super::{check_sizes, rng_for, uniform_in, InstanceGenerator};
+
+/// Non-metric instances whose coefficient spread is exactly the requested
+/// `ρ`: every cost is `floor · ρ^U` with `U ~ Uniform[0, 1]` (log-uniform),
+/// and one coefficient is pinned to each extreme so the realized spread
+/// equals `ρ` rather than merely approaching it. Experiment E3 sweeps this
+/// family to measure the `ρ`-dependence of the trade-off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerLaw {
+    m: usize,
+    n: usize,
+    rho: f64,
+    floor: f64,
+}
+
+impl PowerLaw {
+    /// Spread `rho ≥ 1` with unit floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions or `rho < 1`.
+    pub fn new(m: usize, n: usize, rho: f64) -> Result<Self, InstanceError> {
+        Self::with_floor(m, n, rho, 1.0)
+    }
+
+    /// Explicit smallest coefficient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions, `rho < 1`, or a
+    /// non-positive floor.
+    pub fn with_floor(m: usize, n: usize, rho: f64, floor: f64) -> Result<Self, InstanceError> {
+        check_sizes(m, n)?;
+        if !rho.is_finite() || rho < 1.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("spread must be at least 1, got {rho}"),
+            });
+        }
+        if !floor.is_finite() || floor <= 0.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: format!("floor must be positive, got {floor}"),
+            });
+        }
+        Ok(PowerLaw { m, n, rho, floor })
+    }
+
+    /// The configured spread.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+impl InstanceGenerator for PowerLaw {
+    fn name(&self) -> &'static str {
+        "powerlaw"
+    }
+
+    fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
+        let mut rng = rng_for(seed);
+        let draw = |rng: &mut rand::rngs::StdRng| {
+            self.floor * self.rho.powf(uniform_in(rng, 0.0, 1.0))
+        };
+        let opening: Vec<Cost> = (0..self.m)
+            .map(|_| Cost::new(draw(&mut rng)))
+            .collect::<Result<_, _>>()?;
+        let mut costs: Vec<Vec<Cost>> = (0..self.n)
+            .map(|_| {
+                (0..self.m)
+                    .map(|_| Cost::new(draw(&mut rng)))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<Vec<Vec<Cost>>, _>>()?;
+        // Pin the extremes so the realized spread is exactly rho.
+        costs[0][0] = Cost::new(self.floor)?;
+        let last_row = self.n - 1;
+        let last_col = self.m - 1;
+        if self.n > 1 || self.m > 1 {
+            costs[last_row][last_col] = Cost::new(self.floor * self.rho)?;
+        } else {
+            // 1x1 instances: put the max on the opening cost instead.
+            return Instance::from_dense(vec![Cost::new(self.floor * self.rho)?], costs);
+        }
+        Instance::from_dense(opening, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread;
+
+    #[test]
+    fn spread_is_exact() {
+        for rho in [1.0, 10.0, 1e3, 1e6] {
+            let inst = PowerLaw::new(5, 9, rho).unwrap().generate(3).unwrap();
+            let measured = spread::coefficient_spread(&inst);
+            assert!(
+                (measured / rho - 1.0).abs() < 1e-9,
+                "requested rho {rho}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_by_one_instance() {
+        let inst = PowerLaw::new(1, 1, 50.0).unwrap().generate(0).unwrap();
+        let measured = spread::coefficient_spread(&inst);
+        assert!((measured / 50.0 - 1.0).abs() < 1e-9, "measured {measured}");
+    }
+
+    #[test]
+    fn floor_scales_all_costs() {
+        let inst = PowerLaw::with_floor(3, 4, 10.0, 5.0).unwrap().generate(1).unwrap();
+        for c in inst.coefficients() {
+            assert!(c.value() >= 5.0 - 1e-12);
+            assert!(c.value() <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(PowerLaw::new(2, 2, 0.5).is_err());
+        assert!(PowerLaw::new(2, 2, f64::NAN).is_err());
+        assert!(PowerLaw::with_floor(2, 2, 10.0, 0.0).is_err());
+    }
+}

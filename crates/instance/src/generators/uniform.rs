@@ -1,0 +1,122 @@
+//! Dense instances with independently uniform costs (non-metric).
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+use crate::instance::Instance;
+
+use super::{check_sizes, rng_for, uniform_in, InstanceGenerator};
+
+/// Dense non-metric instances: every connection cost is drawn independently
+/// and uniformly, so the triangle inequality fails generically. This is the
+/// canonical "hard" regime of the PODC 2005 paper (non-metric UFL is
+/// Set-Cover-hard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformRandom {
+    m: usize,
+    n: usize,
+    connection: (f64, f64),
+    opening: (f64, f64),
+}
+
+impl UniformRandom {
+    /// Default ranges: connection costs in `[1, 100)`, opening costs in
+    /// `[50, 500)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions.
+    pub fn new(m: usize, n: usize) -> Result<Self, InstanceError> {
+        Self::with_ranges(m, n, (1.0, 100.0), (50.0, 500.0))
+    }
+
+    /// Explicit `[lo, hi)` ranges for connection and opening costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] for empty dimensions or invalid ranges
+    /// (negative, non-finite, or `hi < lo`).
+    pub fn with_ranges(
+        m: usize,
+        n: usize,
+        connection: (f64, f64),
+        opening: (f64, f64),
+    ) -> Result<Self, InstanceError> {
+        check_sizes(m, n)?;
+        for (lo, hi) in [connection, opening] {
+            if !(lo.is_finite() && hi.is_finite()) || lo < 0.0 || hi < lo {
+                return Err(InstanceError::InvalidGenerator {
+                    reason: format!("invalid cost range [{lo}, {hi})"),
+                });
+            }
+        }
+        if connection.1 <= 0.0 && opening.1 <= 0.0 {
+            return Err(InstanceError::InvalidGenerator {
+                reason: "at least one range must allow positive costs".to_owned(),
+            });
+        }
+        Ok(UniformRandom { m, n, connection, opening })
+    }
+}
+
+impl InstanceGenerator for UniformRandom {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
+        let mut rng = rng_for(seed);
+        let opening: Vec<Cost> = (0..self.m)
+            .map(|_| Cost::new(uniform_in(&mut rng, self.opening.0, self.opening.1)))
+            .collect::<Result<_, _>>()?;
+        let costs: Vec<Vec<Cost>> = (0..self.n)
+            .map(|_| {
+                (0..self.m)
+                    .map(|_| Cost::new(uniform_in(&mut rng, self.connection.0, self.connection.1)))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        Instance::from_dense(opening, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_completeness() {
+        let inst = UniformRandom::new(5, 12).unwrap().generate(3).unwrap();
+        assert_eq!(inst.num_facilities(), 5);
+        assert_eq!(inst.num_clients(), 12);
+        assert!(inst.is_complete());
+    }
+
+    #[test]
+    fn costs_respect_ranges() {
+        let gen = UniformRandom::with_ranges(3, 7, (2.0, 4.0), (10.0, 20.0)).unwrap();
+        let inst = gen.generate(9).unwrap();
+        for i in inst.facilities() {
+            let f = inst.opening_cost(i).value();
+            assert!((10.0..20.0).contains(&f));
+        }
+        for j in inst.clients() {
+            for (_, c) in inst.client_links(j) {
+                assert!((2.0..4.0).contains(&c.value()));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_ranges() {
+        assert!(UniformRandom::with_ranges(2, 2, (5.0, 1.0), (1.0, 2.0)).is_err());
+        assert!(UniformRandom::with_ranges(2, 2, (-1.0, 1.0), (1.0, 2.0)).is_err());
+        assert!(UniformRandom::with_ranges(2, 2, (f64::NAN, 1.0), (1.0, 2.0)).is_err());
+        assert!(UniformRandom::with_ranges(2, 2, (0.0, 0.0), (0.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_dimensions() {
+        assert!(UniformRandom::new(0, 3).is_err());
+        assert!(UniformRandom::new(3, 0).is_err());
+    }
+}

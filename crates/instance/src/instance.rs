@@ -1,0 +1,470 @@
+//! The uncapacitated facility-location instance type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::Cost;
+use crate::error::InstanceError;
+
+/// Identifier of a facility within an [`Instance`] (dense index `0..m`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FacilityId(u32);
+
+impl FacilityId {
+    /// Creates a facility id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        FacilityId(index)
+    }
+
+    /// The dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for FacilityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FacilityId({})", self.0)
+    }
+}
+
+impl fmt::Display for FacilityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifier of a client within an [`Instance`] (dense index `0..n`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ClientId(index)
+    }
+
+    /// The dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32`.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClientId({})", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An uncapacitated facility-location instance.
+///
+/// Stores `m` facility opening costs and a sparse bipartite link structure:
+/// client `j` may connect to facility `i` at cost `c_ij` only if the link
+/// `(j, i)` exists. Links double as the communication edges of the CONGEST
+/// network the distributed algorithms run on.
+///
+/// Invariants (enforced at construction):
+///
+/// * at least one facility and one client,
+/// * every client has at least one link (otherwise no feasible solution),
+/// * no duplicate links,
+/// * at least one strictly positive coefficient.
+///
+/// Build instances with [`InstanceBuilder`], [`Instance::from_dense`], a
+/// generator from [`crate::generators`], or parse one with
+/// [`crate::textio`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    opening: Vec<Cost>,
+    client_links: Vec<Vec<(FacilityId, Cost)>>,
+    facility_links: Vec<Vec<(ClientId, Cost)>>,
+}
+
+impl Instance {
+    /// Builds a complete-bipartite (dense) instance from an opening-cost
+    /// vector and a `[client][facility]` connection-cost matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] if the matrix is ragged, any dimension
+    /// is empty, or all coefficients are zero.
+    pub fn from_dense(opening: Vec<Cost>, costs: Vec<Vec<Cost>>) -> Result<Self, InstanceError> {
+        let mut builder = InstanceBuilder::new();
+        let fids: Vec<FacilityId> = opening.into_iter().map(|f| builder.add_facility(f)).collect();
+        if fids.is_empty() {
+            return Err(InstanceError::NoFacilities);
+        }
+        for row in costs {
+            if row.len() != fids.len() {
+                return Err(InstanceError::FacilityOutOfRange {
+                    facility: row.len().max(fids.len()) - 1,
+                    num_facilities: fids.len(),
+                });
+            }
+            let c = builder.add_client();
+            for (i, cost) in row.into_iter().enumerate() {
+                builder.link(c, fids[i], cost)?;
+            }
+        }
+        builder.build()
+    }
+
+    /// Number of facilities `m`.
+    #[inline]
+    pub fn num_facilities(&self) -> usize {
+        self.opening.len()
+    }
+
+    /// Number of clients `n`.
+    #[inline]
+    pub fn num_clients(&self) -> usize {
+        self.client_links.len()
+    }
+
+    /// Total number of links `|E|`.
+    pub fn num_links(&self) -> usize {
+        self.client_links.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every client/facility pair is linked.
+    pub fn is_complete(&self) -> bool {
+        self.num_links() == self.num_facilities() * self.num_clients()
+    }
+
+    /// The opening cost of facility `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn opening_cost(&self, i: FacilityId) -> Cost {
+        self.opening[i.index()]
+    }
+
+    /// The connection cost of the link `(j, i)`, or `None` if absent.
+    pub fn connection_cost(&self, j: ClientId, i: FacilityId) -> Option<Cost> {
+        let links = self.client_links(j);
+        links
+            .binary_search_by_key(&i, |(f, _)| *f)
+            .ok()
+            .map(|pos| links[pos].1)
+    }
+
+    /// The links of client `j`, sorted by facility id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[inline]
+    pub fn client_links(&self, j: ClientId) -> &[(FacilityId, Cost)] {
+        &self.client_links[j.index()]
+    }
+
+    /// The links of facility `i`, sorted by client id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn facility_links(&self, i: FacilityId) -> &[(ClientId, Cost)] {
+        &self.facility_links[i.index()]
+    }
+
+    /// The cheapest link of client `j` (ties broken by lowest facility id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range (every in-range client has a link by
+    /// the instance invariant).
+    pub fn cheapest_link(&self, j: ClientId) -> (FacilityId, Cost) {
+        *self
+            .client_links(j)
+            .iter()
+            .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+            .expect("instance invariant: every client has a link")
+    }
+
+    /// Iterates over all facility ids.
+    pub fn facilities(&self) -> impl Iterator<Item = FacilityId> + '_ {
+        (0..self.num_facilities() as u32).map(FacilityId::new)
+    }
+
+    /// Iterates over all client ids.
+    pub fn clients(&self) -> impl Iterator<Item = ClientId> + '_ {
+        (0..self.num_clients() as u32).map(ClientId::new)
+    }
+
+    /// Sum of all opening costs.
+    pub fn total_opening_cost(&self) -> Cost {
+        self.opening.iter().copied().sum()
+    }
+
+    /// Iterates over every coefficient of the instance (all opening costs,
+    /// then all connection costs).
+    pub fn coefficients(&self) -> impl Iterator<Item = Cost> + '_ {
+        self.opening
+            .iter()
+            .copied()
+            .chain(self.client_links.iter().flatten().map(|(_, c)| *c))
+    }
+
+    /// Maximum number of links at any single client or facility (the degree
+    /// bound of the CONGEST communication graph).
+    pub fn max_degree(&self) -> usize {
+        let c = self.client_links.iter().map(Vec::len).max().unwrap_or(0);
+        let f = self.facility_links.iter().map(Vec::len).max().unwrap_or(0);
+        c.max(f)
+    }
+}
+
+/// Incremental constructor for [`Instance`].
+///
+/// ```
+/// use distfl_instance::{Cost, InstanceBuilder};
+///
+/// # fn main() -> Result<(), distfl_instance::InstanceError> {
+/// let mut b = InstanceBuilder::new();
+/// let f0 = b.add_facility(Cost::new(10.0)?);
+/// let f1 = b.add_facility(Cost::new(3.0)?);
+/// let c0 = b.add_client();
+/// b.link(c0, f0, Cost::new(1.0)?)?;
+/// b.link(c0, f1, Cost::new(5.0)?)?;
+/// let inst = b.build()?;
+/// assert_eq!(inst.num_links(), 2);
+/// assert_eq!(inst.cheapest_link(c0).0, f0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    opening: Vec<Cost>,
+    client_links: Vec<Vec<(FacilityId, Cost)>>,
+}
+
+impl InstanceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        InstanceBuilder::default()
+    }
+
+    /// Adds a facility with the given opening cost, returning its id.
+    pub fn add_facility(&mut self, opening: Cost) -> FacilityId {
+        self.opening.push(opening);
+        FacilityId::new((self.opening.len() - 1) as u32)
+    }
+
+    /// Adds a client, returning its id.
+    pub fn add_client(&mut self) -> ClientId {
+        self.client_links.push(Vec::new());
+        ClientId::new((self.client_links.len() - 1) as u32)
+    }
+
+    /// Declares that client `j` may connect to facility `i` at `cost`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] if either id is out of range or the
+    /// link already exists.
+    pub fn link(&mut self, j: ClientId, i: FacilityId, cost: Cost) -> Result<(), InstanceError> {
+        if i.index() >= self.opening.len() {
+            return Err(InstanceError::FacilityOutOfRange {
+                facility: i.index(),
+                num_facilities: self.opening.len(),
+            });
+        }
+        let Some(links) = self.client_links.get_mut(j.index()) else {
+            return Err(InstanceError::ClientOutOfRange {
+                client: j.index(),
+                num_clients: self.client_links.len(),
+            });
+        };
+        match links.binary_search_by_key(&i, |(f, _)| *f) {
+            Ok(_) => Err(InstanceError::DuplicateLink { client: j.index(), facility: i.index() }),
+            Err(pos) => {
+                links.insert(pos, (i, cost));
+                Ok(())
+            }
+        }
+    }
+
+    /// Finalizes the instance, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] if there are no facilities, no clients,
+    /// an unreachable client, or all coefficients are zero.
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        if self.opening.is_empty() {
+            return Err(InstanceError::NoFacilities);
+        }
+        if self.client_links.is_empty() {
+            return Err(InstanceError::NoClients);
+        }
+        if let Some(j) = self.client_links.iter().position(Vec::is_empty) {
+            return Err(InstanceError::UnreachableClient { client: j });
+        }
+        let any_positive = self.opening.iter().any(|c| !c.is_zero())
+            || self.client_links.iter().flatten().any(|(_, c)| !c.is_zero());
+        if !any_positive {
+            return Err(InstanceError::AllZeroCosts);
+        }
+        let mut facility_links: Vec<Vec<(ClientId, Cost)>> = vec![Vec::new(); self.opening.len()];
+        for (j, links) in self.client_links.iter().enumerate() {
+            for &(i, c) in links {
+                facility_links[i.index()].push((ClientId::new(j as u32), c));
+            }
+        }
+        // Clients were visited in increasing order, so each facility's list
+        // is already sorted by client id.
+        debug_assert!(facility_links
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0].0 < w[1].0)));
+        Ok(Instance {
+            opening: self.opening,
+            client_links: self.client_links,
+            facility_links,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost;
+
+    fn small() -> Instance {
+        // 2 facilities, 3 clients, sparse.
+        let mut b = InstanceBuilder::new();
+        let f0 = b.add_facility(cost(10.0));
+        let f1 = b.add_facility(cost(4.0));
+        let c0 = b.add_client();
+        let c1 = b.add_client();
+        let c2 = b.add_client();
+        b.link(c0, f0, cost(1.0)).unwrap();
+        b.link(c0, f1, cost(2.0)).unwrap();
+        b.link(c1, f1, cost(3.0)).unwrap();
+        b.link(c2, f0, cost(0.5)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = small();
+        assert_eq!(inst.num_facilities(), 2);
+        assert_eq!(inst.num_clients(), 3);
+        assert_eq!(inst.num_links(), 4);
+        assert!(!inst.is_complete());
+        assert_eq!(inst.opening_cost(FacilityId::new(1)), cost(4.0));
+        assert_eq!(
+            inst.connection_cost(ClientId::new(0), FacilityId::new(1)),
+            Some(cost(2.0))
+        );
+        assert_eq!(inst.connection_cost(ClientId::new(1), FacilityId::new(0)), None);
+        assert_eq!(inst.cheapest_link(ClientId::new(0)), (FacilityId::new(0), cost(1.0)));
+        assert_eq!(inst.total_opening_cost(), cost(14.0));
+        assert_eq!(inst.max_degree(), 2);
+        assert_eq!(inst.coefficients().count(), 2 + 4);
+    }
+
+    #[test]
+    fn facility_links_are_the_transpose() {
+        let inst = small();
+        let links = inst.facility_links(FacilityId::new(0));
+        assert_eq!(links, &[(ClientId::new(0), cost(1.0)), (ClientId::new(2), cost(0.5))]);
+        let links = inst.facility_links(FacilityId::new(1));
+        assert_eq!(links, &[(ClientId::new(0), cost(2.0)), (ClientId::new(1), cost(3.0))]);
+    }
+
+    #[test]
+    fn from_dense_builds_complete_instance() {
+        let inst = Instance::from_dense(
+            vec![cost(5.0), cost(6.0)],
+            vec![vec![cost(1.0), cost(2.0)], vec![cost(3.0), cost(4.0)]],
+        )
+        .unwrap();
+        assert!(inst.is_complete());
+        assert_eq!(inst.num_links(), 4);
+        assert_eq!(
+            inst.connection_cost(ClientId::new(1), FacilityId::new(0)),
+            Some(cost(3.0))
+        );
+    }
+
+    #[test]
+    fn from_dense_rejects_ragged_matrix() {
+        let out = Instance::from_dense(
+            vec![cost(5.0), cost(6.0)],
+            vec![vec![cost(1.0)], vec![cost(3.0), cost(4.0)]],
+        );
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_links() {
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(cost(1.0));
+        let c = b.add_client();
+        assert!(matches!(
+            b.link(c, FacilityId::new(9), cost(1.0)),
+            Err(InstanceError::FacilityOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.link(ClientId::new(9), f, cost(1.0)),
+            Err(InstanceError::ClientOutOfRange { .. })
+        ));
+        b.link(c, f, cost(1.0)).unwrap();
+        assert!(matches!(b.link(c, f, cost(2.0)), Err(InstanceError::DuplicateLink { .. })));
+    }
+
+    #[test]
+    fn build_validates_invariants() {
+        assert!(matches!(InstanceBuilder::new().build(), Err(InstanceError::NoFacilities)));
+
+        let mut b = InstanceBuilder::new();
+        b.add_facility(cost(1.0));
+        assert!(matches!(b.build(), Err(InstanceError::NoClients)));
+
+        let mut b = InstanceBuilder::new();
+        b.add_facility(cost(1.0));
+        b.add_client();
+        assert!(matches!(b.build(), Err(InstanceError::UnreachableClient { client: 0 })));
+
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(Cost::ZERO);
+        let c = b.add_client();
+        b.link(c, f, Cost::ZERO).unwrap();
+        assert!(matches!(b.build(), Err(InstanceError::AllZeroCosts)));
+    }
+
+    #[test]
+    fn id_display_and_iterators() {
+        let inst = small();
+        assert_eq!(FacilityId::new(1).to_string(), "f1");
+        assert_eq!(ClientId::new(2).to_string(), "c2");
+        assert_eq!(inst.facilities().count(), 2);
+        assert_eq!(inst.clients().count(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Metricity diagnostics.
+//!
+//! An instance is *metric* if connection costs embed in a metric space,
+//! which for bipartite costs is equivalent to the four-point condition
+//! `c(i,j) ≤ c(i,l) + c(k,l) + c(k,j)` for all facilities `i,k` and clients
+//! `j,l` (whenever all four links exist). The constant-factor baselines
+//! (Jain–Vazirani, Mettu–Plaxton) assume metricity; the PODC 2005 algorithm
+//! does not.
+
+use crate::cost::Cost;
+use crate::instance::Instance;
+
+/// The worst additive violation of the bipartite four-point condition:
+/// `max(0, c(i,j) − c(i,l) − c(k,l) − c(k,j))` over all quadruples whose
+/// four links all exist. Zero (up to rounding) means the instance is
+/// metric.
+///
+/// Runs in `O(m²·n²)`; intended for diagnostics on small and medium
+/// instances.
+pub fn metricity_defect(instance: &Instance) -> f64 {
+    let mut worst = 0.0f64;
+    for i in instance.facilities() {
+        for k in instance.facilities() {
+            if i == k {
+                continue;
+            }
+            for &(j, c_ij) in instance.facility_links(i) {
+                for &(l, c_kl) in instance.facility_links(k) {
+                    if j == l {
+                        continue;
+                    }
+                    let (Some(c_il), Some(c_kj)) =
+                        (instance.connection_cost(l, i), instance.connection_cost(j, k))
+                    else {
+                        continue;
+                    };
+                    let slack =
+                        c_ij.value() - c_il.value() - c_kl.value() - c_kj.value();
+                    worst = worst.max(slack);
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// Whether the instance satisfies the bipartite four-point condition up to
+/// an additive tolerance.
+pub fn is_metric(instance: &Instance, tolerance: f64) -> bool {
+    metricity_defect(instance) <= tolerance
+}
+
+/// The relative metricity defect: [`metricity_defect`] divided by the
+/// largest connection cost (0 for single-link instances). Useful for
+/// comparing how non-metric different families are.
+pub fn relative_defect(instance: &Instance) -> f64 {
+    let max_connection: Cost = instance
+        .clients()
+        .flat_map(|j| instance.client_links(j).iter().map(|(_, c)| *c))
+        .max()
+        .unwrap_or(Cost::ZERO);
+    if max_connection.is_zero() {
+        0.0
+    } else {
+        metricity_defect(instance) / max_connection.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn inst_from_matrix(opening: &[f64], matrix: &[&[f64]]) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let fs: Vec<_> =
+            opening.iter().map(|&f| b.add_facility(Cost::new(f).unwrap())).collect();
+        for row in matrix {
+            let c = b.add_client();
+            for (i, &v) in row.iter().enumerate() {
+                b.link(c, fs[i], Cost::new(v).unwrap()).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn euclidean_matrix_is_metric() {
+        // Facilities at x=0 and x=10, clients at x=2 and x=7 on a line.
+        let inst = inst_from_matrix(&[1.0, 1.0], &[&[2.0, 8.0], &[7.0, 3.0]]);
+        assert_eq!(metricity_defect(&inst), 0.0);
+        assert!(is_metric(&inst, 0.0));
+        assert_eq!(relative_defect(&inst), 0.0);
+    }
+
+    #[test]
+    fn violation_is_detected_and_quantified() {
+        // c(f0,c0) = 100 but the detour f0-c1-f1-c0 costs 1+1+1 = 3.
+        let inst = inst_from_matrix(&[1.0, 1.0], &[&[100.0, 1.0], &[1.0, 1.0]]);
+        let defect = metricity_defect(&inst);
+        assert!((defect - 97.0).abs() < 1e-9, "defect {defect}");
+        assert!(!is_metric(&inst, 1.0));
+        assert!((relative_defect(&inst) - 0.97).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_links_make_condition_vacuous() {
+        // Sparse: only a single facility, so no quadruple exists.
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(Cost::new(1.0).unwrap());
+        for _ in 0..3 {
+            let c = b.add_client();
+            b.link(c, f, Cost::new(9.0).unwrap()).unwrap();
+        }
+        let inst = b.build().unwrap();
+        assert_eq!(metricity_defect(&inst), 0.0);
+        assert!(is_metric(&inst, 0.0));
+    }
+}

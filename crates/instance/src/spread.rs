@@ -1,0 +1,135 @@
+//! Coefficient-spread quantities.
+//!
+//! The Moscibroda–Wattenhofer trade-off is governed by the instance's
+//! coefficient spread `ρ` — the ratio between the largest and the smallest
+//! *non-zero* coefficient (over opening and connection costs alike). The
+//! per-phase raise factor of the distributed algorithms is `B^{1/s}` where
+//! `B` is the [`termination_bound`] derived from `ρ` and `m`.
+
+use crate::cost::Cost;
+use crate::instance::Instance;
+
+/// The smallest strictly positive coefficient of the instance.
+///
+/// Exists by the instance invariant that not all coefficients are zero.
+pub fn positive_floor(instance: &Instance) -> Cost {
+    instance
+        .coefficients()
+        .filter(|c| !c.is_zero())
+        .min()
+        .expect("instance invariant: at least one positive coefficient")
+}
+
+/// The largest coefficient of the instance.
+pub fn max_coefficient(instance: &Instance) -> Cost {
+    instance
+        .coefficients()
+        .max()
+        .expect("instances are non-empty")
+}
+
+/// The coefficient spread `ρ = max coefficient / min positive coefficient`.
+///
+/// Always at least 1.
+pub fn coefficient_spread(instance: &Instance) -> f64 {
+    max_coefficient(instance).ratio(positive_floor(instance)).max(1.0)
+}
+
+/// The multiplicative range `B` a client's dual variable must be able to
+/// sweep before it can single-handedly pay for some facility, guaranteeing
+/// termination of the dual-ascent algorithms: with per-phase factor
+/// `γ = B^{1/s}`, after `s` phases every client is connected.
+///
+/// `B = 4·ρ` suffices: a client's dual starts at its cheapest connection
+/// cost (or the positive floor if that is zero) and must reach
+/// `c_ij + f_i ≤ 2·max coefficient` for its cheapest facility.
+pub fn termination_bound(instance: &Instance) -> f64 {
+    4.0 * coefficient_spread(instance)
+}
+
+/// The per-phase raise factor `γ = B^{1/s}` for `s` phases.
+///
+/// # Panics
+///
+/// Panics if `phases == 0`.
+pub fn phase_factor(instance: &Instance, phases: u32) -> f64 {
+    assert!(phases > 0, "need at least one phase");
+    let b = termination_bound(instance);
+    b.powf(1.0 / f64::from(phases)).max(1.0 + 1e-9)
+}
+
+/// Number of phases needed so that the per-phase factor is at most `gamma`.
+///
+/// Inverse of [`phase_factor`]; useful for "give me the round budget for a
+/// target approximation" queries.
+///
+/// # Panics
+///
+/// Panics if `gamma <= 1`.
+pub fn phases_for_factor(instance: &Instance, gamma: f64) -> u32 {
+    assert!(gamma > 1.0, "factor must exceed 1");
+    let b = termination_bound(instance);
+    (b.ln() / gamma.ln()).ceil().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn inst(opening: &[f64], connection: &[&[f64]]) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let fs: Vec<_> =
+            opening.iter().map(|&f| b.add_facility(Cost::new(f).unwrap())).collect();
+        for row in connection {
+            let c = b.add_client();
+            for (i, &v) in row.iter().enumerate() {
+                b.link(c, fs[i], Cost::new(v).unwrap()).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spread_of_uniform_instance_is_one() {
+        let i = inst(&[5.0], &[&[5.0]]);
+        assert_eq!(coefficient_spread(&i), 1.0);
+        assert_eq!(termination_bound(&i), 4.0);
+    }
+
+    #[test]
+    fn spread_ignores_zeros() {
+        let i = inst(&[100.0], &[&[0.0], &[1.0]]);
+        assert_eq!(positive_floor(&i).value(), 1.0);
+        assert_eq!(max_coefficient(&i).value(), 100.0);
+        assert_eq!(coefficient_spread(&i), 100.0);
+    }
+
+    #[test]
+    fn phase_factor_monotone_in_phases() {
+        let i = inst(&[1000.0], &[&[1.0]]);
+        let g1 = phase_factor(&i, 1);
+        let g4 = phase_factor(&i, 4);
+        let g16 = phase_factor(&i, 16);
+        assert!(g1 > g4 && g4 > g16);
+        assert!(g16 > 1.0);
+        // With s phases, gamma^s covers B.
+        let b = termination_bound(&i);
+        assert!(g4.powi(4) >= b * 0.999);
+    }
+
+    #[test]
+    fn phases_for_factor_inverts() {
+        let i = inst(&[1000.0], &[&[1.0]]);
+        let s = phases_for_factor(&i, 2.0);
+        let g = phase_factor(&i, s);
+        assert!(g <= 2.0 + 1e-9, "factor {g} for {s} phases");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn zero_phases_panics() {
+        let i = inst(&[1.0], &[&[1.0]]);
+        let _ = phase_factor(&i, 0);
+    }
+}

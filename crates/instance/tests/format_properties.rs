@@ -1,0 +1,66 @@
+//! Property-based round-trip tests for the serialization formats and
+//! transformation invariants.
+
+use proptest::prelude::*;
+
+use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+use distfl_instance::{orlib, spread, textio, transform, Instance};
+
+fn arbitrary_instance() -> impl Strategy<Value = Instance> {
+    (1usize..8, 1usize..15, 0u64..500).prop_map(|(m, n, seed)| {
+        UniformRandom::new(m, n).unwrap().generate(seed).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn textio_round_trips(inst in arbitrary_instance()) {
+        let text = textio::to_string(&inst);
+        let parsed = textio::from_str(&text).unwrap();
+        prop_assert_eq!(inst, parsed);
+    }
+
+    #[test]
+    fn orlib_round_trips_dense_instances(inst in arbitrary_instance()) {
+        let text = orlib::to_string(&inst).unwrap();
+        let parsed = orlib::from_str(&text).unwrap();
+        prop_assert_eq!(inst, parsed);
+    }
+
+    #[test]
+    fn formats_agree_with_each_other(inst in arbitrary_instance()) {
+        let via_text = textio::from_str(&textio::to_string(&inst)).unwrap();
+        let via_orlib = orlib::from_str(&orlib::to_string(&inst).unwrap()).unwrap();
+        prop_assert_eq!(via_text, via_orlib);
+    }
+
+    #[test]
+    fn scaling_preserves_spread_and_shape(
+        inst in arbitrary_instance(),
+        factor in 0.01f64..1000.0,
+    ) {
+        let scaled = transform::scale_costs(&inst, factor).unwrap();
+        prop_assert_eq!(scaled.num_links(), inst.num_links());
+        let a = spread::coefficient_spread(&inst);
+        let b = spread::coefficient_spread(&scaled);
+        prop_assert!((a - b).abs() / a < 1e-6, "spread changed: {} vs {}", a, b);
+    }
+
+    #[test]
+    fn normalize_then_scale_is_identity(inst in arbitrary_instance()) {
+        let (normalized, scale) = transform::normalize(&inst).unwrap();
+        let back = transform::scale_costs(&normalized, scale).unwrap();
+        for (a, b) in inst.coefficients().zip(back.coefficients()) {
+            let tol = 1e-9 * a.value().max(1.0);
+            prop_assert!((a.value() - b.value()).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn perturb_zero_noise_is_identity(inst in arbitrary_instance(), seed in 0u64..100) {
+        let same = transform::perturb(&inst, 0.0, seed).unwrap();
+        prop_assert_eq!(inst, same);
+    }
+}

@@ -1,0 +1,146 @@
+//! Certified lower bounds on `OPT`.
+//!
+//! Measured approximation ratios are only meaningful against quantities
+//! that are *provably* at most `OPT`. Three sources are combined here:
+//!
+//! 1. the trivial structural bound (`min_i f_i + Σ_j min_i c_ij`),
+//! 2. dual fitting of any [`crate::DualSolution`] (weak duality),
+//! 3. the exact optimum for instances with few facilities.
+//!
+//! Since every source is a valid lower bound, their maximum is too, and
+//! ratios computed against it *over-estimate* the true approximation
+//! ratio — conservative in the right direction.
+
+use distfl_instance::Instance;
+
+use crate::dual::DualSolution;
+use crate::exact;
+
+/// The structural bound `min_i f_i + Σ_j min_i c_ij`: any solution opens at
+/// least one facility and connects every client no cheaper than its
+/// cheapest link.
+pub fn trivial_lower_bound(instance: &Instance) -> f64 {
+    let min_opening = instance
+        .facilities()
+        .map(|i| instance.opening_cost(i).value())
+        .fold(f64::INFINITY, f64::min);
+    let connections: f64 =
+        instance.clients().map(|j| instance.cheapest_link(j).1.value()).sum();
+    min_opening + connections
+}
+
+/// How a [`certified_lower_bound`] was obtained (the strongest source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundSource {
+    /// The exact branch-and-bound optimum (the bound *is* `OPT`).
+    Exact,
+    /// Dual fitting of a supplied dual solution.
+    DualFitting,
+    /// The trivial structural bound.
+    Trivial,
+}
+
+/// A lower bound on `OPT` together with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowerBound {
+    /// The certified value (`≤ OPT`).
+    pub value: f64,
+    /// Which source produced it.
+    pub source: BoundSource,
+}
+
+/// The best certified lower bound available: the exact optimum when the
+/// instance has at most `exact_limit` facilities, otherwise the maximum of
+/// the trivial bound and the dual-fitting bounds of all supplied duals.
+pub fn certified_lower_bound(
+    instance: &Instance,
+    duals: &[&DualSolution],
+    exact_limit: usize,
+) -> LowerBound {
+    if let Ok(opt) = exact::solve_with_limit(instance, exact_limit) {
+        return LowerBound { value: opt.cost.value(), source: BoundSource::Exact };
+    }
+    let mut best = LowerBound { value: trivial_lower_bound(instance), source: BoundSource::Trivial };
+    for dual in duals {
+        let lb = dual.lower_bound(instance, crate::TOLERANCE);
+        if lb > best.value {
+            best = LowerBound { value: lb, source: BoundSource::DualFitting };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+    use distfl_instance::{Cost, InstanceBuilder};
+
+    fn fixture() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let f0 = b.add_facility(Cost::new(4.0).unwrap());
+        let f1 = b.add_facility(Cost::new(9.0).unwrap());
+        let c0 = b.add_client();
+        let c1 = b.add_client();
+        b.link(c0, f0, Cost::new(1.0).unwrap()).unwrap();
+        b.link(c0, f1, Cost::new(0.5).unwrap()).unwrap();
+        b.link(c1, f0, Cost::new(2.0).unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trivial_bound_value() {
+        // min f = 4; min links: 0.5 + 2.0.
+        assert!((trivial_lower_bound(&fixture()) - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_bound_is_below_opt_on_random_instances() {
+        for seed in 0..10 {
+            let inst = UniformRandom::new(6, 12).unwrap().generate(seed).unwrap();
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            let lb = trivial_lower_bound(&inst);
+            assert!(lb <= opt + 1e-9, "seed {seed}: trivial {lb} above OPT {opt}");
+        }
+    }
+
+    #[test]
+    fn certified_prefers_exact_when_available() {
+        let inst = fixture();
+        let lb = certified_lower_bound(&inst, &[], 10);
+        assert_eq!(lb.source, BoundSource::Exact);
+        // OPT: open f0, connect both: 4 + 1 + 2 = 7.
+        assert!((lb.value - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certified_falls_back_to_best_of_trivial_and_dual() {
+        let inst = fixture();
+        // Forbid exact (limit 1 < 2 facilities).
+        let weak = DualSolution::new(vec![0.0, 0.0]);
+        let lb = certified_lower_bound(&inst, &[&weak], 1);
+        assert_eq!(lb.source, BoundSource::Trivial);
+        assert!((lb.value - 6.5).abs() < 1e-12);
+
+        // A dual strong enough to beat the trivial bound:
+        // alpha = (3.5, 3.5): payment(f0) = 2.5 + 1.5 = 4 <= 4;
+        // payment(f1) = 3.0 <= 9. Feasible, value 7.
+        let strong = DualSolution::new(vec![3.5, 3.5]);
+        let lb = certified_lower_bound(&inst, &[&weak, &strong], 1);
+        assert_eq!(lb.source, BoundSource::DualFitting);
+        assert!((lb.value - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_fitting_bound_never_exceeds_exact() {
+        for seed in 0..6 {
+            let inst = UniformRandom::new(5, 9).unwrap().generate(seed).unwrap();
+            let opt = exact::solve(&inst).unwrap().cost.value();
+            // An aggressive (likely infeasible) dual still certifies once
+            // scaled.
+            let dual = DualSolution::new(vec![1e3; 9]);
+            let lb = dual.lower_bound(&inst, crate::TOLERANCE);
+            assert!(lb <= opt + 1e-6, "seed {seed}: dual lb {lb} above OPT {opt}");
+        }
+    }
+}

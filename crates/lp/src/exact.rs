@@ -1,0 +1,319 @@
+//! Exact optimum via branch-and-bound over facility subsets.
+//!
+//! For a fixed open set `S`, the optimal assignment is each client's
+//! cheapest link into `S`, so the search space is the `2^m` facility
+//! subsets. With an admissible bound (current opening cost plus, per
+//! client, the cheapest link among open-or-undecided facilities) and
+//! best-first pruning, instances with `m ≤ ~24` solve quickly — these are
+//! the denominators for the *exact* measured approximation ratios in the
+//! experiment harness.
+
+use distfl_instance::{Cost, FacilityId, Instance, Solution};
+
+/// Errors from the exact solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExactError {
+    /// The instance has more facilities than `limit`, so exhaustive search
+    /// was refused.
+    TooManyFacilities {
+        /// Facilities in the instance.
+        facilities: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::TooManyFacilities { facilities, limit } => write!(
+                f,
+                "exact solver refused: {facilities} facilities exceeds the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// Default facility-count limit for [`solve`].
+pub const DEFAULT_LIMIT: usize = 24;
+
+/// An exact optimum with its certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimum {
+    /// An optimal solution.
+    pub solution: Solution,
+    /// Its cost (the true `OPT`).
+    pub cost: Cost,
+    /// Number of branch-and-bound nodes explored (diagnostics).
+    pub nodes_explored: u64,
+}
+
+/// Computes the exact optimum, refusing instances with more than
+/// [`DEFAULT_LIMIT`] facilities.
+///
+/// # Errors
+///
+/// Returns [`ExactError::TooManyFacilities`] for oversized instances.
+pub fn solve(instance: &Instance) -> Result<Optimum, ExactError> {
+    solve_with_limit(instance, DEFAULT_LIMIT)
+}
+
+/// Computes the exact optimum with an explicit facility-count limit.
+///
+/// # Errors
+///
+/// Returns [`ExactError::TooManyFacilities`] for oversized instances.
+pub fn solve_with_limit(instance: &Instance, limit: usize) -> Result<Optimum, ExactError> {
+    let m = instance.num_facilities();
+    if m > limit {
+        return Err(ExactError::TooManyFacilities { facilities: m, limit });
+    }
+    let n = instance.num_clients();
+
+    // Branch order: facilities sorted by descending "attractiveness"
+    // (number of clients for which they are the cheapest link), so good
+    // incumbents are found early and pruning bites.
+    let mut order: Vec<FacilityId> = instance.facilities().collect();
+    let mut cheapest_count = vec![0usize; m];
+    for j in instance.clients() {
+        cheapest_count[instance.cheapest_link(j).0.index()] += 1;
+    }
+    order.sort_by_key(|i| std::cmp::Reverse(cheapest_count[i.index()]));
+
+    // suffix_min[k][j]: cheapest link of client j among order[k..] (f64,
+    // INFINITY if none). suffix_min[m][j] = INFINITY.
+    let mut suffix_min = vec![vec![f64::INFINITY; n]; m + 1];
+    for k in (0..m).rev() {
+        let i = order[k];
+        let (head, tail) = suffix_min.split_at_mut(k + 1);
+        head[k].clone_from(&tail[0]);
+        for &(j, c) in instance.facility_links(i) {
+            let slot = &mut suffix_min[k][j.index()];
+            *slot = slot.min(c.value());
+        }
+    }
+
+    let mut search = Search {
+        instance,
+        order: &order,
+        suffix_min: &suffix_min,
+        best_cost: f64::INFINITY,
+        best_open: Vec::new(),
+        cur_open: Vec::new(),
+        cur_best_link: vec![f64::INFINITY; n],
+        nodes: 0,
+    };
+    // Seed the incumbent with "open everything" so pruning has a target.
+    let all_open: Vec<FacilityId> = instance.facilities().collect();
+    if let Some(cost) = open_set_cost(instance, &all_open) {
+        search.best_cost = cost;
+        search.best_open = all_open;
+    }
+    search.recurse(0, 0.0);
+
+    let open = std::mem::take(&mut search.best_open);
+    debug_assert!(search.best_cost.is_finite(), "instances are feasible by invariant");
+    let assignment: Vec<FacilityId> = instance
+        .clients()
+        .map(|j| {
+            instance
+                .client_links(j)
+                .iter()
+                .filter(|(i, _)| open.contains(i))
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .map(|(i, _)| *i)
+                .expect("optimal open set covers every client")
+        })
+        .collect();
+    let solution = Solution::from_assignment(instance, assignment)
+        .expect("optimal assignment is feasible");
+    let cost = solution.cost(instance);
+    Ok(Optimum { solution, cost, nodes_explored: search.nodes })
+}
+
+/// Cost of opening exactly `open` (None if some client is uncovered).
+fn open_set_cost(instance: &Instance, open: &[FacilityId]) -> Option<f64> {
+    let mut total: f64 = open.iter().map(|&i| instance.opening_cost(i).value()).sum();
+    for j in instance.clients() {
+        let best = instance
+            .client_links(j)
+            .iter()
+            .filter(|(i, _)| open.contains(i))
+            .map(|(_, c)| c.value())
+            .fold(f64::INFINITY, f64::min);
+        if !best.is_finite() {
+            return None;
+        }
+        total += best;
+    }
+    Some(total)
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    order: &'a [FacilityId],
+    suffix_min: &'a [Vec<f64>],
+    best_cost: f64,
+    best_open: Vec<FacilityId>,
+    cur_open: Vec<FacilityId>,
+    cur_best_link: Vec<f64>,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    /// Explores decisions for `order[k..]` given accumulated opening cost.
+    fn recurse(&mut self, k: usize, opening_so_far: f64) {
+        self.nodes += 1;
+        // Admissible bound: opening so far plus each client's cheapest link
+        // among already-open or still-undecided facilities.
+        let mut bound = opening_so_far;
+        for (j, &cur) in self.cur_best_link.iter().enumerate() {
+            let reachable = cur.min(self.suffix_min[k][j]);
+            if !reachable.is_finite() {
+                return; // some client can never be covered on this branch
+            }
+            bound += reachable;
+            if bound >= self.best_cost {
+                return;
+            }
+        }
+
+        if k == self.order.len() {
+            // All decided; bound equals the true cost of this leaf.
+            if bound < self.best_cost {
+                self.best_cost = bound;
+                self.best_open = self.cur_open.clone();
+            }
+            return;
+        }
+
+        let i = self.order[k];
+
+        // Branch 1: open facility i.
+        let saved: Vec<(usize, f64)> = self
+            .instance
+            .facility_links(i)
+            .iter()
+            .filter_map(|&(j, c)| {
+                let slot = self.cur_best_link[j.index()];
+                (c.value() < slot).then(|| {
+                    self.cur_best_link[j.index()] = c.value();
+                    (j.index(), slot)
+                })
+            })
+            .collect();
+        self.cur_open.push(i);
+        self.recurse(k + 1, opening_so_far + self.instance.opening_cost(i).value());
+        self.cur_open.pop();
+        for &(j, old) in saved.iter().rev() {
+            self.cur_best_link[j] = old;
+        }
+
+        // Branch 2: keep facility i closed.
+        self.recurse(k + 1, opening_so_far);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{
+        AdversarialGreedy, Euclidean, InstanceGenerator, UniformRandom,
+    };
+    use distfl_instance::{Cost, InstanceBuilder};
+
+    #[test]
+    fn trivial_single_facility() {
+        let mut b = InstanceBuilder::new();
+        let f = b.add_facility(Cost::new(5.0).unwrap());
+        let c = b.add_client();
+        b.link(c, f, Cost::new(2.0).unwrap()).unwrap();
+        let inst = b.build().unwrap();
+        let opt = solve(&inst).unwrap();
+        assert_eq!(opt.cost.value(), 7.0);
+        assert_eq!(opt.solution.num_open(), 1);
+    }
+
+    #[test]
+    fn picks_cheaper_of_two_structures() {
+        // Opening both facilities costs 2+2=4 with connections 0;
+        // opening only f0 costs 2 + 0 + 3 = 5. Optimal: open both (cost 4).
+        let mut b = InstanceBuilder::new();
+        let f0 = b.add_facility(Cost::new(2.0).unwrap());
+        let f1 = b.add_facility(Cost::new(2.0).unwrap());
+        let c0 = b.add_client();
+        let c1 = b.add_client();
+        b.link(c0, f0, Cost::ZERO).unwrap();
+        b.link(c0, f1, Cost::new(3.0).unwrap()).unwrap();
+        b.link(c1, f1, Cost::ZERO).unwrap();
+        b.link(c1, f0, Cost::new(3.0).unwrap()).unwrap();
+        let inst = b.build().unwrap();
+        let opt = solve(&inst).unwrap();
+        assert_eq!(opt.cost.value(), 4.0);
+        assert_eq!(opt.solution.num_open(), 2);
+    }
+
+    #[test]
+    fn adversarial_optimum_is_the_hub() {
+        let gen = AdversarialGreedy::new(10).unwrap();
+        let inst = gen.generate(0).unwrap();
+        let opt = solve(&inst).unwrap();
+        assert!((opt.cost.value() - gen.optimal_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        for seed in 0..8 {
+            let inst = UniformRandom::new(6, 10).unwrap().generate(seed).unwrap();
+            let opt = solve(&inst).unwrap();
+            // Brute force over all 2^6 - 1 non-empty subsets.
+            let mut best = f64::INFINITY;
+            for mask in 1u32..(1 << 6) {
+                let open: Vec<FacilityId> = (0..6)
+                    .filter(|b| mask & (1 << b) != 0)
+                    .map(|b| FacilityId::new(b as u32))
+                    .collect();
+                if let Some(cost) = open_set_cost(&inst, &open) {
+                    best = best.min(cost);
+                }
+            }
+            assert!(
+                (opt.cost.value() - best).abs() < 1e-9,
+                "seed {seed}: bnb {} vs brute {best}",
+                opt.cost.value()
+            );
+        }
+    }
+
+    #[test]
+    fn solution_is_feasible_and_assignment_optimal() {
+        let inst = Euclidean::new(8, 25).unwrap().generate(3).unwrap();
+        let opt = solve(&inst).unwrap();
+        opt.solution.check_feasible(&inst).unwrap();
+        // Reassigning greedily must not improve an optimal solution.
+        let re = opt.solution.reassign_greedily(&inst);
+        assert!((re.cost(&inst).value() - opt.cost.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refuses_oversized_instances() {
+        let inst = UniformRandom::new(30, 5).unwrap().generate(0).unwrap();
+        assert!(matches!(solve(&inst), Err(ExactError::TooManyFacilities { .. })));
+        assert!(solve_with_limit(&inst, 30).is_ok());
+    }
+
+    #[test]
+    fn pruning_explores_fewer_nodes_than_exhaustive() {
+        let inst = UniformRandom::new(12, 20).unwrap().generate(1).unwrap();
+        let opt = solve(&inst).unwrap();
+        assert!(
+            opt.nodes_explored < (1 << 13),
+            "explored {} nodes, exhaustive would be {}",
+            opt.nodes_explored,
+            1 << 13
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Minimum-cost flow (successive shortest paths with potentials).
+//!
+//! The transportation subproblem of capacitated facility location — given
+//! an open set, assign clients optimally under hard capacities — is a
+//! min-cost flow. This is a compact, exact solver for integer capacities
+//! and non-negative real costs: Dijkstra with Johnson potentials per
+//! augmentation, so no negative-cycle machinery is needed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of an arc returned by [`FlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: i64,
+    cost: f64,
+    /// Index of the reverse arc.
+    rev: usize,
+}
+
+/// A directed flow network with integer capacities and non-negative real
+/// costs.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    /// Per-node outgoing arc lists (indices into a shared arena layout:
+    /// `graph[v][k]`).
+    graph: Vec<Vec<Arc>>,
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes (`0..n`).
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { graph: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds an arc `from → to` with the given capacity and cost; a zero
+    /// capacity reverse arc is added automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, negative capacity, or a
+    /// negative/non-finite cost.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: f64) -> EdgeId {
+        assert!(from < self.graph.len() && to < self.graph.len(), "endpoint out of range");
+        assert!(cap >= 0, "capacity must be non-negative");
+        assert!(cost.is_finite() && cost >= 0.0, "cost must be finite and non-negative");
+        let from_idx = self.graph[from].len();
+        let to_idx = self.graph[to].len() + usize::from(from == to);
+        self.graph[from].push(Arc { to, cap, cost, rev: to_idx });
+        self.graph[to].push(Arc { to: from, cap: 0, cost: -cost, rev: from_idx });
+        EdgeId(from * (1 << 32) + from_idx)
+    }
+
+    /// The flow pushed through an arc (capacity consumed on the forward
+    /// arc = capacity accrued on its reverse).
+    pub fn flow_on(&self, edge: EdgeId) -> i64 {
+        let from = edge.0 >> 32;
+        let idx = edge.0 & ((1 << 32) - 1);
+        let arc = &self.graph[from][idx];
+        self.graph[arc.to][arc.rev].cap
+    }
+
+    /// Sends up to `target` units from `source` to `sink` at minimum
+    /// cost. Returns `(flow sent, total cost)`; the flow sent is less than
+    /// `target` iff the network saturates first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints.
+    pub fn min_cost_flow(&mut self, source: usize, sink: usize, target: i64) -> (i64, f64) {
+        assert!(source < self.graph.len() && sink < self.graph.len(), "endpoint out of range");
+        let n = self.graph.len();
+        let mut potential = vec![0.0f64; n];
+        let mut total_flow = 0i64;
+        let mut total_cost = 0.0f64;
+
+        while total_flow < target {
+            // Dijkstra with potentials.
+            let mut dist = vec![f64::INFINITY; n];
+            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n]; // (node, arc idx)
+            dist[source] = 0.0;
+            let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+            heap.push(Reverse((OrdF64(0.0), source)));
+            while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+                if d > dist[u] + 1e-12 {
+                    continue;
+                }
+                for (k, arc) in self.graph[u].iter().enumerate() {
+                    if arc.cap <= 0 {
+                        continue;
+                    }
+                    let nd = d + arc.cost + potential[u] - potential[arc.to];
+                    if nd + 1e-12 < dist[arc.to] {
+                        dist[arc.to] = nd;
+                        prev[arc.to] = Some((u, k));
+                        heap.push(Reverse((OrdF64(nd), arc.to)));
+                    }
+                }
+            }
+            if !dist[sink].is_finite() {
+                break; // saturated
+            }
+            for v in 0..n {
+                if dist[v].is_finite() {
+                    potential[v] += dist[v];
+                }
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = target - total_flow;
+            let mut v = sink;
+            while let Some((u, k)) = prev[v] {
+                bottleneck = bottleneck.min(self.graph[u][k].cap);
+                v = u;
+            }
+            // Apply.
+            let mut v = sink;
+            while let Some((u, k)) = prev[v] {
+                let rev = self.graph[u][k].rev;
+                self.graph[u][k].cap -= bottleneck;
+                self.graph[v][rev].cap += bottleneck;
+                total_cost += self.graph[u][k].cost * bottleneck as f64;
+                v = u;
+            }
+            total_flow += bottleneck;
+        }
+        (total_flow, total_cost)
+    }
+}
+
+/// Total-ordered f64 for the Dijkstra heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 5, 1.0);
+        net.add_edge(1, 2, 5, 2.0);
+        let (flow, cost) = net.min_cost_flow(0, 2, 4);
+        assert_eq!(flow, 4);
+        assert!((cost - 12.0).abs() < 1e-9);
+        assert_eq!(net.flow_on(e), 4);
+    }
+
+    #[test]
+    fn prefers_the_cheap_route_then_spills() {
+        // Two parallel routes 0->1->3 (cost 1+1, cap 2) and 0->2->3
+        // (cost 3+3, cap 10). Sending 5 units: 2 cheap + 3 expensive.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2, 1.0);
+        net.add_edge(1, 3, 2, 1.0);
+        net.add_edge(0, 2, 10, 3.0);
+        net.add_edge(2, 3, 10, 3.0);
+        let (flow, cost) = net.min_cost_flow(0, 3, 5);
+        assert_eq!(flow, 5);
+        assert!((cost - (2.0 * 2.0 + 3.0 * 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_is_reported() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3, 1.0);
+        let (flow, _) = net.min_cost_flow(0, 1, 10);
+        assert_eq!(flow, 3);
+    }
+
+    #[test]
+    fn rerouting_through_residual_arcs() {
+        // The classic case where a later augmentation must undo part of an
+        // earlier one. 4 nodes: s=0, a=1, b=2, t=3.
+        // s->a (1, 1), s->b (1, 10), a->b (1, 0.5), a->t (1, 10), b->t (1, 1).
+        // 2 units: optimal is s->a->b->t (2.5) + s->b? b->t full...
+        // first path s->a->b->t cost 2.5; second s->b->t blocked (b->t cap
+        // 1 used) -> must go s->b, then b->a via residual? Check optimum by
+        // exhaustive reasoning: total min-cost 2-flow = s->a->t + s->b->t
+        // = 11 + 11 = wait: s->a(1)+a->t(10) = 11; s->b(10)+b->t(1) = 11;
+        // versus s->a->b->t = 2.5 then s->b(10) + residual b->a(-0.5) +
+        // a->t(10) = 19.5 -> total 22. Optimum is 22? No: 11 + 11 = 22 as
+        // well. Both routings cost 22 in total.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1, 1.0);
+        net.add_edge(0, 2, 1, 10.0);
+        net.add_edge(1, 2, 1, 0.5);
+        net.add_edge(1, 3, 1, 10.0);
+        net.add_edge(2, 3, 1, 1.0);
+        let (flow, cost) = net.min_cost_flow(0, 3, 2);
+        assert_eq!(flow, 2);
+        assert!((cost - 22.0).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn transportation_matches_brute_force() {
+        // 2 suppliers x 3 consumers, unit demands, supplier capacities 2/1.
+        let costs = [[4.0, 1.0, 2.0], [2.0, 3.0, 3.0]];
+        let caps = [2i64, 1];
+        // Flow model: s=0, suppliers 1..2, consumers 3..5, t=6.
+        let mut net = FlowNetwork::new(7);
+        for (i, &cap) in caps.iter().enumerate() {
+            net.add_edge(0, 1 + i, cap, 0.0);
+        }
+        for (i, row) in costs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                net.add_edge(1 + i, 3 + j, 1, c);
+            }
+        }
+        for j in 0..3 {
+            net.add_edge(3 + j, 6, 1, 0.0);
+        }
+        let (flow, cost) = net.min_cost_flow(0, 6, 3);
+        assert_eq!(flow, 3);
+        // Brute force over supplier assignments respecting caps.
+        let mut best = f64::INFINITY;
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    let pick = [a, b, c];
+                    let load0 = pick.iter().filter(|&&p| p == 0).count() as i64;
+                    let load1 = 3 - load0;
+                    if load0 <= caps[0] && load1 <= caps[1] {
+                        let total: f64 =
+                            pick.iter().enumerate().map(|(j, &p)| costs[p][j]).sum();
+                        best = best.min(total);
+                    }
+                }
+            }
+        }
+        assert!((cost - best).abs() < 1e-9, "flow {cost} vs brute {best}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-negative")]
+    fn rejects_negative_capacity() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be finite")]
+    fn rejects_negative_cost() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1, -1.0);
+    }
+}

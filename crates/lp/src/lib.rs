@@ -1,0 +1,50 @@
+//! # distfl-lp
+//!
+//! LP-relaxation machinery for uncapacitated facility location, used as the
+//! *ground truth* layer of the `distfl` reproduction: every measured
+//! approximation ratio in the experiment harness is relative to a
+//! **certified lower bound** produced here.
+//!
+//! The LP relaxation and its dual (the objects the PODC 2005 analysis lives
+//! in):
+//!
+//! ```text
+//! min  Σ_i f_i·y_i + Σ_ij c_ij·x_ij       max  Σ_j α_j
+//! s.t. Σ_i x_ij ≥ 1          ∀j           s.t. Σ_j max(0, α_j − c_ij) ≤ f_i  ∀i
+//!      x_ij ≤ y_i            ∀i,j              α_j ≥ 0
+//!      x, y ≥ 0
+//! ```
+//!
+//! Contents:
+//!
+//! * [`FractionalSolution`] — a primal point with feasibility checking and
+//!   cost evaluation,
+//! * [`DualSolution`] — a dual point; any dual point scaled by its
+//!   feasibility factor yields a lower bound on `OPT` by weak duality,
+//! * [`bounds`] — trivial, dual-fitting, and combined certified bounds,
+//! * [`exact`] — a branch-and-bound solver computing the true optimum for
+//!   instances with few facilities (the denominator for exact measured
+//!   ratios),
+//! * [`rounding`] — a sequential reference implementation of randomized
+//!   rounding, used to cross-validate the distributed rounding stage,
+//! * [`flow`] — an exact min-cost-flow solver (the transportation
+//!   subproblem of hard-capacitated assignment),
+//! * [`mod@line`] — an exact polynomial-time DP for line-metric instances
+//!   (the exact oracle at sizes beyond branch-and-bound).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+mod dual;
+pub mod exact;
+pub mod flow;
+pub mod line;
+mod primal;
+pub mod rounding;
+
+pub use dual::DualSolution;
+pub use primal::{FractionalSolution, PrimalViolation};
+
+/// Default numeric tolerance for feasibility checks.
+pub const TOLERANCE: f64 = 1e-9;

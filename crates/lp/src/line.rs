@@ -1,0 +1,238 @@
+//! Exact uncapacitated facility location on a **line metric**, in
+//! polynomial time.
+//!
+//! When facilities and clients live on a line and connection costs are
+//! distances, an optimal solution assigns every client to its nearest
+//! open facility, so consecutive open facilities split the clients
+//! between them at their midpoint. That structure admits an `O(m²·log n)`
+//! dynamic program over facilities sorted by position — an *exact* oracle
+//! at sizes far beyond the subset branch-and-bound, which is what lets
+//! the experiments report true approximation ratios on large instances
+//! (experiment E2's `line` rows).
+
+/// Result of the line DP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineOptimum {
+    /// The optimal total cost.
+    pub cost: f64,
+    /// Indices (into the *input* facility arrays) of the open facilities.
+    pub open: Vec<usize>,
+}
+
+/// Solves UFL exactly on a line: facility positions and opening costs,
+/// client positions; connection cost is `|p_i − q_j|`.
+///
+/// # Panics
+///
+/// Panics if the facility arrays' lengths differ, either side is empty,
+/// or any value is not finite / any opening cost is negative.
+pub fn solve_line(
+    facility_pos: &[f64],
+    opening: &[f64],
+    client_pos: &[f64],
+) -> LineOptimum {
+    assert_eq!(facility_pos.len(), opening.len(), "facility arrays must align");
+    assert!(!facility_pos.is_empty(), "need at least one facility");
+    assert!(!client_pos.is_empty(), "need at least one client");
+    assert!(
+        facility_pos.iter().chain(client_pos).all(|v| v.is_finite()),
+        "positions must be finite"
+    );
+    assert!(
+        opening.iter().all(|f| f.is_finite() && *f >= 0.0),
+        "opening costs must be finite and non-negative"
+    );
+
+    let m = facility_pos.len();
+    // Facilities sorted by position (stable on ties).
+    let mut forder: Vec<usize> = (0..m).collect();
+    forder.sort_by(|&a, &b| facility_pos[a].total_cmp(&facility_pos[b]).then(a.cmp(&b)));
+    let fpos: Vec<f64> = forder.iter().map(|&i| facility_pos[i]).collect();
+    let fopen: Vec<f64> = forder.iter().map(|&i| opening[i]).collect();
+
+    // Clients sorted with prefix sums.
+    let mut q: Vec<f64> = client_pos.to_vec();
+    q.sort_by(f64::total_cmp);
+    let n = q.len();
+    let mut prefix = vec![0.0f64; n + 1];
+    for (k, &v) in q.iter().enumerate() {
+        prefix[k + 1] = prefix[k] + v;
+    }
+    // Σ q_l for l in [lo, hi).
+    let range_sum = |lo: usize, hi: usize| prefix[hi] - prefix[lo];
+    // First client index with position >= x.
+    let lower_bound = |x: f64| q.partition_point(|&v| v < x);
+
+    // Cost of serving clients [lo, hi) all by a facility at `pos`.
+    let serve_all = |pos: f64, lo: usize, hi: usize| -> f64 {
+        if lo >= hi {
+            return 0.0;
+        }
+        // Split into clients left of pos and right of pos.
+        let mid = lower_bound(pos).clamp(lo, hi);
+        (mid - lo) as f64 * pos - range_sum(lo, mid) + range_sum(mid, hi)
+            - (hi - mid) as f64 * pos
+    };
+    // Cost of the clients strictly between consecutive open facilities at
+    // positions a < b (client range [lo, hi)), each served by the nearer.
+    let serve_between = |a: f64, b: f64, lo: usize, hi: usize| -> f64 {
+        if lo >= hi {
+            return 0.0;
+        }
+        let split = lower_bound(f64::midpoint(a, b)).clamp(lo, hi);
+        // Left part pays q - a, right part pays b - q.
+        (range_sum(lo, split) - (split - lo) as f64 * a)
+            + ((hi - split) as f64 * b - range_sum(split, hi))
+    };
+
+    // dp[k] = best cost of a solution whose rightmost open facility is the
+    // k-th (sorted), covering every client left of it appropriately; the
+    // clients right of the last open facility are charged at the end.
+    let mut dp = vec![f64::INFINITY; m];
+    let mut prev: Vec<Option<usize>> = vec![None; m];
+    for k in 0..m {
+        let boundary = lower_bound(fpos[k]);
+        // Option 1: k is the first (leftmost) open facility: every client
+        // left of it connects to it.
+        dp[k] = fopen[k] + serve_all(fpos[k], 0, boundary);
+        // Option 2: some earlier facility a is open immediately before k.
+        for a in 0..k {
+            let a_boundary = lower_bound(fpos[a]);
+            let between = serve_between(fpos[a], fpos[k], a_boundary, boundary);
+            let candidate = dp[a] + fopen[k] + between;
+            if candidate < dp[k] {
+                dp[k] = candidate;
+                prev[k] = Some(a);
+            }
+        }
+    }
+    // Close: charge clients right of the last open facility.
+    let mut best = f64::INFINITY;
+    let mut last = 0;
+    for k in 0..m {
+        let boundary = lower_bound(fpos[k]);
+        let total = dp[k] + serve_all(fpos[k], boundary, n);
+        if total < best {
+            best = total;
+            last = k;
+        }
+    }
+    // Reconstruct.
+    let mut open_sorted = vec![last];
+    while let Some(p) = prev[*open_sorted.last().expect("non-empty")] {
+        open_sorted.push(p);
+    }
+    let mut open: Vec<usize> = open_sorted.into_iter().map(|k| forder[k]).collect();
+    open.sort_unstable();
+    LineOptimum { cost: best, open }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use distfl_instance::{Cost, Instance};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds the dense Instance matching a line layout.
+    fn line_instance(fpos: &[f64], opening: &[f64], cpos: &[f64]) -> Instance {
+        let open: Vec<Cost> = opening.iter().map(|&f| Cost::new(f).unwrap()).collect();
+        let costs: Vec<Vec<Cost>> = cpos
+            .iter()
+            .map(|&q| fpos.iter().map(|&p| Cost::new((p - q).abs()).unwrap()).collect())
+            .collect();
+        Instance::from_dense(open, costs).unwrap()
+    }
+
+    #[test]
+    fn single_facility() {
+        let got = solve_line(&[5.0], &[3.0], &[1.0, 6.0, 9.0]);
+        // 3 + 4 + 1 + 4 = 12.
+        assert!((got.cost - 12.0).abs() < 1e-9);
+        assert_eq!(got.open, vec![0]);
+    }
+
+    #[test]
+    fn two_facilities_split_at_the_midpoint() {
+        // Facilities at 0 and 10 (cheap), clients at 1, 4, 6, 9.
+        let got = solve_line(&[0.0, 10.0], &[1.0, 1.0], &[1.0, 4.0, 6.0, 9.0]);
+        // Open both: 1+1 openings, connections 1+4+4+1 = 10; total 12.
+        // Open one: 1 + (1+4+6+9) = 21 (left) or symmetric.
+        assert!((got.cost - 12.0).abs() < 1e-9, "cost {}", got.cost);
+        assert_eq!(got.open, vec![0, 1]);
+    }
+
+    #[test]
+    fn expensive_second_facility_stays_closed() {
+        let got = solve_line(&[0.0, 10.0], &[1.0, 100.0], &[1.0, 4.0, 6.0, 9.0]);
+        assert_eq!(got.open, vec![0]);
+        assert!((got.cost - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_branch_and_bound_on_random_layouts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..12 {
+            let m = rng.gen_range(2..9);
+            let n = rng.gen_range(1..14);
+            let fpos: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let opening: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..40.0)).collect();
+            let cpos: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let dp = solve_line(&fpos, &opening, &cpos);
+            let inst = line_instance(&fpos, &opening, &cpos);
+            let bnb = exact::solve(&inst).unwrap();
+            assert!(
+                (dp.cost - bnb.cost.value()).abs() < 1e-6,
+                "trial {trial}: dp {} vs bnb {}",
+                dp.cost,
+                bnb.cost.value()
+            );
+        }
+    }
+
+    #[test]
+    fn open_set_realizes_the_claimed_cost() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let fpos: Vec<f64> = (0..7).map(|_| rng.gen_range(0.0..50.0)).collect();
+        let opening: Vec<f64> = (0..7).map(|_| rng.gen_range(1.0..20.0)).collect();
+        let cpos: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..50.0)).collect();
+        let dp = solve_line(&fpos, &opening, &cpos);
+        // Recompute the cost of the returned open set directly.
+        let opening_cost: f64 = dp.open.iter().map(|&i| opening[i]).sum();
+        let connection: f64 = cpos
+            .iter()
+            .map(|&q| {
+                dp.open
+                    .iter()
+                    .map(|&i| (fpos[i] - q).abs())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        assert!(
+            (dp.cost - opening_cost - connection).abs() < 1e-6,
+            "claimed {} vs realized {}",
+            dp.cost,
+            opening_cost + connection
+        );
+    }
+
+    #[test]
+    fn scales_to_large_instances() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = 200;
+        let n = 5000;
+        let fpos: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let opening: Vec<f64> = (0..m).map(|_| rng.gen_range(5.0..100.0)).collect();
+        let cpos: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect();
+        let dp = solve_line(&fpos, &opening, &cpos);
+        assert!(dp.cost.is_finite() && dp.cost > 0.0);
+        assert!(!dp.open.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn rejects_empty_clients() {
+        let _ = solve_line(&[0.0], &[1.0], &[]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Sequential reference implementation of randomized rounding.
+//!
+//! Given a fractional point `(y, x)`, the classic non-metric rounding
+//! repeats `T = Θ(log n)` independent trials: in each trial facility `i`
+//! opens with probability `min(1, λ·y_i)`; a client whose fractional
+//! support hit an open facility connects to the cheapest such facility.
+//! After the trials, any still-unserved client *forces open* the facility
+//! minimizing `c_ij + f_i` (a deterministic fallback that keeps the output
+//! feasible with probability 1). In expectation the result costs
+//! `O(log n)` times the fractional objective — the `log(m+n)` factor of
+//! the paper's bound.
+//!
+//! The distributed rounding stage in `distfl-core` implements the same
+//! process with CONGEST messages; this module is its oracle in
+//! cross-validation tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use distfl_instance::{FacilityId, Instance, Solution};
+
+use crate::primal::FractionalSolution;
+
+/// Configuration for [`round`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundingConfig {
+    /// Per-trial opening boost `λ` (each trial opens `i` with probability
+    /// `min(1, λ·y_i)`).
+    pub boost: f64,
+    /// Number of independent trials before the deterministic fallback.
+    pub trials: u32,
+}
+
+impl RoundingConfig {
+    /// The standard configuration for an instance: `λ = 2`,
+    /// `T = ⌈log₂(n+m)⌉ + 2` trials.
+    pub fn for_instance(instance: &Instance) -> Self {
+        let total = (instance.num_clients() + instance.num_facilities()) as f64;
+        RoundingConfig { boost: 2.0, trials: total.log2().ceil() as u32 + 2 }
+    }
+}
+
+/// Outcome of a rounding run, with diagnostics used by experiment E5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundingOutcome {
+    /// The feasible integral solution.
+    pub solution: Solution,
+    /// Clients that were still unserved after all randomized trials and
+    /// took the deterministic fallback.
+    pub fallback_clients: usize,
+    /// Trial (1-based) by which half the clients were served, if any.
+    pub median_trial: Option<u32>,
+}
+
+/// Rounds a fractional point into a feasible integral solution.
+///
+/// # Panics
+///
+/// Panics if the fractional point's shape does not match the instance.
+pub fn round(
+    instance: &Instance,
+    fractional: &FractionalSolution,
+    config: RoundingConfig,
+    seed: u64,
+) -> RoundingOutcome {
+    assert_eq!(fractional.y().len(), instance.num_facilities(), "shape mismatch");
+    let n = instance.num_clients();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment: Vec<Option<FacilityId>> = vec![None; n];
+    let mut served = 0usize;
+    let mut median_trial = None;
+
+    for trial in 1..=config.trials {
+        let open: Vec<bool> = fractional
+            .y()
+            .iter()
+            .map(|&yi| rng.gen::<f64>() < (config.boost * yi).min(1.0))
+            .collect();
+        for j in instance.clients() {
+            if assignment[j.index()].is_some() {
+                continue;
+            }
+            // Connect to the cheapest open facility in the fractional
+            // support of j.
+            let best = fractional
+                .x(j)
+                .iter()
+                .filter(|&&(i, v)| v > 0.0 && open[i.index()])
+                .filter_map(|&(i, _)| instance.connection_cost(j, i).map(|c| (i, c)))
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)));
+            if let Some((i, _)) = best {
+                assignment[j.index()] = Some(i);
+                served += 1;
+            }
+        }
+        if median_trial.is_none() && served * 2 >= n {
+            median_trial = Some(trial);
+        }
+        if served == n {
+            break;
+        }
+    }
+
+    // Deterministic fallback: force open the best (c + f) facility.
+    let mut fallback_clients = 0;
+    for j in instance.clients() {
+        if assignment[j.index()].is_none() {
+            fallback_clients += 1;
+            let (i, _) = instance
+                .client_links(j)
+                .iter()
+                .map(|&(i, c)| (i, c + instance.opening_cost(i)))
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .expect("instance invariant: every client has a link");
+            assignment[j.index()] = Some(i);
+        }
+    }
+
+    let assignment: Vec<FacilityId> =
+        assignment.into_iter().map(|a| a.expect("all clients assigned")).collect();
+    let solution = Solution::from_assignment(instance, assignment)
+        .expect("rounded assignment uses existing links");
+    RoundingOutcome { solution, fallback_clients, median_trial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+    use distfl_instance::{Cost, InstanceBuilder};
+
+    fn fractional_uniform(instance: &Instance) -> FractionalSolution {
+        // Spread each client evenly over its links; open proportionally.
+        let mut y = vec![0.0f64; instance.num_facilities()];
+        let x: Vec<Vec<(FacilityId, f64)>> = instance
+            .clients()
+            .map(|j| {
+                let links = instance.client_links(j);
+                let share = 1.0 / links.len() as f64;
+                for (i, _) in links {
+                    y[i.index()] = y[i.index()].max(share);
+                }
+                links.iter().map(|&(i, _)| (i, share)).collect()
+            })
+            .collect();
+        FractionalSolution::new(y, x)
+    }
+
+    #[test]
+    fn output_is_always_feasible() {
+        for seed in 0..10 {
+            let inst = UniformRandom::new(6, 15).unwrap().generate(seed).unwrap();
+            let frac = fractional_uniform(&inst);
+            frac.check_feasible(&inst, 1e-9).unwrap();
+            let out = round(&inst, &frac, RoundingConfig::for_instance(&inst), seed);
+            out.solution.check_feasible(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_trials_forces_fallback_everywhere() {
+        let inst = UniformRandom::new(4, 9).unwrap().generate(1).unwrap();
+        let frac = fractional_uniform(&inst);
+        let out = round(&inst, &frac, RoundingConfig { boost: 2.0, trials: 0 }, 7);
+        assert_eq!(out.fallback_clients, 9);
+        assert_eq!(out.median_trial, None);
+        out.solution.check_feasible(&inst).unwrap();
+    }
+
+    #[test]
+    fn enough_trials_rarely_needs_fallback() {
+        let inst = UniformRandom::new(5, 40).unwrap().generate(2).unwrap();
+        let frac = fractional_uniform(&inst);
+        let out = round(&inst, &frac, RoundingConfig { boost: 3.0, trials: 30 }, 3);
+        assert_eq!(out.fallback_clients, 0, "30 boosted trials should serve everyone");
+        assert!(out.median_trial.unwrap() <= 3);
+    }
+
+    #[test]
+    fn rounding_is_deterministic_per_seed() {
+        let inst = UniformRandom::new(5, 12).unwrap().generate(4).unwrap();
+        let frac = fractional_uniform(&inst);
+        let cfg = RoundingConfig::for_instance(&inst);
+        let a = round(&inst, &frac, cfg, 9);
+        let b = round(&inst, &frac, cfg, 9);
+        assert_eq!(a, b);
+        let c = round(&inst, &frac, cfg, 10);
+        // Different seeds usually give different assignments.
+        assert!(a != c || a.solution == c.solution);
+    }
+
+    #[test]
+    fn fully_integral_fractional_point_rounds_to_itself() {
+        let mut b = InstanceBuilder::new();
+        let f0 = b.add_facility(Cost::new(3.0).unwrap());
+        let f1 = b.add_facility(Cost::new(100.0).unwrap());
+        let c0 = b.add_client();
+        b.link(c0, f0, Cost::new(1.0).unwrap()).unwrap();
+        b.link(c0, f1, Cost::new(1.0).unwrap()).unwrap();
+        let inst = b.build().unwrap();
+        let frac = FractionalSolution::new(vec![1.0, 0.0], vec![vec![(f0, 1.0)]]);
+        let out = round(&inst, &frac, RoundingConfig { boost: 1.0, trials: 5 }, 0);
+        assert!(out.solution.is_open(f0));
+        assert!(!out.solution.is_open(f1));
+        assert_eq!(out.fallback_clients, 0);
+    }
+
+    #[test]
+    fn expected_cost_tracks_fractional_objective() {
+        // Averaged over seeds, rounded cost should stay within the
+        // O(boost + log) envelope of the fractional objective.
+        let inst = UniformRandom::new(8, 30).unwrap().generate(5).unwrap();
+        let frac = fractional_uniform(&inst);
+        let lp = frac.objective(&inst);
+        let cfg = RoundingConfig::for_instance(&inst);
+        let avg: f64 = (0..20)
+            .map(|s| round(&inst, &frac, cfg, s).solution.cost(&inst).value())
+            .sum::<f64>()
+            / 20.0;
+        let envelope = lp * (cfg.boost * cfg.trials as f64 + 2.0);
+        assert!(avg <= envelope, "avg rounded {avg} vs envelope {envelope}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based cross-validation of the exact oracles.
+
+use proptest::prelude::*;
+
+use distfl_instance::{Cost, Instance};
+use distfl_lp::{exact, flow, line};
+
+fn line_instance(fpos: &[f64], opening: &[f64], cpos: &[f64]) -> Instance {
+    let open: Vec<Cost> = opening.iter().map(|&f| Cost::new(f).unwrap()).collect();
+    let costs: Vec<Vec<Cost>> = cpos
+        .iter()
+        .map(|&q| fpos.iter().map(|&p| Cost::new((p - q).abs()).unwrap()).collect())
+        .collect();
+    Instance::from_dense(open, costs).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn line_dp_agrees_with_branch_and_bound(
+        fpos in prop::collection::vec(0.0f64..100.0, 1..8),
+        opening in prop::collection::vec(0.0f64..50.0, 8),
+        cpos in prop::collection::vec(0.0f64..100.0, 1..15),
+    ) {
+        let opening = &opening[..fpos.len()];
+        let dp = line::solve_line(&fpos, opening, &cpos);
+        let inst = line_instance(&fpos, opening, &cpos);
+        let bnb = exact::solve(&inst).unwrap();
+        prop_assert!(
+            (dp.cost - bnb.cost.value()).abs() < 1e-6,
+            "dp {} vs bnb {}", dp.cost, bnb.cost.value()
+        );
+        prop_assert!(!dp.open.is_empty());
+    }
+
+    #[test]
+    fn line_dp_open_set_realizes_its_cost(
+        fpos in prop::collection::vec(0.0f64..100.0, 1..10),
+        opening in prop::collection::vec(0.0f64..50.0, 10),
+        cpos in prop::collection::vec(0.0f64..100.0, 1..30),
+    ) {
+        let opening = &opening[..fpos.len()];
+        let dp = line::solve_line(&fpos, opening, &cpos);
+        let realized: f64 = dp.open.iter().map(|&i| opening[i]).sum::<f64>()
+            + cpos
+                .iter()
+                .map(|&q| {
+                    dp.open
+                        .iter()
+                        .map(|&i| (fpos[i] - q).abs())
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>();
+        prop_assert!((dp.cost - realized).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_conservation_and_optimality_on_bipartite_transport(
+        costs in prop::collection::vec(prop::collection::vec(0.0f64..20.0, 3), 2),
+        caps in prop::collection::vec(1i64..4, 2),
+    ) {
+        // 2 suppliers x 3 unit-demand consumers.
+        let total_cap: i64 = caps.iter().sum();
+        let mut net = flow::FlowNetwork::new(7);
+        let mut supply_edges = Vec::new();
+        for (i, &cap) in caps.iter().enumerate() {
+            supply_edges.push(net.add_edge(0, 1 + i, cap, 0.0));
+        }
+        let mut link_edges = Vec::new();
+        for (i, row) in costs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                link_edges.push(((i, j), net.add_edge(1 + i, 3 + j, 1, c)));
+            }
+        }
+        for j in 0..3 {
+            net.add_edge(3 + j, 6, 1, 0.0);
+        }
+        let want = 3i64.min(total_cap);
+        let (flow_sent, cost) = net.min_cost_flow(0, 6, 3);
+        prop_assert_eq!(flow_sent, want, "should saturate up to capacity");
+        // Conservation: supplier outflow equals sink inflow.
+        let supplied: i64 = supply_edges.iter().map(|&e| net.flow_on(e)).sum();
+        prop_assert_eq!(supplied, flow_sent);
+        // Cost equals the sum over used links.
+        let link_cost: f64 = link_edges
+            .iter()
+            .map(|&((i, j), e)| costs[i][j] * net.flow_on(e) as f64)
+            .sum();
+        prop_assert!((cost - link_cost).abs() < 1e-9);
+        // Optimality vs brute force when everything fits.
+        if total_cap >= 3 {
+            let mut best = f64::INFINITY;
+            for a in 0..2usize {
+                for b in 0..2usize {
+                    for c3 in 0..2usize {
+                        let pick = [a, b, c3];
+                        let load0 = pick.iter().filter(|&&p| p == 0).count() as i64;
+                        if load0 <= caps[0] && 3 - load0 <= caps[1] {
+                            let total: f64 =
+                                pick.iter().enumerate().map(|(j, &p)| costs[p][j]).sum();
+                            best = best.min(total);
+                        }
+                    }
+                }
+            }
+            prop_assert!((cost - best).abs() < 1e-9, "flow {} vs brute {}", cost, best);
+        }
+    }
+}

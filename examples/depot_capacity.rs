@@ -1,0 +1,49 @@
+//! Capacitated depot planning: soft capacities via the amortized-cost
+//! reduction, hard capacities via min-cost-flow reassignment.
+//!
+//! Scenario: delivery depots with per-depot vehicle capacity. Opening a
+//! depot buys one capacity unit of `u` stops; heavier demand opens more
+//! copies. The distributed PayDual engine solves the reduced instance;
+//! the flow stage then reassigns stops optimally under hard capacities.
+//!
+//! ```sh
+//! cargo run --release --example depot_capacity
+//! ```
+
+use distfl::core::capacitated::{self, CapacitatedInstance};
+use distfl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = Clustered::new(4, 10, 80)?.generate(23)?;
+    println!(
+        "delivery region: {} candidate depots, {} stops",
+        base.num_facilities(),
+        base.num_clients()
+    );
+
+    let engine = PayDual::new(PayDualParams::with_phases(10));
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>8} {:>8}",
+        "capacity", "soft cost", "hard cost", "copies", "depots"
+    );
+    for u in [4u32, 8, 16, 80] {
+        let inst = CapacitatedInstance::uniform(base.clone(), u)?;
+        let soft = capacitated::solve_soft(&inst, &engine, 7)?;
+        let hard = capacitated::solve_hard(&inst, &engine, 7)?;
+        let copies: u32 = hard.copies.iter().sum();
+        let depots = hard.copies.iter().filter(|&&c| c > 0).count();
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>8} {:>8}",
+            u,
+            soft.cost(&inst),
+            hard.cost(&inst),
+            copies,
+            depots
+        );
+    }
+    println!(
+        "\ntighter capacities force more copies; the min-cost-flow stage\n\
+         (hard cost) never loses to the soft assignment at the same copies."
+    );
+    Ok(())
+}

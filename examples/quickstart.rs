@@ -1,0 +1,47 @@
+//! Quickstart: generate a workload, run the paper's distributed algorithm,
+//! and compare it against the sequential baselines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distfl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A non-metric workload: 12 candidate facilities, 60 clients, costs
+    // drawn independently (the Set-Cover-hard regime of the paper).
+    let instance = UniformRandom::new(12, 60)?.generate(42)?;
+    println!(
+        "instance: m={} facilities, n={} clients, {} links, spread rho={:.1}",
+        instance.num_facilities(),
+        instance.num_clients(),
+        instance.num_links(),
+        distfl::instance::spread::coefficient_spread(&instance),
+    );
+
+    // The paper's algorithm at three points of the round/quality trade-off,
+    // plus the sequential greedy and the straw-man distributed greedy.
+    let coarse = PayDual::new(PayDualParams::with_phases(2));
+    let medium = PayDual::new(PayDualParams::with_phases(8));
+    let fine = PayDual::new(PayDualParams::with_phases(24));
+    let greedy = StarGreedy::new();
+    let strawman = SimulatedSeqGreedy::new();
+
+    let reports = evaluate(
+        &instance,
+        &[&coarse, &medium, &fine, &greedy, &strawman],
+        7,
+        /* exact optimum for m <= */ 14,
+    )?;
+
+    println!("\n{}", RunReport::table_header());
+    for report in &reports {
+        println!("{}", report.table_row());
+    }
+    println!(
+        "\nNote how paydual's round count is a constant set by its phase budget,\n\
+         while the simulated sequential greedy needs rounds proportional to the\n\
+         number of stars it picks — the gap the PODC 2005 paper closes."
+    );
+    Ok(())
+}

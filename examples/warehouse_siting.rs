@@ -1,0 +1,54 @@
+//! Warehouse siting on a metric (clustered-geography) market.
+//!
+//! Scenario: 3 metro areas, 12 candidate warehouse sites, 80 retail
+//! stores; build costs and truck-distance delivery costs. Metric inputs
+//! let us compare the full algorithm zoo: the paper's distributed
+//! algorithms, the constant-factor metric baselines (Jain–Vazirani,
+//! Mettu–Plaxton), the sequential greedy, and the exact optimum.
+//!
+//! ```sh
+//! cargo run --release --example warehouse_siting
+//! ```
+
+use distfl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = Clustered::new(3, 12, 80)?.generate(11)?;
+    println!(
+        "market: {} candidate sites, {} stores, metric geometry",
+        instance.num_facilities(),
+        instance.num_clients()
+    );
+
+    let paydual = PayDual::new(PayDualParams::with_phases(12));
+    let bucket = GreedyBucket::new(BucketParams::new(6, 4));
+    let greedy = StarGreedy::new();
+    let jv = JainVazirani::new();
+    let mp = MettuPlaxton::new();
+
+    let reports = evaluate(
+        &instance,
+        &[&paydual, &bucket, &greedy, &jv, &mp],
+        5,
+        /* exact optimum for m <= */ 14,
+    )?;
+
+    println!("\n{}", RunReport::table_header());
+    for report in &reports {
+        println!("{}", report.table_row());
+    }
+
+    let opt = exact::solve(&instance)?;
+    println!(
+        "\nexact optimum: cost {:.1} opening {} sites ({} B&B nodes)",
+        opt.cost.value(),
+        opt.solution.num_open(),
+        opt.nodes_explored
+    );
+    println!(
+        "takeaway: on metric inputs the constant-factor baselines win on\n\
+         quality but are inherently sequential / global; the distributed\n\
+         algorithms trade a bounded quality factor for O(k) local rounds."
+    );
+    Ok(())
+}

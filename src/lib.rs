@@ -1,0 +1,69 @@
+//! # distfl — Distributed Facility Location
+//!
+//! A production-quality Rust workspace reproducing **“Facility Location:
+//! Distributed Approximation” (Moscibroda–Wattenhofer, PODC 2005)**: for
+//! every round budget `k`, a CONGEST-model algorithm computing an
+//! `O(√k·(m·ρ)^{1/√k}·log(m+n))`-approximation of uncapacitated facility
+//! location in `O(k)` rounds.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`congest`] — the synchronous CONGEST simulator substrate,
+//! * [`instance`] — problem instances, generators, and solutions,
+//! * [`lp`] — LP machinery: bounds, exact optima, reference rounding,
+//! * [`core`] — the distributed algorithms and baselines.
+//!
+//! See the repository's `README.md` for a tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the reproduced analytical claims.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use distfl::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A clustered metric workload: 3 clusters, 9 candidate sites.
+//! let instance = Clustered::new(3, 9, 40)?.generate(7)?;
+//!
+//! // Run the paper's algorithm with a 10-phase round budget...
+//! let algo = PayDual::new(PayDualParams::with_phases(10));
+//! let outcome = algo.run(&instance, 1)?;
+//! outcome.solution.check_feasible(&instance)?;
+//!
+//! // ...and compare against the sequential greedy baseline.
+//! let reports = evaluate(&instance, &[&algo, &StarGreedy::new()], 1, 12)?;
+//! for report in &reports {
+//!     println!("{}", report.table_row());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use distfl_congest as congest;
+pub use distfl_core as core;
+pub use distfl_instance as instance;
+pub use distfl_lp as lp;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use distfl_congest::{CongestConfig, Network, NodeId, NodeLogic, Topology};
+    pub use distfl_core::bucket::{BucketParams, GreedyBucket};
+    pub use distfl_core::greedy::StarGreedy;
+    pub use distfl_core::jv::JainVazirani;
+    pub use distfl_core::{audit, capacitated, kmedian, localsearch};
+    pub use distfl_core::mp::MettuPlaxton;
+    pub use distfl_core::paydual::{ConnectRule, PayDual, PayDualParams};
+    pub use distfl_core::round::{distributed_round, DistRoundParams};
+    pub use distfl_core::seqdist::DistSeqGreedy;
+    pub use distfl_core::seqsim::SimulatedSeqGreedy;
+    pub use distfl_core::{evaluate, FlAlgorithm, Outcome, RunReport};
+    pub use distfl_instance::generators::{
+        AdversarialGreedy, CdnTrace, Clustered, Euclidean, GridNetwork, InstanceGenerator,
+        LineCity, PowerLaw, UniformRandom,
+    };
+    pub use distfl_instance::{Cost, Instance, InstanceBuilder, Solution};
+    pub use distfl_lp::{bounds, exact, DualSolution, FractionalSolution};
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration: every algorithm against every workload family,
+//! validated for feasibility, certified ratios, and CONGEST discipline.
+
+use distfl::instance::{metric, spread, textio};
+use distfl::prelude::*;
+
+/// All workload families at small, exactly-solvable sizes.
+fn families(seed: u64) -> Vec<(&'static str, Instance)> {
+    vec![
+        ("uniform", UniformRandom::new(8, 30).unwrap().generate(seed).unwrap()),
+        ("euclidean", Euclidean::new(7, 25).unwrap().generate(seed).unwrap()),
+        ("clustered", Clustered::new(3, 8, 24).unwrap().generate(seed).unwrap()),
+        ("grid", GridNetwork::new(10, 10, 8, 30).unwrap().generate(seed).unwrap()),
+        ("powerlaw", PowerLaw::new(8, 30, 1e4).unwrap().generate(seed).unwrap()),
+        ("adversarial", AdversarialGreedy::new(12).unwrap().generate(seed).unwrap()),
+        ("cdn", CdnTrace::new(8, 30).unwrap().generate(seed).unwrap()),
+    ]
+}
+
+#[test]
+fn every_distributed_algorithm_is_feasible_on_every_family() {
+    for (name, inst) in families(3) {
+        let paydual = PayDual::new(PayDualParams::with_phases(6));
+        let bucket = GreedyBucket::new(BucketParams::new(4, 3));
+        for algo in [&paydual as &dyn FlAlgorithm, &bucket] {
+            let out = algo
+                .run(&inst, 1)
+                .unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
+            out.solution
+                .check_feasible(&inst)
+                .unwrap_or_else(|e| panic!("{} on {name}: infeasible: {e}", algo.name()));
+            let t = out.transcript.expect("distributed algorithms have transcripts");
+            assert!(t.congest_compliant(72), "{} on {name}: CONGEST violation", algo.name());
+        }
+    }
+}
+
+#[test]
+fn certified_ratios_are_at_least_one_everywhere() {
+    for (name, inst) in families(9) {
+        let paydual = PayDual::new(PayDualParams::with_phases(10));
+        let greedy = StarGreedy::new();
+        let reports = evaluate(&inst, &[&paydual, &greedy], 2, 10).unwrap();
+        for r in &reports {
+            let ratio = r.ratio.expect("positive lower bound");
+            assert!(
+                ratio >= 1.0 - 1e-9,
+                "{name}/{}: ratio {ratio} below 1 — lower bound not a lower bound",
+                r.algorithm
+            );
+            assert!(
+                ratio < 100.0,
+                "{name}/{}: ratio {ratio} absurdly large",
+                r.algorithm
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_optimum_beats_or_matches_every_algorithm() {
+    for (name, inst) in families(5) {
+        let opt = exact::solve(&inst).unwrap().cost.value();
+        let paydual = PayDual::new(PayDualParams::with_phases(12)).run(&inst, 0).unwrap();
+        let (greedy, _) = distfl::core::greedy::solve(&inst);
+        for (algo, cost) in [
+            ("paydual", paydual.solution.cost(&inst).value()),
+            ("greedy", greedy.cost(&inst).value()),
+        ] {
+            assert!(
+                cost >= opt - 1e-6,
+                "{name}/{algo}: cost {cost} below the exact optimum {opt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metric_baselines_work_on_metric_families_only() {
+    let metric_inst = Euclidean::new(6, 18).unwrap().generate(2).unwrap();
+    assert!(metric::is_metric(&metric_inst, 1e-9));
+    let jv = JainVazirani::new().run(&metric_inst, 0).unwrap();
+    let mp = MettuPlaxton::new().run(&metric_inst, 0).unwrap();
+    jv.solution.check_feasible(&metric_inst).unwrap();
+    mp.solution.check_feasible(&metric_inst).unwrap();
+
+    let nonmetric = UniformRandom::new(6, 18).unwrap().generate(2).unwrap();
+    assert!(JainVazirani::new().run(&nonmetric, 0).is_err());
+    assert!(MettuPlaxton::new().run(&nonmetric, 0).is_err());
+}
+
+#[test]
+fn instances_round_trip_through_the_text_format_with_identical_results() {
+    let inst = GridNetwork::new(9, 9, 6, 25).unwrap().generate(7).unwrap();
+    let text = textio::to_string(&inst);
+    let parsed = textio::from_str(&text).unwrap();
+    assert_eq!(inst, parsed);
+    // Same algorithm, same seed, both copies: identical outcomes.
+    let algo = PayDual::new(PayDualParams::with_phases(5));
+    let a = algo.run(&inst, 11).unwrap();
+    let b = algo.run(&parsed, 11).unwrap();
+    assert_eq!(a.solution, b.solution);
+}
+
+#[test]
+fn spread_drives_the_termination_bound() {
+    let tight = PowerLaw::new(6, 20, 2.0).unwrap().generate(1).unwrap();
+    let wide = PowerLaw::new(6, 20, 1e6).unwrap().generate(1).unwrap();
+    assert!(spread::termination_bound(&wide) > spread::termination_bound(&tight) * 1e4);
+    // Both still terminate within their fixed schedules.
+    for inst in [&tight, &wide] {
+        let out = PayDual::new(PayDualParams::with_phases(4)).run(inst, 0).unwrap();
+        out.solution.check_feasible(inst).unwrap();
+    }
+}
+
+#[test]
+fn full_pipeline_fractional_solve_plus_distributed_rounding() {
+    let inst = UniformRandom::new(10, 40).unwrap().generate(13).unwrap();
+    // Stage 1: dual ascent provides the payment-proportional openings.
+    let outcome = PayDual::new(PayDualParams::with_phases(8)).run(&inst, 4).unwrap();
+    let dual = outcome.dual.expect("paydual emits duals");
+    let fractional = distfl::core::fraclp::payment_fractional(&inst, &dual);
+    fractional.check_feasible(&inst, 1e-9).unwrap();
+    // Stage 2: distributed randomized rounding.
+    let rounded = distributed_round(
+        &inst,
+        &fractional,
+        DistRoundParams::for_instance(&inst),
+        4,
+    )
+    .unwrap();
+    rounded.solution.check_feasible(&inst).unwrap();
+    // The two-stage pipeline should stay within a log-ish factor of the
+    // one-stage result on this easy instance.
+    let one_stage = outcome.solution.cost(&inst).value();
+    let two_stage = rounded.solution.cost(&inst).value();
+    assert!(
+        two_stage <= one_stage * 10.0,
+        "two-stage {two_stage} wildly above one-stage {one_stage}"
+    );
+}
+
+#[test]
+fn paydual_is_invariant_under_uniform_cost_scaling() {
+    // The dual ascent is driven by cost *ratios*, so uniformly scaling an
+    // instance must not change which facilities open or who connects
+    // where.
+    use distfl::instance::transform;
+    let inst = UniformRandom::new(8, 30).unwrap().generate(17).unwrap();
+    let scaled = transform::scale_costs(&inst, 1337.5).unwrap();
+    let algo = PayDual::new(PayDualParams::with_phases(9));
+    let a = algo.run(&inst, 3).unwrap();
+    let b = algo.run(&scaled, 3).unwrap();
+    assert_eq!(a.solution, b.solution, "scaling changed the outcome");
+    // And the cost scales exactly.
+    let ca = a.solution.cost(&inst).value();
+    let cb = b.solution.cost(&scaled).value();
+    assert!((cb / ca - 1337.5).abs() < 1e-6);
+}
+
+#[test]
+fn parallel_and_serial_simulation_agree_end_to_end() {
+    let inst = CdnTrace::new(10, 60).unwrap().generate(21).unwrap();
+    let serial = PayDual::new(PayDualParams::with_phases(7)).run(&inst, 5).unwrap();
+    let parallel = PayDual::new(PayDualParams {
+        threads: Some(8),
+        ..PayDualParams::with_phases(7)
+    })
+    .run(&inst, 5)
+    .unwrap();
+    assert_eq!(serial.solution, parallel.solution);
+    assert_eq!(serial.transcript, parallel.transcript);
+}

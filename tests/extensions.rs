@@ -1,0 +1,85 @@
+//! Integration of the extension modules: transforms feeding k-median,
+//! capacitated pipelines, local search, audits, and the two straw-man
+//! implementations agreeing with each other.
+
+use distfl::core::{audit, capacitated, kmedian, localsearch, seqdist, seqsim};
+use distfl::instance::transform;
+use distfl::prelude::*;
+
+#[test]
+fn transformed_instances_flow_through_the_whole_stack() {
+    // Generate, perturb, normalize — then solve distributed and audit.
+    let raw = Clustered::new(3, 8, 24).unwrap().generate(42).unwrap();
+    let noisy = transform::perturb(&raw, 0.1, 5).unwrap();
+    let (inst, scale) = transform::normalize(&noisy).unwrap();
+    assert!(scale > 0.0);
+
+    let out = PayDual::new(PayDualParams::with_phases(8)).run(&inst, 1).unwrap();
+    out.solution.check_feasible(&inst).unwrap();
+
+    let (audited, transcript) = audit::distributed_cost(&inst, &out.solution).unwrap();
+    assert!((audited - out.solution.cost(&inst).value()).abs() < 1e-9);
+    assert!(transcript.congest_compliant(72));
+}
+
+#[test]
+fn capacitated_kmedian_and_localsearch_compose() {
+    let base = Euclidean::new(8, 32).unwrap().generate(9).unwrap();
+
+    // Soft capacities via the distributed engine, polished by local search
+    // on the base problem.
+    let cap = capacitated::CapacitatedInstance::uniform(base.clone(), 5).unwrap();
+    let engine = PayDual::new(PayDualParams::with_phases(8));
+    let soft = capacitated::solve_soft(&cap, &engine, 3).unwrap();
+    soft.check_feasible(&cap).unwrap();
+    let hard = capacitated::solve_hard(&cap, &engine, 3).unwrap();
+    assert!(hard.cost(&cap) <= soft.cost(&cap) + 1e-9);
+
+    // k-median on the same geography.
+    let km = kmedian::distributed(&base, 3, 8, 3).unwrap();
+    assert!(km.solution.num_open() <= 3);
+
+    // Local search can only improve the k-median-ignoring UFL view.
+    let polished = localsearch::optimize(&base, &km.solution, 100);
+    assert!(polished.final_cost <= polished.initial_cost + 1e-9);
+}
+
+#[test]
+fn modeled_and_executed_strawmen_agree_on_solutions() {
+    for seed in 0..3 {
+        let inst = UniformRandom::new(6, 18).unwrap().generate(seed).unwrap();
+        let modeled = seqsim::SimulatedSeqGreedy::new().run(&inst, 0).unwrap();
+        let (executed, transcript) = seqdist::run_protocol(&inst).unwrap();
+        assert_eq!(modeled.solution, executed, "seed {seed}");
+        // The model and the measurement stay in the same ballpark.
+        let model = modeled.modeled_rounds.unwrap();
+        let measured = transcript.num_rounds();
+        let factor = f64::from(measured) / f64::from(model);
+        assert!((0.3..4.0).contains(&factor), "model {model} vs measured {measured}");
+    }
+}
+
+#[test]
+fn orlib_round_trip_preserves_algorithm_behavior() {
+    use distfl::instance::orlib;
+    let inst = UniformRandom::new(7, 21).unwrap().generate(11).unwrap();
+    let text = orlib::to_string(&inst).unwrap();
+    let parsed = orlib::from_str(&text).unwrap();
+    assert_eq!(inst, parsed);
+    let a = PayDual::new(PayDualParams::with_phases(6)).run(&inst, 2).unwrap();
+    let b = PayDual::new(PayDualParams::with_phases(6)).run(&parsed, 2).unwrap();
+    assert_eq!(a.solution, b.solution);
+}
+
+#[test]
+fn merged_markets_solve_independently() {
+    // A disjoint union of two markets must cost exactly the sum of the
+    // parts under the exact solver.
+    let a = UniformRandom::new(5, 10).unwrap().generate(1).unwrap();
+    let b = Euclidean::new(5, 10).unwrap().generate(2).unwrap();
+    let merged = transform::merge(&a, &b).unwrap();
+    let opt_a = exact::solve(&a).unwrap().cost.value();
+    let opt_b = exact::solve(&b).unwrap().cost.value();
+    let opt_merged = exact::solve(&merged).unwrap().cost.value();
+    assert!((opt_merged - opt_a - opt_b).abs() < 1e-9);
+}

@@ -1,0 +1,146 @@
+//! Lossy-link robustness: the PODC 2005 model is synchronous and
+//! fault-free, but the library must degrade gracefully, not panic. Under
+//! deterministic message-drop plans every distributed algorithm must still
+//! terminate within its fixed schedule and emit a *feasible* solution
+//! (clients recover through local fallbacks); quality guarantees are
+//! explicitly out of scope with faults.
+
+use distfl::congest::FaultPlan;
+use distfl::prelude::*;
+
+fn workloads(seed: u64) -> Vec<Instance> {
+    vec![
+        UniformRandom::new(6, 20).unwrap().generate(seed).unwrap(),
+        GridNetwork::new(8, 8, 5, 18).unwrap().generate(seed).unwrap(),
+    ]
+}
+
+#[test]
+fn paydual_survives_light_and_heavy_loss() {
+    for inst in workloads(4) {
+        for drop_prob in [0.1, 0.5, 1.0] {
+            let params = PayDualParams {
+                fault: Some(FaultPlan::drop_with_probability(drop_prob, 99)),
+                ..PayDualParams::with_phases(6)
+            };
+            let out = PayDual::new(params).run(&inst, 2).unwrap();
+            out.solution.check_feasible(&inst).unwrap();
+            let t = out.transcript.unwrap();
+            if drop_prob == 1.0 {
+                assert_eq!(t.total_messages(), 0, "nothing should survive total loss");
+            } else {
+                assert!(t.total_dropped() > 0, "drops should be observed at p={drop_prob}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bucket_survives_loss() {
+    for inst in workloads(5) {
+        let params = BucketParams {
+            fault: Some(FaultPlan::drop_with_probability(0.4, 7)),
+            ..BucketParams::new(4, 3)
+        };
+        let out = GreedyBucket::new(params).run(&inst, 3).unwrap();
+        out.solution.check_feasible(&inst).unwrap();
+    }
+}
+
+#[test]
+fn distributed_rounding_survives_loss() {
+    for inst in workloads(6) {
+        let frac = distfl::core::fraclp::spread_fractional(&inst, 2);
+        let params = DistRoundParams {
+            fault: Some(FaultPlan::drop_with_probability(0.6, 13)),
+            ..DistRoundParams::for_instance(&inst)
+        };
+        let out = distributed_round(&inst, &frac, params, 8).unwrap();
+        out.solution.check_feasible(&inst).unwrap();
+    }
+}
+
+#[test]
+fn loss_degrades_quality_monotonically_in_expectation() {
+    // Not a per-seed guarantee, so average over several seeds.
+    let inst = UniformRandom::new(8, 40).unwrap().generate(10).unwrap();
+    let avg_cost = |drop: f64| -> f64 {
+        (0..8)
+            .map(|seed| {
+                let fault = (drop > 0.0)
+                    .then(|| FaultPlan::drop_with_probability(drop, 1000 + seed));
+                let params = PayDualParams { fault, ..PayDualParams::with_phases(8) };
+                PayDual::new(params)
+                    .run(&inst, seed)
+                    .unwrap()
+                    .solution
+                    .cost(&inst)
+                    .value()
+            })
+            .sum::<f64>()
+            / 8.0
+    };
+    let clean = avg_cost(0.0);
+    let heavy = avg_cost(0.9);
+    assert!(
+        heavy >= clean * 0.99,
+        "heavy loss ({heavy}) should not beat the fault-free run ({clean})"
+    );
+}
+
+#[test]
+fn paydual_survives_crashed_facilities() {
+    // Crash-stop failures: a facility dies mid-protocol. The remaining
+    // nodes finish their fixed schedule and every client still ends up
+    // with a usable assignment (via other facilities or local fallback).
+    use distfl::congest::{CongestConfig, Network};
+    use distfl::core::paydual::node as pd;
+    use distfl::core::{node_role, topology_of, Role};
+
+    let inst = UniformRandom::new(6, 20).unwrap().generate(12).unwrap();
+    let phases = 6;
+    for crash_round in [0u32, 4, 10] {
+        let topo = topology_of(&inst).unwrap();
+        let nodes = pd::build_nodes(&inst, phases, Default::default());
+        let config = CongestConfig {
+            // Facility 1 crashes.
+            crashes: vec![(NodeId::new(1), crash_round)],
+            ..CongestConfig::default()
+        };
+        let mut net = Network::with_config(topo, nodes, 3, config).unwrap();
+        let total = distfl::core::theory::paydual_rounds(phases);
+        net.run(total).unwrap();
+        // Extract assignments with the public fallback accessors.
+        let m = inst.num_facilities();
+        let mut assignment = Vec::new();
+        for (index, node) in net.nodes().iter().enumerate() {
+            if let (Role::Client(_), pd::PayDualNode::Client(c)) =
+                (node_role(m, NodeId::new(index as u32)), node)
+            {
+                let target = c
+                    .connected_facility()
+                    .or_else(|| c.fallback_facility())
+                    .expect("clients always have a recovery target");
+                assignment.push(target);
+            }
+        }
+        let solution =
+            distfl::instance::Solution::from_assignment(&inst, assignment).unwrap();
+        solution.check_feasible(&inst).unwrap_or_else(|e| {
+            panic!("crash at round {crash_round}: infeasible: {e}")
+        });
+    }
+}
+
+#[test]
+fn fault_plans_are_reproducible_end_to_end() {
+    let inst = GridNetwork::new(7, 7, 4, 15).unwrap().generate(3).unwrap();
+    let params = PayDualParams {
+        fault: Some(FaultPlan::drop_with_probability(0.3, 5)),
+        ..PayDualParams::with_phases(5)
+    };
+    let a = PayDual::new(params).run(&inst, 9).unwrap();
+    let b = PayDual::new(params).run(&inst, 9).unwrap();
+    assert_eq!(a.solution, b.solution);
+    assert_eq!(a.transcript, b.transcript);
+}

@@ -1,0 +1,118 @@
+//! Statistical shape checks of the paper's analytical claims — the fast,
+//! always-on versions of experiments E1–E3 (the full sweeps live in
+//! `distfl-bench`).
+
+use distfl::core::theory;
+use distfl::prelude::*;
+
+/// Average PayDual approximation ratio against the exact optimum over
+/// several seeds.
+fn avg_ratio(instance: &Instance, phases: u32, seeds: std::ops::Range<u64>) -> f64 {
+    let opt = exact::solve(instance).unwrap().cost.value();
+    let count = seeds.end - seeds.start;
+    let total: f64 = seeds
+        .map(|s| {
+            PayDual::new(PayDualParams::with_phases(phases))
+                .run(instance, s)
+                .unwrap()
+                .solution
+                .cost(instance)
+                .value()
+                / opt
+        })
+        .sum();
+    total / count as f64
+}
+
+#[test]
+fn e1_more_rounds_buy_better_ratios() {
+    // The headline trade-off: the coarsest budget must be measurably worse
+    // than the finest on a wide-spread instance.
+    let inst = PowerLaw::new(10, 40, 1e5).unwrap().generate(8).unwrap();
+    let coarse = avg_ratio(&inst, 1, 0..4);
+    let fine = avg_ratio(&inst, 32, 0..4);
+    assert!(
+        coarse > fine * 1.05,
+        "no visible trade-off: coarse {coarse} vs fine {fine}"
+    );
+    assert!(fine < 3.0, "fine-budget ratio {fine} should be small");
+}
+
+#[test]
+fn e2_rounds_are_local_but_the_strawman_is_not() {
+    // PayDual's round count is a function of its parameter only; the
+    // simulated sequential greedy grows with the instance.
+    let phases = 6;
+    let small = UniformRandom::new(6, 30).unwrap().generate(1).unwrap();
+    let large = UniformRandom::new(18, 300).unwrap().generate(1).unwrap();
+
+    let rounds = |inst: &Instance| {
+        PayDual::new(PayDualParams::with_phases(phases))
+            .run(inst, 0)
+            .unwrap()
+            .transcript
+            .unwrap()
+            .num_rounds()
+    };
+    assert_eq!(rounds(&small), rounds(&large));
+    assert_eq!(rounds(&small), theory::paydual_rounds(phases));
+
+    let strawman = |inst: &Instance| {
+        SimulatedSeqGreedy::new().run(inst, 0).unwrap().modeled_rounds.unwrap()
+    };
+    assert!(
+        strawman(&large) > strawman(&small),
+        "straw-man rounds should grow with the input"
+    );
+    assert!(
+        strawman(&large) > rounds(&large),
+        "straw-man should be slower than paydual on the large instance"
+    );
+}
+
+#[test]
+fn e3_wider_spread_needs_more_phases_for_the_same_factor() {
+    // The deterministic half of the rho-dependence claim: to reach the
+    // same per-phase factor gamma, the phase budget must grow with the
+    // coefficient spread (this is what inflates the paper's bound; the
+    // measured-cost curves are reported by the E3 experiment binary).
+    use distfl::instance::spread;
+    let narrow = PowerLaw::new(8, 30, 2.0).unwrap().generate(3).unwrap();
+    let wide = PowerLaw::new(8, 30, 1e6).unwrap().generate(3).unwrap();
+    let target_gamma = 1.5;
+    let narrow_phases = spread::phases_for_factor(&narrow, target_gamma);
+    let wide_phases = spread::phases_for_factor(&wide, target_gamma);
+    assert!(
+        wide_phases >= 4 * narrow_phases,
+        "spread 1e6 should need far more phases than spread 2: {wide_phases} vs {narrow_phases}"
+    );
+    // And the measured ratios stay below the theory bound on both ends of
+    // the spread axis, at both ends of the budget axis.
+    for (inst, label) in [(&narrow, "narrow"), (&wide, "wide")] {
+        for phases in [2u32, 16] {
+            let measured = avg_ratio(inst, phases, 0..4);
+            let bound = theory::paydual_bound(inst, phases);
+            assert!(
+                measured <= bound,
+                "{label}/{phases} phases: measured {measured} above bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_bound_formula_dominates_measured_ratios() {
+    // The measured ratio should sit below the (loose) theoretical bound
+    // for the equivalent round budget.
+    for seed in 0..3 {
+        let inst = UniformRandom::new(8, 30).unwrap().generate(seed).unwrap();
+        for phases in [2, 8] {
+            let measured = avg_ratio(&inst, phases, seed..seed + 2);
+            let bound = theory::paydual_bound(&inst, phases);
+            assert!(
+                measured <= bound,
+                "seed {seed}, phases {phases}: measured {measured} above bound {bound}"
+            );
+        }
+    }
+}
