@@ -60,9 +60,7 @@ fn bench_line_dp(c: &mut Criterion) {
 fn bench_localsearch(c: &mut Criterion) {
     let inst = Euclidean::new(15, 100).unwrap().generate(4).unwrap();
     let (start, _) = greedy::solve(&inst);
-    c.bench_function("localsearch_15x100", |b| {
-        b.iter(|| localsearch::optimize(&inst, &start, 50))
-    });
+    c.bench_function("localsearch_15x100", |b| b.iter(|| localsearch::optimize(&inst, &start, 50)));
 }
 
 criterion_group! {

@@ -36,7 +36,8 @@ fn bench_flood(c: &mut Criterion) {
                 let topo = Topology::ring(n).unwrap();
                 let nodes = (0..n).map(|_| Flood { rounds, done: false }).collect();
                 let mut net = Network::new(topo, nodes, 7).unwrap();
-                net.run(rounds + 1).unwrap()
+                net.run(rounds + 1).unwrap();
+                net.into_transcript()
             });
         });
     }
@@ -51,7 +52,39 @@ fn bench_flood(c: &mut Criterion) {
                     let topo = Topology::complete_bipartite(l, r).unwrap();
                     let nodes = (0..l + r).map(|_| Flood { rounds, done: false }).collect();
                     let mut net = Network::new(topo, nodes, 7).unwrap();
-                    net.run(rounds + 1).unwrap()
+                    net.run(rounds + 1).unwrap();
+                    net.into_transcript()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Isolates the delivery stage: long runs on a dense bipartite graph where
+/// nearly all time is spent moving messages, so sharded delivery, buffer
+/// pooling, and sort elision dominate the measurement.
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_delivery");
+    let (l, r) = (60usize, 400usize);
+    let rounds = 20u32;
+    let msgs = (l * r * 2) as u64 * u64::from(rounds);
+    group.throughput(Throughput::Elements(msgs));
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("dense_bipartite", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let topo = Topology::complete_bipartite(l, r).unwrap();
+                    let nodes = (0..l + r).map(|_| Flood { rounds, done: false }).collect();
+                    let config = distfl_congest::CongestConfig {
+                        threads: (threads > 1).then_some(threads),
+                        ..Default::default()
+                    };
+                    let mut net = Network::with_config(topo, nodes, 7, config).unwrap();
+                    net.run(rounds + 1).unwrap();
+                    net.transcript().total_messages()
                 });
             },
         );
@@ -64,23 +97,19 @@ fn bench_parallel_vs_serial(c: &mut Criterion) {
     let n = 4000;
     let rounds = 8;
     for &threads in &[1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("grid_flood", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let topo = Topology::grid(n / 50, 50).unwrap();
-                    let nodes = (0..n).map(|_| Flood { rounds, done: false }).collect();
-                    let config = distfl_congest::CongestConfig {
-                        threads: (threads > 1).then_some(threads),
-                        ..Default::default()
-                    };
-                    let mut net =
-                        Network::with_config(topo, nodes, 7, config).unwrap();
-                    net.run(rounds + 1).unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("grid_flood", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let topo = Topology::grid(n / 50, 50).unwrap();
+                let nodes = (0..n).map(|_| Flood { rounds, done: false }).collect();
+                let config = distfl_congest::CongestConfig {
+                    threads: (threads > 1).then_some(threads),
+                    ..Default::default()
+                };
+                let mut net = Network::with_config(topo, nodes, 7, config).unwrap();
+                net.run(rounds + 1).unwrap();
+                net.into_transcript()
+            });
+        });
     }
     group.finish();
 }
@@ -91,6 +120,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2));
-    targets = bench_flood, bench_parallel_vs_serial
+    targets = bench_flood, bench_parallel_vs_serial, bench_delivery
 }
 criterion_main!(benches);

@@ -21,8 +21,7 @@ use super::lower_bound_for;
 
 /// Runs E1.
 pub fn run(quick: bool) -> Vec<Table> {
-    let phase_grid: &[u32] =
-        if quick { &[1, 4, 16] } else { &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32] };
+    let phase_grid: &[u32] = if quick { &[1, 4, 16] } else { &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32] };
     let seeds: u64 = if quick { 2 } else { 4 };
     let (m, n) = if quick { (10, 60) } else { (16, 120) };
 
@@ -34,10 +33,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "e1_tradeoff",
         "E1: approximation ratio vs round budget (PayDual)",
-        &[
-            "family", "phases", "rounds", "gamma", "ratio", "ratio_sd", "bound_repro",
-            "bound_paper",
-        ],
+        &["family", "phases", "rounds", "gamma", "ratio", "ratio_sd", "bound_repro", "bound_paper"],
     );
     for (family, inst) in &workloads {
         let lb = lower_bound_for(inst);
@@ -90,8 +86,7 @@ mod tests {
         // The measured ratio at the largest budget should be no worse than
         // at the smallest, for each family (averaged, deterministic here).
         let csv = t.to_csv();
-        let rows: Vec<Vec<&str>> =
-            csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
+        let rows: Vec<Vec<&str>> = csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
         for family in ["uniform", "clustered"] {
             let fam: Vec<&Vec<&str>> = rows.iter().filter(|r| r[0] == family).collect();
             let first: f64 = fam.first().unwrap()[4].parse().unwrap();

@@ -28,18 +28,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     } else {
         &[(5, 100), (10, 200), (20, 400), (40, 800), (80, 1600)]
     };
-    let grid_sizes: &[(usize, usize, usize)] = if quick {
-        &[(20, 8, 150)]
-    } else {
-        &[(20, 8, 150), (40, 16, 600), (60, 32, 2400)]
-    };
+    let grid_sizes: &[(usize, usize, usize)] =
+        if quick { &[(20, 8, 150)] } else { &[(20, 8, 150), (40, 16, 600), (60, 32, 2400)] };
     // Line-metric sizes get *exact* denominators at any scale via the
     // polynomial DP oracle.
-    let line_sizes: &[(usize, usize)] = if quick {
-        &[(10, 200)]
-    } else {
-        &[(10, 200), (40, 1600), (80, 6400)]
-    };
+    let line_sizes: &[(usize, usize)] =
+        if quick { &[(10, 200)] } else { &[(10, 200), (40, 1600), (80, 6400)] };
 
     let mut table = Table::new(
         "e2_locality",
@@ -57,9 +51,8 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
 
     let mut record = |family: &str, inst: &Instance| {
-        let out = PayDual::new(PayDualParams::with_phases(phases))
-            .run(inst, 1)
-            .expect("paydual run");
+        let out =
+            PayDual::new(PayDualParams::with_phases(phases)).run(inst, 1).expect("paydual run");
         let t = out.transcript.expect("distributed run");
         let strawman_out = SimulatedSeqGreedy::new().run(inst, 1).expect("strawman run");
         let strawman = strawman_out.modeled_rounds.expect("strawman models rounds");
@@ -105,26 +98,21 @@ pub fn run(quick: bool) -> Vec<Table> {
         let inst = GridNetwork::new(side, side, m, n).unwrap().generate(200).unwrap();
         record("grid", &inst);
     }
-    drop(record);
     // Line rows: same protocol, exact DP denominator.
     for &(m, n) in line_sizes {
         let gen = LineCity::new(m, n).unwrap();
         let layout = gen.layout(200);
         let inst = gen.generate(200).unwrap();
-        let out = PayDual::new(PayDualParams::with_phases(phases))
-            .run(&inst, 1)
-            .expect("paydual run");
+        let out =
+            PayDual::new(PayDualParams::with_phases(phases)).run(&inst, 1).expect("paydual run");
         let t = out.transcript.expect("distributed run");
         let strawman = SimulatedSeqGreedy::new()
             .run(&inst, 1)
             .expect("strawman run")
             .modeled_rounds
             .expect("strawman models rounds");
-        let opt = distfl_lp::line::solve_line(
-            &layout.facility_pos,
-            &layout.opening,
-            &layout.client_pos,
-        );
+        let opt =
+            distfl_lp::line::solve_line(&layout.facility_pos, &layout.opening, &layout.client_pos);
         table.push(vec![
             "line (exact)".to_owned(),
             m.to_string(),
@@ -147,20 +135,13 @@ mod tests {
     fn paydual_rounds_are_constant_and_strawman_grows() {
         let tables = run(true);
         let csv = tables[0].to_csv();
-        let rows: Vec<Vec<String>> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').map(str::to_owned).collect())
-            .collect();
-        let uniform: Vec<&Vec<String>> =
-            rows.iter().filter(|r| r[0] == "uniform").collect();
+        let rows: Vec<Vec<String>> =
+            csv.lines().skip(1).map(|l| l.split(',').map(str::to_owned).collect()).collect();
+        let uniform: Vec<&Vec<String>> = rows.iter().filter(|r| r[0] == "uniform").collect();
         assert!(uniform.len() >= 2);
         let pd: Vec<u32> = uniform.iter().map(|r| r[3].parse().unwrap()).collect();
         assert!(pd.windows(2).all(|w| w[0] == w[1]), "paydual rounds vary: {pd:?}");
         let straw: Vec<u32> = uniform.iter().map(|r| r[5].parse().unwrap()).collect();
-        assert!(
-            straw.last().unwrap() > straw.first().unwrap(),
-            "strawman rounds flat: {straw:?}"
-        );
+        assert!(straw.last().unwrap() > straw.first().unwrap(), "strawman rounds flat: {straw:?}");
     }
 }

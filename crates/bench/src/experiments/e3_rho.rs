@@ -23,8 +23,7 @@ use super::lower_bound_for;
 
 /// Runs E3.
 pub fn run(quick: bool) -> Vec<Table> {
-    let rhos: &[f64] =
-        if quick { &[1e1, 1e3, 1e6] } else { &[1e1, 1e2, 1e3, 1e4, 1e5, 1e6] };
+    let rhos: &[f64] = if quick { &[1e1, 1e3, 1e6] } else { &[1e1, 1e2, 1e3, 1e4, 1e5, 1e6] };
     let budgets: &[u32] = if quick { &[2, 16] } else { &[2, 8, 32] };
     let seeds: u64 = if quick { 2 } else { 4 };
     let (m, n) = if quick { (10, 60) } else { (16, 120) };
@@ -71,17 +70,10 @@ mod tests {
     fn phases_needed_grow_with_rho_and_gamma_shrinks_with_budget() {
         let tables = run(true);
         let csv = tables[0].to_csv();
-        let rows: Vec<Vec<String>> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').map(str::to_owned).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            csv.lines().skip(1).map(|l| l.split(',').map(str::to_owned).collect()).collect();
         // phases_for_gamma1.5 strictly grows along the rho sweep.
-        let needed: Vec<u32> = rows
-            .iter()
-            .step_by(2)
-            .map(|r| r[5].parse().unwrap())
-            .collect();
+        let needed: Vec<u32> = rows.iter().step_by(2).map(|r| r[5].parse().unwrap()).collect();
         assert!(needed.windows(2).all(|w| w[1] > w[0]), "needed phases: {needed:?}");
         // Within each rho, gamma shrinks as the budget grows.
         for pair in rows.chunks(2) {

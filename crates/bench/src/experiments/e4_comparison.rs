@@ -18,8 +18,8 @@ use distfl_core::seqdist::DistSeqGreedy;
 use distfl_core::seqsim::SimulatedSeqGreedy;
 use distfl_core::{CoreError, FlAlgorithm};
 use distfl_instance::generators::{
-    AdversarialGreedy, CdnTrace, Clustered, Euclidean, GridNetwork, InstanceGenerator,
-    PowerLaw, UniformRandom,
+    AdversarialGreedy, CdnTrace, Clustered, Euclidean, GridNetwork, InstanceGenerator, PowerLaw,
+    UniformRandom,
 };
 use distfl_instance::Instance;
 
@@ -38,18 +38,12 @@ pub fn run(quick: bool) -> Vec<Table> {
             ("uniform", UniformRandom::new(m, n).unwrap().generate(400).unwrap()),
             ("euclidean", Euclidean::new(m, n).unwrap().generate(400).unwrap()),
             ("clustered", Clustered::new(3, m, n).unwrap().generate(400).unwrap()),
-            (
-                "grid",
-                GridNetwork::new(12, 12, m, n).unwrap().generate(400).unwrap(),
-            ),
+            ("grid", GridNetwork::new(12, 12, m, n).unwrap().generate(400).unwrap()),
             ("powerlaw", PowerLaw::new(m, n, 1e4).unwrap().generate(400).unwrap()),
             ("cdn", CdnTrace::new(m, n).unwrap().generate(400).unwrap()),
         ];
         if !quick {
-            v.push((
-                "adversarial",
-                AdversarialGreedy::new(20).unwrap().generate(0).unwrap(),
-            ));
+            v.push(("adversarial", AdversarialGreedy::new(20).unwrap().generate(0).unwrap()));
         }
         v
     };
@@ -62,16 +56,8 @@ pub fn run(quick: bool) -> Vec<Table> {
     let strawman_real = DistSeqGreedy::new();
     let jv = JainVazirani::new();
     let mp = MettuPlaxton::new();
-    let algorithms: Vec<&dyn FlAlgorithm> = vec![
-        &paydual_coarse,
-        &paydual_fine,
-        &bucket,
-        &greedy,
-        &strawman,
-        &strawman_real,
-        &jv,
-        &mp,
-    ];
+    let algorithms: Vec<&dyn FlAlgorithm> =
+        vec![&paydual_coarse, &paydual_fine, &bucket, &greedy, &strawman, &strawman_real, &jv, &mp];
 
     let mut table = Table::new(
         "e4_comparison",
@@ -145,10 +131,7 @@ mod tests {
         assert!(cell("uniform", "jain-vazirani").contains("n/a"));
         assert!(!cell("euclidean", "jain-vazirani").contains("n/a"));
         // Greedy ratio is parseable and >= 1 everywhere.
-        let g: f64 = rows
-            .iter()
-            .find(|r| r[0] == "uniform" && r[1] == "greedy")
-            .unwrap()[2]
+        let g: f64 = rows.iter().find(|r| r[0] == "uniform" && r[1] == "greedy").unwrap()[2]
             .parse()
             .unwrap();
         assert!(g >= 1.0 - 1e-9);

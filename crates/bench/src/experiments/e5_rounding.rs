@@ -31,14 +31,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "e5_rounding",
         "E5: rounding-stage trial budget vs success and cost",
-        &[
-            "trials",
-            "rounds",
-            "fallback_frac",
-            "cost_over_lp",
-            "seq_cost_over_lp",
-            "dist_over_seq",
-        ],
+        &["trials", "rounds", "fallback_frac", "cost_over_lp", "seq_cost_over_lp", "dist_over_seq"],
     );
     for &trials in trials_grid {
         let mut fallback = Vec::new();
@@ -73,11 +66,8 @@ mod tests {
     fn fallback_fraction_shrinks_with_trials_and_oracle_agrees() {
         let tables = run(true);
         let csv = tables[0].to_csv();
-        let rows: Vec<Vec<String>> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').map(str::to_owned).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            csv.lines().skip(1).map(|l| l.split(',').map(str::to_owned).collect()).collect();
         let fallback: Vec<f64> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
         assert_eq!(fallback[0], 1.0, "zero trials means all fallback");
         assert!(

@@ -20,8 +20,7 @@ use crate::Table;
 /// Runs E6.
 pub fn run(quick: bool) -> Vec<Table> {
     let phases = 8;
-    let dense: &[(usize, usize)] =
-        if quick { &[(8, 40)] } else { &[(8, 40), (16, 80), (32, 160)] };
+    let dense: &[(usize, usize)] = if quick { &[(8, 40)] } else { &[(8, 40), (16, 80), (32, 160)] };
     let sparse: &[(usize, usize, usize)] =
         if quick { &[(12, 10, 60)] } else { &[(12, 10, 60), (24, 20, 240)] };
 
@@ -42,9 +41,8 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     let mut record = |family: &str, inst: &Instance| {
         let edges = topology_of(inst).expect("topology").num_edges() as u64;
-        let out = PayDual::new(PayDualParams::with_phases(phases))
-            .run(inst, 1)
-            .expect("paydual run");
+        let out =
+            PayDual::new(PayDualParams::with_phases(phases)).run(inst, 1).expect("paydual run");
         let t = out.transcript.expect("distributed run");
         let capacity = u64::from(t.num_rounds()) * 2 * edges;
         table.push(vec![

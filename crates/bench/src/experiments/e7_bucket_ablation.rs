@@ -67,17 +67,10 @@ mod tests {
     fn deepest_cell_beats_the_shallowest() {
         let tables = run(true);
         let csv = tables[0].to_csv();
-        let rows: Vec<Vec<String>> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').map(str::to_owned).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            csv.lines().skip(1).map(|l| l.split(',').map(str::to_owned).collect()).collect();
         let ratio = |outer: &str, inner: &str| -> f64 {
-            rows.iter()
-                .find(|r| r[0] == outer && r[1] == inner)
-                .unwrap()[3]
-                .parse()
-                .unwrap()
+            rows.iter().find(|r| r[0] == outer && r[1] == inner).unwrap()[3].parse().unwrap()
         };
         let shallow = ratio("1", "1");
         let deep = ratio("4", "4");

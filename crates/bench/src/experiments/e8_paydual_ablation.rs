@@ -48,12 +48,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                     polish,
                     ..PayDualParams::with_phases(phases)
                 };
-                PayDual::new(params)
-                    .run(inst, 1)
-                    .expect("paydual run")
-                    .solution
-                    .cost(inst)
-                    .value()
+                PayDual::new(params).run(inst, 1).expect("paydual run").solution.cost(inst).value()
                     / lb
             };
             table.push(vec![

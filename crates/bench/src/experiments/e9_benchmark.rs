@@ -35,16 +35,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E9: benchmark-shaped instances (OR-Library sizes), full pipeline",
         &["shape", "family", "greedy_gap", "paydual16_gap", "pd+ls_gap", "ls_moves"],
     );
+    type Family = (&'static str, Box<dyn Fn(u64) -> Instance>);
     for &(m, n, shape) in shapes {
-        let families: Vec<(&str, Box<dyn Fn(u64) -> Instance>)> = vec![
-            (
-                "uniform",
-                Box::new(move |s| UniformRandom::new(m, n).unwrap().generate(s).unwrap()),
-            ),
-            (
-                "euclidean",
-                Box::new(move |s| Euclidean::new(m, n).unwrap().generate(s).unwrap()),
-            ),
+        let families: Vec<Family> = vec![
+            ("uniform", Box::new(move |s| UniformRandom::new(m, n).unwrap().generate(s).unwrap())),
+            ("euclidean", Box::new(move |s| Euclidean::new(m, n).unwrap().generate(s).unwrap())),
         ];
         for (family, make) in families {
             let mut greedy_ratios = Vec::new();
@@ -104,8 +99,7 @@ mod tests {
         let csv = tables[0].to_csv();
         for row in csv.lines().skip(1) {
             let cells: Vec<&str> = row.split(',').collect();
-            let gaps: Vec<f64> =
-                cells[2..5].iter().map(|c| c.parse().unwrap()).collect();
+            let gaps: Vec<f64> = cells[2..5].iter().map(|c| c.parse().unwrap()).collect();
             let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
             assert!((min - 1.0).abs() < 0.02, "best-known anchor drifted: {row}");
             assert!(gaps.iter().all(|&g| g < 2.0), "gap out of band: {row}");

@@ -41,10 +41,7 @@ pub fn standard_figures(tables: &[Table]) -> Vec<Figure> {
                     "approximation ratio (vs certified LB)",
                 );
                 for (label, points) in group_series(
-                    table
-                        .rows()
-                        .iter()
-                        .map(|r| (r[fam].clone(), cell(r, rounds), cell(r, ratio))),
+                    table.rows().iter().map(|r| (r[fam].clone(), cell(r, rounds), cell(r, ratio))),
                 ) {
                     fig = fig.with_series(label, points);
                 }
@@ -95,11 +92,7 @@ pub fn standard_figures(tables: &[Table]) -> Vec<Figure> {
                 )
                 .with_series(
                     "fallback fraction",
-                    table
-                        .rows()
-                        .iter()
-                        .map(|r| (cell(r, trials), cell(r, fallback)))
-                        .collect(),
+                    table.rows().iter().map(|r| (cell(r, trials), cell(r, fallback))).collect(),
                 )
                 .with_series(
                     "cost / LP (distributed)",
@@ -121,9 +114,12 @@ pub fn standard_figures(tables: &[Table]) -> Vec<Figure> {
                     "inner iterations",
                     "approximation ratio",
                 );
-                for (label, points) in group_series(table.rows().iter().map(|r| {
-                    (format!("outer={}", r[outer]), cell(r, inner), cell(r, ratio))
-                })) {
+                for (label, points) in group_series(
+                    table
+                        .rows()
+                        .iter()
+                        .map(|r| (format!("outer={}", r[outer]), cell(r, inner), cell(r, ratio))),
+                ) {
                     fig = fig.with_series(label, points);
                 }
                 figures.push(fig);

@@ -1,5 +1,6 @@
 //! The experiment implementations (one module per claim; see crate docs).
 
+pub mod e10_faults;
 pub mod e1_tradeoff;
 pub mod e2_locality;
 pub mod e3_rho;
@@ -9,7 +10,6 @@ pub mod e6_congestion;
 pub mod e7_bucket_ablation;
 pub mod e8_paydual_ablation;
 pub mod e9_benchmark;
-pub mod e10_faults;
 pub mod figures;
 
 use distfl_core::greedy::StarGreedy;

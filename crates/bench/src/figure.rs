@@ -185,10 +185,8 @@ impl Figure {
         for (si, (series, points)) in self.series.iter().zip(&data).enumerate() {
             let color = PALETTE[si % PALETTE.len()];
             if points.len() > 1 {
-                let path: Vec<String> = points
-                    .iter()
-                    .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
-                    .collect();
+                let path: Vec<String> =
+                    points.iter().map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y))).collect();
                 let _ = write!(
                     svg,
                     r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,

@@ -16,11 +16,7 @@ impl Table {
     /// # Panics
     ///
     /// Panics if `columns` is empty.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         assert!(!columns.is_empty(), "tables need at least one column");
         Table {
             id: id.into(),
@@ -88,12 +84,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("== {} ({}) ==\n", self.title, self.id));
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.columns, &widths));
         out.push('\n');
@@ -117,9 +108,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -182,9 +182,6 @@ impl NodeLogic for BfsNode {
             }
             // Nodes that joined this round still need to process answers in
             // later rounds; fall through is fine.
-            if self.joined_round.is_none() {
-                return;
-            }
         } else {
             // Phase B: collect adoption answers, child reports, results.
             for &(src, msg) in ctx.inbox() {
@@ -206,8 +203,7 @@ impl NodeLogic for BfsNode {
                         if self.result.is_none() {
                             self.result = Some(v);
                             for &child in &self.children {
-                                ctx.send(child, BfsMsg::Down(v))
-                                    .expect("children are neighbors");
+                                ctx.send(child, BfsMsg::Down(v)).expect("children are neighbors");
                             }
                             self.done = true;
                         }
@@ -224,8 +220,7 @@ impl NodeLogic for BfsNode {
                     }
                     self.done = true;
                 } else if let Some(parent) = self.parent {
-                    ctx.send(parent, BfsMsg::Up(self.partial))
-                        .expect("parent is a neighbor");
+                    ctx.send(parent, BfsMsg::Up(self.partial)).expect("parent is a neighbor");
                 }
             }
         }
@@ -262,11 +257,10 @@ pub fn aggregate(
     let mut net = Network::new(topology.clone(), nodes, 0)?;
     // 4 * n rounds is a generous bound; disconnected graphs hit it.
     let limit = 4 * topology.num_nodes() as u32 + 8;
-    let transcript = net.run(limit)?;
-    let result = net.nodes()[root.index()]
-        .result()
-        .expect("root learns the aggregate before terminating");
-    Ok((result, transcript))
+    net.run(limit)?;
+    let result =
+        net.nodes()[root.index()].result().expect("root learns the aggregate before terminating");
+    Ok((result, net.into_transcript()))
 }
 
 #[cfg(test)]
@@ -300,9 +294,8 @@ mod tests {
     fn every_node_learns_the_result() {
         let topo = Topology::complete_bipartite(4, 7).unwrap();
         let vals = values(11);
-        let nodes: Vec<BfsNode> = (0..11)
-            .map(|i| BfsNode::new(i == 2, vals[i], AggregateOp::Sum))
-            .collect();
+        let nodes: Vec<BfsNode> =
+            (0..11).map(|i| BfsNode::new(i == 2, vals[i], AggregateOp::Sum)).collect();
         let mut net = Network::new(topo, nodes, 0).unwrap();
         net.run(100).unwrap();
         let expected: f64 = vals.iter().sum();
@@ -316,8 +309,7 @@ mod tests {
     fn rounds_scale_with_diameter_not_size() {
         // Ring of n: diameter n/2. Complete bipartite: diameter 2.
         let ring = Topology::ring(40).unwrap();
-        let (_, t_ring) =
-            aggregate(&ring, NodeId::new(0), &values(40), AggregateOp::Sum).unwrap();
+        let (_, t_ring) = aggregate(&ring, NodeId::new(0), &values(40), AggregateOp::Sum).unwrap();
         let dense = Topology::complete_bipartite(20, 20).unwrap();
         let (_, t_dense) =
             aggregate(&dense, NodeId::new(0), &values(40), AggregateOp::Sum).unwrap();
@@ -344,8 +336,7 @@ mod tests {
                 assert!(topo.are_neighbors(NodeId::new(i as u32), p));
                 // Parent joined strictly earlier.
                 assert!(
-                    net.nodes()[p.index()].joined_round().unwrap()
-                        < node.joined_round().unwrap()
+                    net.nodes()[p.index()].joined_round().unwrap() < node.joined_round().unwrap()
                 );
             }
         }

@@ -1,4 +1,40 @@
 //! The synchronous round engine.
+//!
+//! Each round runs a two-stage pipeline, both stages parallel when
+//! [`CongestConfig::threads`] asks for it:
+//!
+//! 1. **Step** — nodes are partitioned into contiguous index ranges, one
+//!    per worker; each worker steps its nodes against their current
+//!    inboxes, filling per-node *pooled* outboxes (recycled across rounds,
+//!    no allocation in steady state). Outboxes produced in ascending
+//!    destination order — the common case, since node logic iterates
+//!    `ctx.neighbors()` in order — are detected in `O(len)` and the
+//!    per-node sort is elided.
+//! 2. **Deliver** — destination ids are partitioned into contiguous
+//!    ranges, one per shard; each shard scans *all* outboxes and
+//!    delivers exactly the messages addressed into its range, accumulating
+//!    a private [`RoundStats`] that is merged deterministically by shard
+//!    index. Because every `(src, dst)` pair lands in exactly one shard
+//!    and sources are scanned in ascending order, duplicate detection, the
+//!    sorted-inbox invariant, fault drops, and crash semantics are
+//!    bit-identical to serial execution.
+//!
+//! The worker count is the *minimum* of the requested `threads` and the
+//! machine's available parallelism — scoped threads are spawned every
+//! round, so oversubscribing cores only adds spawn latency. When that
+//! minimum is 1 the engine takes a **fused** fast path instead: each
+//! node's outbox is delivered immediately after the node steps, while it
+//! is still hot in cache, and messages are *moved* (not cloned) into the
+//! inboxes. The fused path visits sources in the same ascending order as
+//! the staged pipeline, so inbox contents, statistics, error selection,
+//! and the recorded event stream are all bit-identical.
+//!
+//! Inboxes are double-buffered (`inboxes`/`next_inboxes`) and all buffer
+//! sets keep their capacity across rounds, so a steady-state round
+//! performs no heap allocation. When [`CongestConfig::record_events`] is
+//! set, delivery keeps the serial `(src, dst)` event order (fused path,
+//! or a single shard under threads); the recorder is consulted once per
+//! round, never per message.
 
 use crate::error::CongestError;
 use crate::fault::FaultPlan;
@@ -27,9 +63,19 @@ pub enum DuplicatePolicy {
 pub struct CongestConfig {
     /// Handling of one-message-per-edge violations.
     pub duplicate_policy: DuplicatePolicy,
-    /// Number of worker threads for parallel stepping; `None` or `Some(1)`
-    /// runs serially. Results are identical either way.
+    /// Number of worker threads for parallel stepping *and* sharded
+    /// delivery; `None` or `Some(1)` runs serially. Results are
+    /// bit-identical either way. The effective worker count is capped at
+    /// the machine's available parallelism (threads are spawned per
+    /// round, so oversubscription only costs spawn latency); small
+    /// networks (under `2 * threads` nodes) run serially regardless.
     pub threads: Option<usize>,
+    /// Overrides the delivery shard count independently of the worker
+    /// count; shards beyond the available workers execute inline. Results
+    /// are bit-identical for any value. Exists so the sharded merge path
+    /// can be exercised deterministically on any machine (tests); leave
+    /// `None` to derive shards from `threads`.
+    pub force_shards: Option<usize>,
     /// Optional deterministic message-drop plan.
     pub fault: Option<FaultPlan>,
     /// Crash-stop schedule: `(node, round)` pairs; from `round` on, the
@@ -40,7 +86,8 @@ pub struct CongestConfig {
     /// bits fails the run with [`CongestError::MessageTooLarge`]. `None`
     /// records sizes in the transcript without enforcing.
     pub max_message_bits: Option<u64>,
-    /// Whether to record per-message [`Event`]s (slow; for debugging).
+    /// Whether to record per-message [`Event`]s (slow; for debugging;
+    /// forces single-shard delivery so events keep their serial order).
     pub record_events: bool,
 }
 
@@ -55,7 +102,7 @@ pub struct StepCtx<'a, M: Payload> {
     neighbors: &'a [NodeId],
     inbox: &'a [(NodeId, M)],
     rng: NodeRng,
-    outbox: Vec<(NodeId, M)>,
+    outbox: &'a mut Vec<(NodeId, M)>,
     send_error: Option<CongestError>,
 }
 
@@ -134,10 +181,42 @@ impl<'a, M: Payload> StepCtx<'a, M> {
     }
 }
 
-/// Outcome of stepping one node.
-struct StepOutcome<M> {
-    outbox: Vec<(NodeId, M)>,
-    error: Option<CongestError>,
+/// Partial statistics and first error of one delivery shard.
+#[derive(Debug, Default)]
+struct ShardOutcome {
+    stats: RoundStats,
+    /// First error in this shard's scan order, with its `(src, position)`
+    /// coordinate in the serial scan so shards merge deterministically.
+    error: Option<(u32, usize, CongestError)>,
+}
+
+/// Where per-message trace events go; monomorphized so the disabled case
+/// costs nothing inside the delivery loop.
+trait DeliverySink {
+    fn dropped(&mut self, round: u32, src: NodeId, dst: NodeId);
+    fn delivered(&mut self, round: u32, src: NodeId, dst: NodeId);
+}
+
+/// Sink that records nothing (the fast path).
+struct NoTrace;
+
+impl DeliverySink for NoTrace {
+    #[inline]
+    fn dropped(&mut self, _round: u32, _src: NodeId, _dst: NodeId) {}
+    #[inline]
+    fn delivered(&mut self, _round: u32, _src: NodeId, _dst: NodeId) {}
+}
+
+/// Sink that appends [`Event`]s to the recorder's buffer.
+struct TraceInto<'a>(&'a mut Vec<Event>);
+
+impl DeliverySink for TraceInto<'_> {
+    fn dropped(&mut self, round: u32, src: NodeId, dst: NodeId) {
+        self.0.push(Event { round, kind: EventKind::Drop, src, dst });
+    }
+    fn delivered(&mut self, round: u32, src: NodeId, dst: NodeId) {
+        self.0.push(Event { round, kind: EventKind::Deliver, src, dst });
+    }
 }
 
 /// A synchronous CONGEST network executing one [`NodeLogic`] per node.
@@ -149,7 +228,19 @@ pub struct Network<L: NodeLogic> {
     config: CongestConfig,
     master_seed: u64,
     round: u32,
+    /// Inboxes read by the current round's step stage.
     inboxes: Vec<Vec<(NodeId, L::Msg)>>,
+    /// Inboxes written by the current round's delivery stage; swapped with
+    /// `inboxes` at the end of the round (double buffering).
+    next_inboxes: Vec<Vec<(NodeId, L::Msg)>>,
+    /// Per-node outboxes, pooled across rounds.
+    outboxes: Vec<Vec<(NodeId, L::Msg)>>,
+    /// Per-node send-error slots, pooled across rounds.
+    step_errors: Vec<Option<CongestError>>,
+    /// Round from which each node is crashed (`u32::MAX` = never).
+    crash_round: Vec<u32>,
+    /// Available hardware parallelism, cached at construction.
+    cores: usize,
     transcript: Transcript,
     recorder: Recorder,
 }
@@ -194,7 +285,14 @@ impl<L: NodeLogic> Network<L> {
             });
         }
         let n = nodes.len();
-        let recorder = if config.record_events { Recorder::enabled() } else { Recorder::disabled() };
+        let mut crash_round = vec![u32::MAX; n];
+        for &(id, r) in &config.crashes {
+            if let Some(slot) = crash_round.get_mut(id.index()) {
+                *slot = (*slot).min(r);
+            }
+        }
+        let recorder =
+            if config.record_events { Recorder::enabled() } else { Recorder::disabled() };
         Ok(Network {
             topo,
             nodes,
@@ -202,6 +300,11 @@ impl<L: NodeLogic> Network<L> {
             master_seed,
             round: 0,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
+            next_inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n).map(|_| Vec::new()).collect(),
+            step_errors: (0..n).map(|_| None).collect(),
+            crash_round,
+            cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
             transcript: Transcript::new(),
             recorder,
         })
@@ -236,6 +339,17 @@ impl<L: NodeLogic> Network<L> {
         &self.transcript
     }
 
+    /// Consumes the network, returning the accumulated transcript.
+    pub fn into_transcript(self) -> Transcript {
+        self.transcript
+    }
+
+    /// Consumes the network, returning node logics and transcript together
+    /// (for callers that need to keep both without cloning either).
+    pub fn into_parts(self) -> (Vec<L>, Transcript) {
+        (self.nodes, self.transcript)
+    }
+
     /// The event recorder (empty unless `record_events` was set).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -247,20 +361,27 @@ impl<L: NodeLogic> Network<L> {
     }
 
     /// Whether node `index` has crashed by round `round`.
+    #[inline]
     fn is_crashed(&self, index: usize, round: u32) -> bool {
-        self.config
-            .crashes
-            .iter()
-            .any(|&(id, r)| id.index() == index && r <= round)
+        self.crash_round[index] <= round
     }
 
     /// Whether every node reports done (crashed nodes count as done).
     pub fn all_done(&self) -> bool {
         let round = self.round;
-        self.nodes
-            .iter()
-            .enumerate()
-            .all(|(i, l)| l.is_done() || self.is_crashed(i, round))
+        self.nodes.iter().enumerate().all(|(i, l)| l.is_done() || self.is_crashed(i, round))
+    }
+
+    /// The number of worker threads both pipeline stages use this round:
+    /// the requested thread count capped at the machine's parallelism
+    /// (spawning more scoped threads than cores only adds latency).
+    fn worker_count(&self) -> usize {
+        let threads = self.config.threads.unwrap_or(1).max(1).min(self.cores);
+        if threads <= 1 || self.nodes.len() < 2 * threads {
+            1
+        } else {
+            threads
+        }
     }
 
     /// Executes one synchronous round.
@@ -269,145 +390,240 @@ impl<L: NodeLogic> Network<L> {
     ///
     /// Returns [`CongestError::NotNeighbor`] if any node addressed a
     /// non-neighbor, or [`CongestError::EdgeCongestion`] under
-    /// [`DuplicatePolicy::Reject`].
+    /// [`DuplicatePolicy::Reject`]. After an error the network's message
+    /// buffers are in an unspecified (but memory-safe) state; discard it.
     pub fn step(&mut self) -> Result<RoundStats, CongestError> {
         let round = self.round;
-        let inboxes = std::mem::take(&mut self.inboxes);
-        let outcomes = self.step_all_nodes(&inboxes, round);
-        // Reuse the inbox buffers for the next round.
-        self.inboxes = inboxes;
-        for ib in &mut self.inboxes {
+        let workers = self.worker_count();
+        let shards = self.config.force_shards.unwrap_or(workers).max(1);
+
+        let stats = if workers <= 1 && shards <= 1 {
+            self.step_round_fused(round)
+        } else {
+            self.step_round_staged(round, workers, shards)
+        };
+        let stats = match stats {
+            Ok(stats) => stats,
+            Err(err) => {
+                // Leave no half-delivered messages behind.
+                for ib in &mut self.next_inboxes {
+                    ib.clear();
+                }
+                return Err(err);
+            }
+        };
+
+        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
+        for ib in &mut self.next_inboxes {
             ib.clear();
         }
-
-        for outcome in &outcomes {
-            if let Some(err) = &outcome.error {
-                return Err(err.clone());
-            }
-        }
-
-        let mut stats = RoundStats { round, ..RoundStats::default() };
-        for (src_index, outcome) in outcomes.into_iter().enumerate() {
-            let src = NodeId::new(src_index as u32);
-            // Count per-destination multiplicity for congestion accounting.
-            let mut sorted: Vec<(NodeId, L::Msg)> = outcome.outbox;
-            sorted.sort_by_key(|(dst, _)| *dst);
-            let mut run_dst: Option<NodeId> = None;
-            let mut run_len: u64 = 0;
-            for (dst, msg) in sorted {
-                if run_dst == Some(dst) {
-                    run_len += 1;
-                } else {
-                    run_dst = Some(dst);
-                    run_len = 1;
-                }
-                if run_len > 1 && self.config.duplicate_policy == DuplicatePolicy::Reject {
-                    return Err(CongestError::EdgeCongestion { from: src, to: dst, round });
-                }
-                stats.max_messages_per_edge = stats.max_messages_per_edge.max(run_len);
-                let dropped =
-                    self.config.fault.as_ref().is_some_and(|f| f.drops(round, src, dst));
-                if dropped {
-                    stats.dropped += 1;
-                    self.recorder.record(Event { round, kind: EventKind::Drop, src, dst });
-                    continue;
-                }
-                let bits = msg.size_bits();
-                if let Some(limit) = self.config.max_message_bits {
-                    if bits > limit {
-                        return Err(CongestError::MessageTooLarge {
-                            from: src,
-                            to: dst,
-                            bits,
-                            limit,
-                        });
-                    }
-                }
-                stats.messages += 1;
-                stats.bits += bits;
-                stats.max_message_bits = stats.max_message_bits.max(bits);
-                self.recorder.record(Event { round, kind: EventKind::Deliver, src, dst });
-                self.inboxes[dst.index()].push((src, msg));
-            }
-        }
-        debug_assert!(self
-            .inboxes
-            .iter()
-            .all(|ib| ib.windows(2).all(|w| w[0].0 <= w[1].0)));
 
         self.transcript.push(stats);
         self.round += 1;
         Ok(stats)
     }
 
-    /// Steps every non-done node, serially or in parallel per the config.
-    fn step_all_nodes(
+    /// The staged pipeline: step every node, surface the first step error
+    /// by node index, then deliver in shards.
+    fn step_round_staged(
         &mut self,
-        inboxes: &[Vec<(NodeId, L::Msg)>],
         round: u32,
-    ) -> Vec<StepOutcome<L::Msg>> {
-        let threads = self.config.threads.unwrap_or(1).max(1);
-        let n = self.nodes.len();
-        let crashed: Vec<bool> = (0..n).map(|i| self.is_crashed(i, round)).collect();
-        let mut outcomes: Vec<StepOutcome<L::Msg>> = Vec::with_capacity(n);
-        if threads <= 1 || n < 2 * threads {
-            for (index, node) in self.nodes.iter_mut().enumerate() {
-                if crashed[index] {
-                    outcomes.push(StepOutcome { outbox: Vec::new(), error: None });
-                } else {
-                    outcomes.push(step_one(
-                        &self.topo,
-                        node,
-                        index,
-                        &inboxes[index],
-                        round,
-                        self.master_seed,
-                    ));
-                }
+        workers: usize,
+        shards: usize,
+    ) -> Result<RoundStats, CongestError> {
+        self.step_stage(round, workers);
+        for slot in &mut self.step_errors {
+            if let Some(err) = slot.take() {
+                return Err(err);
             }
-        } else {
-            outcomes.extend((0..n).map(|_| StepOutcome { outbox: Vec::new(), error: None }));
-            let chunk = n.div_ceil(threads);
-            let topo = &self.topo;
-            let seed = self.master_seed;
-            let node_chunks = self.nodes.chunks_mut(chunk);
-            let inbox_chunks = inboxes.chunks(chunk);
-            let outcome_chunks = outcomes.chunks_mut(chunk);
-            let crashed_ref = &crashed;
-            crossbeam::thread::scope(|scope| {
-                for (chunk_index, ((nodes, inbs), outs)) in
-                    node_chunks.zip(inbox_chunks).zip(outcome_chunks).enumerate()
-                {
-                    let base = chunk_index * chunk;
-                    scope.spawn(move |_| {
-                        for (offset, node) in nodes.iter_mut().enumerate() {
-                            let index = base + offset;
-                            if crashed_ref[index] {
-                                outs[offset] =
-                                    StepOutcome { outbox: Vec::new(), error: None };
-                            } else {
-                                outs[offset] =
-                                    step_one(topo, node, index, &inbs[offset], round, seed);
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("worker thread panicked");
         }
-        outcomes
+        self.deliver_stage(round, shards, workers)
+    }
+
+    /// The fused serial fast path: each node's outbox is delivered right
+    /// after the node steps, while it is hot in cache, and messages are
+    /// moved (not cloned) into the inboxes. Sources are visited in the
+    /// same ascending order as the staged pipeline, so inbox contents,
+    /// stats, error selection (step errors by node index first, then the
+    /// first delivery error in scan order), and the event stream are
+    /// bit-identical to staged execution.
+    fn step_round_fused(&mut self, round: u32) -> Result<RoundStats, CongestError> {
+        // The recorder branch is resolved here, once per round; the inner
+        // loops are monomorphized on the sink.
+        if let Recorder::On(events) = &mut self.recorder {
+            fused_round(
+                &self.topo,
+                &mut self.nodes,
+                &self.inboxes,
+                &mut self.next_inboxes,
+                &mut self.outboxes,
+                &self.crash_round,
+                self.master_seed,
+                round,
+                &self.config,
+                &mut TraceInto(events),
+            )
+        } else {
+            fused_round(
+                &self.topo,
+                &mut self.nodes,
+                &self.inboxes,
+                &mut self.next_inboxes,
+                &mut self.outboxes,
+                &self.crash_round,
+                self.master_seed,
+                round,
+                &self.config,
+                &mut NoTrace,
+            )
+        }
+    }
+
+    /// Stage 1: steps every live node, filling the pooled outboxes (sorted
+    /// by destination) and the per-node error slots.
+    fn step_stage(&mut self, round: u32, workers: usize) {
+        let n = self.nodes.len();
+        let topo = &self.topo;
+        let seed = self.master_seed;
+        let crash_round = &self.crash_round;
+        if workers <= 1 {
+            for (index, node) in self.nodes.iter_mut().enumerate() {
+                step_into(
+                    topo,
+                    node,
+                    index,
+                    &self.inboxes[index],
+                    &mut self.outboxes[index],
+                    &mut self.step_errors[index],
+                    crash_round[index] <= round,
+                    round,
+                    seed,
+                );
+            }
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        let node_chunks = self.nodes.chunks_mut(chunk);
+        let inbox_chunks = self.inboxes.chunks(chunk);
+        let outbox_chunks = self.outboxes.chunks_mut(chunk);
+        let error_chunks = self.step_errors.chunks_mut(chunk);
+        std::thread::scope(|scope| {
+            for (chunk_index, (((nodes, inboxes), outboxes), errors)) in
+                node_chunks.zip(inbox_chunks).zip(outbox_chunks).zip(error_chunks).enumerate()
+            {
+                let base = chunk_index * chunk;
+                scope.spawn(move || {
+                    for (offset, node) in nodes.iter_mut().enumerate() {
+                        let index = base + offset;
+                        step_into(
+                            topo,
+                            node,
+                            index,
+                            &inboxes[offset],
+                            &mut outboxes[offset],
+                            &mut errors[offset],
+                            crash_round[index] <= round,
+                            round,
+                            seed,
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    /// Stage 2: delivers every outbox message into `next_inboxes`,
+    /// sharded by destination range. Shards run on scoped threads when
+    /// more than one worker is available, inline otherwise.
+    fn deliver_stage(
+        &mut self,
+        round: u32,
+        shards: usize,
+        workers: usize,
+    ) -> Result<RoundStats, CongestError> {
+        let n = self.nodes.len();
+        let policy = self.config.duplicate_policy;
+        let fault = self.config.fault;
+        let max_bits = self.config.max_message_bits;
+        let outboxes = &self.outboxes;
+
+        // Recording forces a single shard so events keep serial order; the
+        // recorder branch is taken once per round, not per message.
+        if let Recorder::On(events) = &mut self.recorder {
+            let outcome = deliver_shard(
+                outboxes,
+                &mut self.next_inboxes,
+                0,
+                round,
+                policy,
+                fault.as_ref(),
+                max_bits,
+                &mut TraceInto(events),
+            );
+            return merge_outcomes(std::iter::once(outcome), round);
+        }
+
+        let chunk = n.div_ceil(shards.min(n).max(1));
+        if workers <= 1 {
+            // Not enough cores to pay for spawning: run the shards inline.
+            // Same shard partition, same merge, no threads.
+            let outcomes =
+                self.next_inboxes.chunks_mut(chunk).enumerate().map(|(shard, inbox_chunk)| {
+                    deliver_shard(
+                        outboxes,
+                        inbox_chunk,
+                        shard * chunk,
+                        round,
+                        policy,
+                        fault.as_ref(),
+                        max_bits,
+                        &mut NoTrace,
+                    )
+                });
+            return merge_outcomes(outcomes, round);
+        }
+
+        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .next_inboxes
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(shard, inbox_chunk)| {
+                    let fault = fault.as_ref();
+                    scope.spawn(move || {
+                        deliver_shard(
+                            outboxes,
+                            inbox_chunk,
+                            shard * chunk,
+                            round,
+                            policy,
+                            fault,
+                            max_bits,
+                            &mut NoTrace,
+                        )
+                    })
+                })
+                .collect();
+            // Merge in shard order: deterministic regardless of timing.
+            outcomes
+                .extend(handles.into_iter().map(|h| h.join().expect("delivery worker panicked")));
+        });
+        merge_outcomes(outcomes.into_iter(), round)
     }
 
     /// Runs rounds until every node is done or `max_rounds` is reached.
     ///
-    /// Returns a clone of the transcript on success.
+    /// Returns a reference to the accumulated transcript on success; use
+    /// [`Network::transcript`], [`Network::into_transcript`], or
+    /// [`Network::into_parts`] to keep it around without an O(rounds) copy.
     ///
     /// # Errors
     ///
     /// Propagates [`Network::step`] errors and returns
     /// [`CongestError::RoundLimit`] if the protocol does not terminate in
     /// `max_rounds` rounds.
-    pub fn run(&mut self, max_rounds: u32) -> Result<Transcript, CongestError> {
+    pub fn run(&mut self, max_rounds: u32) -> Result<&Transcript, CongestError> {
         while !self.all_done() {
             if self.round >= max_rounds {
                 let pending = self.nodes.iter().filter(|l| !l.is_done()).count();
@@ -415,21 +631,118 @@ impl<L: NodeLogic> Network<L> {
             }
             self.step()?;
         }
-        Ok(self.transcript.clone())
+        Ok(&self.transcript)
     }
 }
 
-/// Steps a single node, producing its outbox.
-fn step_one<L: NodeLogic>(
+/// One fused round: step node, deliver its outbox immediately (moving
+/// messages), repeat in ascending node order. See
+/// [`Network::step_round_fused`] for the equivalence argument.
+#[allow(clippy::too_many_arguments)]
+fn fused_round<L: NodeLogic>(
+    topo: &Topology,
+    nodes: &mut [L],
+    inboxes: &[Vec<(NodeId, L::Msg)>],
+    next_inboxes: &mut [Vec<(NodeId, L::Msg)>],
+    outboxes: &mut [Vec<(NodeId, L::Msg)>],
+    crash_round: &[u32],
+    master_seed: u64,
+    round: u32,
+    config: &CongestConfig,
+    sink: &mut impl DeliverySink,
+) -> Result<RoundStats, CongestError> {
+    let policy = config.duplicate_policy;
+    let fault = config.fault.as_ref();
+    let max_bits = config.max_message_bits;
+    let mut stats = RoundStats { round, ..RoundStats::default() };
+    let mut step_error: Option<CongestError> = None;
+    let mut deliver_error: Option<CongestError> = None;
+
+    for (index, node) in nodes.iter_mut().enumerate() {
+        let mut slot = None;
+        step_into(
+            topo,
+            node,
+            index,
+            &inboxes[index],
+            &mut outboxes[index],
+            &mut slot,
+            crash_round[index] <= round,
+            round,
+            master_seed,
+        );
+        if let Some(err) = slot {
+            // Keep stepping the remaining nodes (the staged pipeline steps
+            // everyone before failing the round), but deliver nothing more.
+            step_error.get_or_insert(err);
+            continue;
+        }
+        if step_error.is_some() || deliver_error.is_some() {
+            continue;
+        }
+        let src = NodeId::new(index as u32);
+        let mut run_dst: Option<NodeId> = None;
+        let mut run_len: u64 = 0;
+        for (dst, msg) in outboxes[index].drain(..) {
+            if run_dst == Some(dst) {
+                run_len += 1;
+            } else {
+                run_dst = Some(dst);
+                run_len = 1;
+            }
+            if run_len > 1 && policy == DuplicatePolicy::Reject {
+                deliver_error = Some(CongestError::EdgeCongestion { from: src, to: dst, round });
+                break;
+            }
+            stats.max_messages_per_edge = stats.max_messages_per_edge.max(run_len);
+            if fault.is_some_and(|f| f.drops(round, src, dst)) {
+                stats.dropped += 1;
+                sink.dropped(round, src, dst);
+                continue;
+            }
+            let bits = msg.size_bits();
+            if let Some(limit) = max_bits {
+                if bits > limit {
+                    deliver_error =
+                        Some(CongestError::MessageTooLarge { from: src, to: dst, bits, limit });
+                    break;
+                }
+            }
+            stats.messages += 1;
+            stats.bits += bits;
+            stats.max_message_bits = stats.max_message_bits.max(bits);
+            sink.delivered(round, src, dst);
+            next_inboxes[dst.index()].push((src, msg));
+        }
+    }
+    if let Some(err) = step_error {
+        return Err(err);
+    }
+    if let Some(err) = deliver_error {
+        return Err(err);
+    }
+    debug_assert!(next_inboxes.iter().all(|ib| ib.is_sorted_by_key(|(s, _)| *s)));
+    Ok(stats)
+}
+
+/// Steps one node into its pooled outbox, leaving the outbox sorted by
+/// destination. Crashed and done nodes produce an empty outbox.
+#[allow(clippy::too_many_arguments)]
+fn step_into<L: NodeLogic>(
     topo: &Topology,
     node: &mut L,
     index: usize,
     inbox: &[(NodeId, L::Msg)],
+    outbox: &mut Vec<(NodeId, L::Msg)>,
+    error: &mut Option<CongestError>,
+    crashed: bool,
     round: u32,
     master_seed: u64,
-) -> StepOutcome<L::Msg> {
-    if node.is_done() {
-        return StepOutcome { outbox: Vec::new(), error: None };
+) {
+    outbox.clear();
+    *error = None;
+    if crashed || node.is_done() {
+        return;
     }
     let id = NodeId::new(index as u32);
     let mut ctx = StepCtx {
@@ -438,11 +751,127 @@ fn step_one<L: NodeLogic>(
         neighbors: topo.neighbors(id),
         inbox,
         rng: NodeRng::derive(master_seed, id.raw(), round),
-        outbox: Vec::new(),
+        outbox,
         send_error: None,
     };
     node.step(&mut ctx);
-    StepOutcome { outbox: ctx.outbox, error: ctx.send_error }
+    *error = ctx.send_error;
+    // Sort elision: node logic usually sends in neighbor order, so the
+    // outbox is already ascending; detect that in O(len) and skip the
+    // (stable) sort that delivery relies on.
+    if !outbox.is_sorted_by_key(|(dst, _)| *dst) {
+        outbox.sort_by_key(|(dst, _)| *dst);
+    }
+}
+
+/// Delivers all messages addressed to ids `[lo, lo + inbox_chunk.len())`,
+/// scanning every outbox in ascending source order.
+///
+/// Accounting (duplicate runs, fault drops, size budget) replicates the
+/// serial scan exactly: every `(src, dst)` pair lands in exactly one shard
+/// and outboxes are sorted by destination, so duplicate runs never
+/// straddle shard boundaries, and the first error in `(src, position)`
+/// order within a shard is that shard's minimum.
+#[allow(clippy::too_many_arguments)]
+fn deliver_shard<M: Payload>(
+    outboxes: &[Vec<(NodeId, M)>],
+    inbox_chunk: &mut [Vec<(NodeId, M)>],
+    lo: usize,
+    round: u32,
+    policy: DuplicatePolicy,
+    fault: Option<&FaultPlan>,
+    max_bits: Option<u64>,
+    sink: &mut impl DeliverySink,
+) -> ShardOutcome {
+    let hi = lo + inbox_chunk.len();
+    let covers_tail = hi >= outboxes.len();
+    let mut outcome = ShardOutcome::default();
+    let stats = &mut outcome.stats;
+    for (src_index, outbox) in outboxes.iter().enumerate() {
+        if outbox.is_empty() {
+            continue;
+        }
+        let src = NodeId::new(src_index as u32);
+        // Two binary searches bound the exact in-range subslice, keeping
+        // the per-message loop free of range checks.
+        let start = outbox.partition_point(|(dst, _)| dst.index() < lo);
+        let end = if covers_tail {
+            outbox.len()
+        } else {
+            start + outbox[start..].partition_point(|(dst, _)| dst.index() < hi)
+        };
+        let mut run_dst: Option<NodeId> = None;
+        let mut run_len: u64 = 0;
+        for (pos, (dst, msg)) in outbox[..end].iter().enumerate().skip(start) {
+            let dst = *dst;
+            if run_dst == Some(dst) {
+                run_len += 1;
+            } else {
+                run_dst = Some(dst);
+                run_len = 1;
+            }
+            if run_len > 1 && policy == DuplicatePolicy::Reject {
+                outcome.error = Some((
+                    src.raw(),
+                    pos,
+                    CongestError::EdgeCongestion { from: src, to: dst, round },
+                ));
+                return outcome;
+            }
+            stats.max_messages_per_edge = stats.max_messages_per_edge.max(run_len);
+            if fault.is_some_and(|f| f.drops(round, src, dst)) {
+                stats.dropped += 1;
+                sink.dropped(round, src, dst);
+                continue;
+            }
+            let bits = msg.size_bits();
+            if let Some(limit) = max_bits {
+                if bits > limit {
+                    outcome.error = Some((
+                        src.raw(),
+                        pos,
+                        CongestError::MessageTooLarge { from: src, to: dst, bits, limit },
+                    ));
+                    return outcome;
+                }
+            }
+            stats.messages += 1;
+            stats.bits += bits;
+            stats.max_message_bits = stats.max_message_bits.max(bits);
+            sink.delivered(round, src, dst);
+            inbox_chunk[dst.index() - lo].push((src, msg.clone()));
+        }
+    }
+    debug_assert!(inbox_chunk.iter().all(|ib| ib.is_sorted_by_key(|(s, _)| *s)));
+    outcome
+}
+
+/// Folds shard outcomes into one [`RoundStats`], surfacing the error the
+/// serial scan would have hit first (minimal `(src, position)`).
+fn merge_outcomes(
+    outcomes: impl Iterator<Item = ShardOutcome>,
+    round: u32,
+) -> Result<RoundStats, CongestError> {
+    let mut stats = RoundStats { round, ..RoundStats::default() };
+    let mut first_error: Option<(u32, usize, CongestError)> = None;
+    for outcome in outcomes {
+        stats.messages += outcome.stats.messages;
+        stats.dropped += outcome.stats.dropped;
+        stats.bits += outcome.stats.bits;
+        stats.max_message_bits = stats.max_message_bits.max(outcome.stats.max_message_bits);
+        stats.max_messages_per_edge =
+            stats.max_messages_per_edge.max(outcome.stats.max_messages_per_edge);
+        if let Some((src, pos, err)) = outcome.error {
+            let better = first_error.as_ref().is_none_or(|(s, p, _)| (src, pos) < (*s, *p));
+            if better {
+                first_error = Some((src, pos, err));
+            }
+        }
+    }
+    match first_error {
+        Some((_, _, err)) => Err(err),
+        None => Ok(stats),
+    }
 }
 
 #[cfg(test)]
@@ -481,7 +910,8 @@ mod tests {
     #[test]
     fn flood_terminates_and_counts() {
         let mut net = flood_net(6, 2, None);
-        let t = net.run(10).unwrap();
+        net.run(10).unwrap();
+        let t = net.transcript();
         assert_eq!(t.num_rounds(), 3);
         // Nodes broadcast in rounds 0 and 1 (2 messages each, 6 nodes).
         assert_eq!(t.total_messages(), 2 * 12);
@@ -497,13 +927,31 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let mut serial = flood_net(31, 3, None);
-        let mut parallel = flood_net(31, 3, Some(4));
-        let ts = serial.run(10).unwrap();
-        let tp = parallel.run(10).unwrap();
-        assert_eq!(ts, tp);
+        serial.run(10).unwrap();
         let hs: Vec<u64> = serial.nodes().iter().map(|n| n.heard).collect();
-        let hp: Vec<u64> = parallel.nodes().iter().map(|n| n.heard).collect();
-        assert_eq!(hs, hp);
+        // Threaded config (capped at available cores) and forced shard
+        // partitioning (exercises the sharded merge on any machine).
+        for force_shards in [None, Some(4)] {
+            let topo = Topology::ring(31).unwrap();
+            let nodes = (0..31).map(|_| Flood { ttl: 3, heard: 0, done: false }).collect();
+            let config =
+                CongestConfig { threads: Some(4), force_shards, ..CongestConfig::default() };
+            let mut parallel = Network::with_config(topo, nodes, 7, config).unwrap();
+            parallel.run(10).unwrap();
+            assert_eq!(serial.transcript(), parallel.transcript());
+            let hp: Vec<u64> = parallel.nodes().iter().map(|n| n.heard).collect();
+            assert_eq!(hs, hp);
+        }
+    }
+
+    #[test]
+    fn run_returns_borrowed_transcript() {
+        let mut net = flood_net(6, 1, None);
+        let rounds = net.run(10).unwrap().num_rounds();
+        assert_eq!(rounds, 2);
+        let (nodes, transcript) = net.into_parts();
+        assert_eq!(nodes.len(), 6);
+        assert_eq!(transcript.num_rounds(), 2);
     }
 
     #[test]
@@ -553,7 +1001,9 @@ mod tests {
 
     #[test]
     fn duplicate_send_rejected_by_default() {
-        struct Dup { done: bool }
+        struct Dup {
+            done: bool,
+        }
         impl NodeLogic for Dup {
             type Msg = u64;
             fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
@@ -580,6 +1030,47 @@ mod tests {
         assert_eq!(stats.messages, 6);
     }
 
+    /// Two distinct nodes violate the discipline toward destinations in
+    /// different delivery shards; parallel execution must surface the same
+    /// error serial execution does (the violation earliest in source
+    /// order), not whichever shard finishes first.
+    #[test]
+    fn duplicate_error_matches_serial_order_across_threads() {
+        struct DupAt {
+            offender: bool,
+            done: bool,
+        }
+        impl NodeLogic for DupAt {
+            type Msg = u64;
+            fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+                if self.offender {
+                    let nb = *ctx.neighbors().last().unwrap();
+                    ctx.send(nb, 1).unwrap();
+                    ctx.send(nb, 2).unwrap();
+                }
+                self.done = true;
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let mk = |n: usize| {
+            (0..n).map(|i| DupAt { offender: i == 3 || i == 12, done: false }).collect::<Vec<_>>()
+        };
+        let errs: Vec<CongestError> = [(None, None), (Some(4), None), (Some(4), Some(4))]
+            .into_iter()
+            .map(|(threads, force_shards)| {
+                let topo = Topology::ring(16).unwrap();
+                let config = CongestConfig { threads, force_shards, ..CongestConfig::default() };
+                let mut net = Network::with_config(topo, mk(16), 0, config).unwrap();
+                net.step().unwrap_err()
+            })
+            .collect();
+        assert_eq!(errs[0], errs[1]);
+        assert_eq!(errs[0], errs[2]);
+        assert!(matches!(errs[0], CongestError::EdgeCongestion { .. }));
+    }
+
     #[test]
     fn fault_plan_drops_messages() {
         let topo = Topology::ring(5).unwrap();
@@ -589,7 +1080,8 @@ mod tests {
             ..CongestConfig::default()
         };
         let mut net = Network::with_config(topo, nodes, 0, config).unwrap();
-        let t = net.run(10).unwrap();
+        net.run(10).unwrap();
+        let t = net.transcript();
         assert_eq!(t.total_messages(), 0);
         // One broadcast round: 5 nodes x 2 neighbors, all dropped.
         assert_eq!(t.total_dropped(), 10);
@@ -601,13 +1093,11 @@ mod tests {
         let topo = Topology::ring(3).unwrap();
         let mk = || (0..3).map(|_| Flood { ttl: 1, heard: 0, done: false }).collect();
         // 64-bit messages pass a 64-bit budget...
-        let config =
-            CongestConfig { max_message_bits: Some(64), ..CongestConfig::default() };
+        let config = CongestConfig { max_message_bits: Some(64), ..CongestConfig::default() };
         let mut net = Network::with_config(topo.clone(), mk(), 0, config).unwrap();
         assert!(net.run(5).is_ok());
         // ...and fail a 32-bit one.
-        let config =
-            CongestConfig { max_message_bits: Some(32), ..CongestConfig::default() };
+        let config = CongestConfig { max_message_bits: Some(32), ..CongestConfig::default() };
         let mut net = Network::with_config(topo, mk(), 0, config).unwrap();
         let err = net.run(5).unwrap_err();
         assert!(matches!(err, CongestError::MessageTooLarge { bits: 64, limit: 32, .. }));
@@ -676,5 +1166,57 @@ mod tests {
             net.into_nodes().iter().map(|r| r.value).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Sends out-of-order on purpose so the sort-elision fallback path
+    /// (stable sort) is exercised.
+    #[test]
+    fn unsorted_sends_still_deliver_sorted() {
+        struct Reverse {
+            inbox_sorted: bool,
+            done: bool,
+        }
+        impl NodeLogic for Reverse {
+            type Msg = u64;
+            fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+                if ctx.round() == 0 {
+                    let neighbors: Vec<NodeId> = ctx.neighbors().iter().rev().copied().collect();
+                    for nb in neighbors {
+                        ctx.send(nb, u64::from(ctx.id().raw())).unwrap();
+                    }
+                } else {
+                    self.inbox_sorted = ctx.inbox().windows(2).all(|w| w[0].0 <= w[1].0);
+                    assert!(!ctx.inbox().is_empty());
+                    self.done = true;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        for (threads, force_shards) in [(None, None), (Some(4), None), (None, Some(4))] {
+            let topo = Topology::complete_bipartite(4, 9).unwrap();
+            let nodes = (0..13).map(|_| Reverse { inbox_sorted: false, done: false }).collect();
+            let config = CongestConfig { threads, force_shards, ..CongestConfig::default() };
+            let mut net = Network::with_config(topo, nodes, 0, config).unwrap();
+            net.run(5).unwrap();
+            assert!(net.nodes().iter().all(|n| n.inbox_sorted));
+        }
+    }
+
+    /// Steady-state rounds must not grow any buffer: capacities reached in
+    /// round 0 are reused in every later round.
+    #[test]
+    fn buffers_are_pooled_across_rounds() {
+        let mut net = flood_net(16, 6, None);
+        net.step().unwrap();
+        net.step().unwrap();
+        let caps: Vec<usize> = net.outboxes.iter().map(Vec::capacity).collect();
+        let icaps: Vec<usize> = net.inboxes.iter().map(Vec::capacity).collect();
+        for _ in 0..4 {
+            net.step().unwrap();
+        }
+        assert_eq!(caps, net.outboxes.iter().map(Vec::capacity).collect::<Vec<_>>());
+        assert_eq!(icaps, net.inboxes.iter().map(Vec::capacity).collect::<Vec<_>>());
     }
 }

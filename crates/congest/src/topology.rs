@@ -72,9 +72,7 @@ impl Topology {
                 reason: format!("ring needs at least 3 nodes, got {n}"),
             });
         }
-        let edges = (0..n).map(|i| {
-            (NodeId::new(i as u32), NodeId::new(((i + 1) % n) as u32))
-        });
+        let edges = (0..n).map(|i| (NodeId::new(i as u32), NodeId::new(((i + 1) % n) as u32)));
         Self::from_edges(n, edges)
     }
 
@@ -113,7 +111,9 @@ impl Topology {
     pub fn complete_bipartite(left: usize, right: usize) -> Result<Self, CongestError> {
         if left == 0 || right == 0 {
             return Err(CongestError::InvalidTopology {
-                reason: format!("complete bipartite graph needs both sides non-empty, got {left}/{right}"),
+                reason: format!(
+                    "complete bipartite graph needs both sides non-empty, got {left}/{right}"
+                ),
             });
         }
         let mut edges = Vec::with_capacity(left * right);
@@ -194,10 +194,7 @@ impl Topology {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes())
-            .map(|i| self.degree(NodeId::new(i as u32)))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_nodes()).map(|i| self.degree(NodeId::new(i as u32))).max().unwrap_or(0)
     }
 
     /// Whether `a` and `b` are adjacent.
@@ -348,8 +345,7 @@ mod tests {
         .unwrap();
         assert!(!t.is_connected());
         // Isolated node: disconnected.
-        let t =
-            Topology::from_edges(3, vec![(NodeId::new(0), NodeId::new(1))]).unwrap();
+        let t = Topology::from_edges(3, vec![(NodeId::new(0), NodeId::new(1))]).unwrap();
         assert!(!t.is_connected());
     }
 

@@ -27,43 +27,54 @@ pub struct Event {
 }
 
 /// Collects [`Event`]s when enabled; a disabled recorder is free.
+///
+/// Deliberately an enum so callers on a hot path can match **once** (e.g.
+/// once per round) and take a recording-free code path, instead of paying
+/// an `enabled` test per message. The engine's delivery loop does exactly
+/// that; [`Recorder::record`] remains for convenience off the hot path.
 #[derive(Debug, Default)]
-pub struct Recorder {
-    enabled: bool,
-    events: Vec<Event>,
+pub enum Recorder {
+    /// Events are ignored (the default).
+    #[default]
+    Off,
+    /// Events are appended to the buffer.
+    On(Vec<Event>),
 }
 
 impl Recorder {
     /// A recorder that stores events.
     pub fn enabled() -> Self {
-        Recorder { enabled: true, events: Vec::new() }
+        Recorder::On(Vec::new())
     }
 
     /// A recorder that ignores events (the default).
     pub fn disabled() -> Self {
-        Recorder::default()
+        Recorder::Off
     }
 
     /// Whether events are being stored.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        matches!(self, Recorder::On(_))
     }
 
     /// Records an event if enabled.
     pub fn record(&mut self, event: Event) {
-        if self.enabled {
-            self.events.push(event);
+        if let Recorder::On(events) = self {
+            events.push(event);
         }
     }
 
     /// All recorded events in order.
     pub fn events(&self) -> &[Event] {
-        &self.events
+        match self {
+            Recorder::Off => &[],
+            Recorder::On(events) => events,
+        }
     }
 
     /// Recorded events of a given kind.
     pub fn events_of(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
-        self.events.iter().filter(move |e| e.kind == kind)
+        self.events().iter().filter(move |e| e.kind == kind)
     }
 }
 

@@ -34,14 +34,15 @@ fn net(crashes: Vec<(NodeId, u32)>) -> Network<Beacon> {
 #[test]
 fn crashed_nodes_stop_sending_but_run_completes() {
     let mut healthy = net(Vec::new());
-    let t_healthy = healthy.run(10).unwrap();
+    healthy.run(10).unwrap();
 
     let mut crashed = net(vec![(NodeId::new(2), 2)]);
-    let t_crashed = crashed.run(10).unwrap();
+    crashed.run(10).unwrap();
 
     // Node 2 sends in rounds 0..2 only: 2 fewer broadcast rounds x 2
     // neighbors = 4 fewer messages.
-    assert_eq!(t_healthy.total_messages() - t_crashed.total_messages(), 4);
+    let missing = healthy.transcript().total_messages() - crashed.transcript().total_messages();
+    assert_eq!(missing, 4);
     // Its neighbors hear less.
     assert!(crashed.nodes()[1].heard < healthy.nodes()[1].heard);
     // The crashed node never reports done itself, yet the run terminates.
@@ -51,9 +52,9 @@ fn crashed_nodes_stop_sending_but_run_completes() {
 #[test]
 fn crash_at_round_zero_silences_a_node_completely() {
     let mut crashed = net(vec![(NodeId::new(0), 0)]);
-    let t = crashed.run(10).unwrap();
+    crashed.run(10).unwrap();
     // Node 0 never sends: 4 rounds x 2 neighbors missing.
-    assert_eq!(t.total_messages(), 4 * 12 - 8);
+    assert_eq!(crashed.transcript().total_messages(), 4 * 12 - 8);
     assert_eq!(crashed.nodes()[0].heard, 0, "crashed nodes do not process inboxes");
 }
 
@@ -76,9 +77,9 @@ fn crashes_are_deterministic_and_parallel_consistent() {
             ..CongestConfig::default()
         };
         let mut net = Network::with_config(topo, nodes, 9, config).unwrap();
-        let t = net.run(12).unwrap();
+        net.run(12).unwrap();
         let heard: Vec<u64> = net.nodes().iter().map(|n| n.heard).collect();
-        (t, heard)
+        (net.into_transcript(), heard)
     };
     let (ts, hs) = run(None);
     let (tp, hp) = run(Some(4));

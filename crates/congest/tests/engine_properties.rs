@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use distfl_congest::bfs::{aggregate, AggregateOp};
 use distfl_congest::{
     CongestConfig, CongestError, FaultPlan, Network, NodeId, NodeLogic, StepCtx, Topology,
+    Transcript,
 };
 
 /// A recipe for a random simple graph: node count plus an edge mask.
@@ -39,10 +40,7 @@ fn graph_strategy(connected: bool) -> impl Strategy<Value = GraphRecipe> {
 fn build(recipe: &GraphRecipe) -> Topology {
     Topology::from_edges(
         recipe.n,
-        recipe
-            .edges
-            .iter()
-            .map(|&(a, b)| (NodeId::new(a as u32), NodeId::new(b as u32))),
+        recipe.edges.iter().map(|&(a, b)| (NodeId::new(a as u32), NodeId::new(b as u32))),
     )
     .expect("recipe produces simple graphs")
 }
@@ -77,17 +75,120 @@ impl NodeLogic for Chatter {
     }
 }
 
+/// Records every delivery as `(round, sender, payload)` and carries a
+/// per-node evolving state word, so serial-vs-parallel comparisons cover
+/// inbox contents *and* final node state bit-for-bit.
+struct Scribe {
+    rounds: u32,
+    state: u64,
+    log: Vec<(u32, u32, u64)>,
+    done: bool,
+}
+
+impl Scribe {
+    fn new(rounds: u32) -> Self {
+        Scribe { rounds, state: 0, log: Vec::new(), done: false }
+    }
+}
+
+impl NodeLogic for Scribe {
+    type Msg = u64;
+    fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+        for &(src, msg) in ctx.inbox() {
+            self.log.push((ctx.round(), src.raw(), msg));
+            self.state = self.state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(msg);
+        }
+        if ctx.round() < self.rounds {
+            // Payload depends on id, round, and accumulated state so any
+            // reordering or drop divergence cascades loudly.
+            let payload =
+                (u64::from(ctx.id().raw()) << 32) | u64::from(ctx.round()) ^ (self.state & 0xffff);
+            ctx.broadcast(payload);
+        } else {
+            self.done = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Full engine state observable from outside after a run.
+type RunFingerprint = (Transcript, Vec<(u64, Vec<(u32, u32, u64)>, bool)>);
+
+fn fingerprint(
+    recipe: &GraphRecipe,
+    threads: Option<usize>,
+    force_shards: Option<usize>,
+    fault: Option<FaultPlan>,
+    crashes: &[(NodeId, u32)],
+    rounds: u32,
+) -> RunFingerprint {
+    let nodes: Vec<Scribe> = (0..recipe.n).map(|_| Scribe::new(rounds)).collect();
+    let config = CongestConfig {
+        threads,
+        force_shards,
+        fault,
+        crashes: crashes.to_vec(),
+        ..CongestConfig::default()
+    };
+    let mut net = Network::with_config(build(recipe), nodes, 11, config).unwrap();
+    net.run(rounds + 2).unwrap();
+    let (nodes, transcript) = net.into_parts();
+    let states = nodes.into_iter().map(|s| (s.state, s.log, s.done)).collect();
+    (transcript, states)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite of the sharded-delivery rework: across every thread count
+    /// the engine supports, random topologies, message-drop fault plans,
+    /// and crash-stop schedules must yield bit-identical transcripts,
+    /// per-round inbox logs, and final node states.
+    #[test]
+    fn sharded_delivery_matches_serial_exactly(
+        recipe in graph_strategy(false),
+        drop_p in 0.0f64..1.0,
+        fault_seed in 0u64..1000,
+        crash_raw in prop::collection::vec((0usize..12, 0u32..6), 0..4),
+        rounds in 1u32..6,
+    ) {
+        let crashes: Vec<(NodeId, u32)> = crash_raw
+            .iter()
+            .map(|&(node, round)| (NodeId::new((node % recipe.n) as u32), round))
+            .collect();
+        let fault = Some(FaultPlan::drop_with_probability(drop_p, fault_seed));
+        let serial = fingerprint(&recipe, None, None, fault, &crashes, rounds);
+        for threads in [1usize, 2, 4, 8] {
+            // Once via the thread config (capped at available cores), once
+            // forcing that many delivery shards so the sharded merge path
+            // is exercised even on machines with fewer cores.
+            for shards in [None, Some(threads)] {
+                let parallel = fingerprint(
+                    &recipe, Some(threads), shards, fault, &crashes, rounds,
+                );
+                prop_assert_eq!(
+                    &serial.0, &parallel.0,
+                    "transcript diverged at {} threads / {:?} shards", threads, shards
+                );
+                prop_assert_eq!(
+                    &serial.1, &parallel.1,
+                    "node state diverged at {} threads / {:?} shards", threads, shards
+                );
+            }
+        }
+    }
 
     #[test]
     fn messages_are_conserved(recipe in graph_strategy(false), rounds in 1u32..5) {
         let topo = build(&recipe);
         let nodes: Vec<Chatter> = (0..recipe.n).map(|_| Chatter::new(rounds)).collect();
         let mut net = Network::new(topo, nodes, 1).unwrap();
-        let t = net.run(rounds + 2).unwrap();
+        net.run(rounds + 2).unwrap();
         let sent: u64 = net.nodes().iter().map(|c| c.sent).sum();
         let heard: u64 = net.nodes().iter().map(|c| c.heard.len() as u64).sum();
+        let t = net.transcript();
         prop_assert_eq!(t.total_messages(), sent);
         prop_assert_eq!(heard, sent, "every sent message is delivered exactly once");
         prop_assert_eq!(t.total_dropped(), 0);
@@ -100,10 +201,10 @@ proptest! {
             let nodes: Vec<Chatter> = (0..recipe.n).map(|_| Chatter::new(3)).collect();
             let config = CongestConfig { threads, ..CongestConfig::default() };
             let mut net = Network::with_config(build(&recipe), nodes, 7, config).unwrap();
-            let t = net.run(10).unwrap();
+            net.run(10).unwrap();
             let heard: Vec<Vec<u32>> =
                 net.nodes().iter().map(|c| c.heard.clone()).collect();
-            (t, heard)
+            (net.into_transcript(), heard)
         };
         let _ = topo;
         let (ts, hs) = run(None);

@@ -28,11 +28,7 @@ where
     F: Fn(distfl_instance::FacilityId) -> f64,
     C: Fn(distfl_instance::ClientId) -> f64,
 {
-    instance
-        .facilities()
-        .map(facility)
-        .chain(instance.clients().map(client))
-        .collect()
+    instance.facilities().map(facility).chain(instance.clients().map(client)).collect()
 }
 
 /// Runs one aggregate over the instance's communication graph.
@@ -115,8 +111,7 @@ pub fn distributed_open_count(
     solution: &Solution,
 ) -> Result<(f64, Transcript), CoreError> {
     solution.check_feasible(instance)?;
-    let values =
-        local_values(instance, |i| if solution.is_open(i) { 1.0 } else { 0.0 }, |_| 0.0);
+    let values = local_values(instance, |i| if solution.is_open(i) { 1.0 } else { 0.0 }, |_| 0.0);
     run_audit(instance, values, AggregateOp::Sum)
 }
 

@@ -175,8 +175,7 @@ impl FacilityState {
         if self.outer <= 1 || self.grid_lo <= 0.0 {
             return self.grid_hi;
         }
-        let gamma =
-            (self.grid_hi / self.grid_lo).max(1.0).powf(1.0 / f64::from(self.outer - 1));
+        let gamma = (self.grid_hi / self.grid_lo).max(1.0).powf(1.0 / f64::from(self.outer - 1));
         (self.grid_lo * gamma.powi(t as i32)).min(self.grid_hi)
     }
 
@@ -223,8 +222,7 @@ impl FacilityState {
 /// The best possible star ratio of facility `i` with all clients available
 /// (used to anchor the shared threshold grid).
 fn initial_best_ratio(instance: &Instance, i: FacilityId) -> f64 {
-    let mut costs: Vec<f64> =
-        instance.facility_links(i).iter().map(|(_, c)| c.value()).collect();
+    let mut costs: Vec<f64> = instance.facility_links(i).iter().map(|(_, c)| c.value()).collect();
     costs.sort_by(f64::total_cmp);
     let opening = instance.opening_cost(i).value();
     let mut best = f64::INFINITY;
@@ -295,8 +293,7 @@ impl ClientState {
                 self.assigned = Some(idx);
                 self.service_ratio = ratio;
                 for (other, &(dst, _)) in self.links.iter().enumerate() {
-                    let msg =
-                        if other == idx { BucketMsg::Accept } else { BucketMsg::Served };
+                    let msg = if other == idx { BucketMsg::Accept } else { BucketMsg::Served };
                     ctx.send(dst, msg).expect("links are neighbors");
                 }
                 self.done = true;
@@ -315,8 +312,7 @@ impl ClientState {
                 .expect("instance invariant: every client has a link");
             self.assigned = Some(idx);
             self.service_ratio = bundle;
-            ctx.send(self.links[idx].0, BucketMsg::Force)
-                .expect("fallback target is a neighbor");
+            ctx.send(self.links[idx].0, BucketMsg::Force).expect("fallback target is a neighbor");
             self.done = true;
         }
         if r >= self.last_round {
@@ -420,7 +416,7 @@ impl FlAlgorithm for GreedyBucket {
             ..CongestConfig::default()
         };
         let mut net = Network::with_config(topo, nodes, seed, config)?;
-        let transcript = net.run(bucket_rounds(self.params))?;
+        net.run(bucket_rounds(self.params))?;
 
         let mut assignment = vec![FacilityId::new(0); instance.num_clients()];
         let mut ratios = vec![0.0f64; instance.num_clients()];
@@ -433,13 +429,12 @@ impl FlAlgorithm for GreedyBucket {
                 ratios[j.index()] = c.service_ratio;
             }
         }
-        let solution =
-            Solution::from_assignment(instance, assignment)?.reassign_greedily(instance);
+        let solution = Solution::from_assignment(instance, assignment)?.reassign_greedily(instance);
         let h = harmonic(instance.num_clients());
         let alpha: Vec<f64> = ratios.iter().map(|r| r / h).collect();
         Ok(Outcome {
             solution,
-            transcript: Some(transcript),
+            transcript: Some(net.into_transcript()),
             dual: Some(DualSolution::new(alpha)),
             modeled_rounds: None,
         })
@@ -498,10 +493,9 @@ mod tests {
         // within a small factor of OPT; the 1x1 run may be much worse.
         let inst = UniformRandom::new(8, 30).unwrap().generate(7).unwrap();
         let opt = exact::solve(&inst).unwrap().cost.value();
-        let fine: f64 = (0..5)
-            .map(|s| run(&inst, 8, 6, s).solution.cost(&inst).value() / opt)
-            .sum::<f64>()
-            / 5.0;
+        let fine: f64 =
+            (0..5).map(|s| run(&inst, 8, 6, s).solution.cost(&inst).value() / opt).sum::<f64>()
+                / 5.0;
         assert!(fine < 5.0, "deep-grid average ratio {fine} too large");
     }
 

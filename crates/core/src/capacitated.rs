@@ -42,7 +42,7 @@ impl CapacitatedInstance {
                 ),
             });
         }
-        if capacities.iter().any(|&u| u == 0) {
+        if capacities.contains(&0) {
             return Err(CoreError::InvalidParams {
                 reason: "capacities must be at least 1".to_owned(),
             });
@@ -78,19 +78,19 @@ impl CapacitatedInstance {
     /// `c'_ij = c_ij + f_i/u_i`.
     pub fn reduced(&self) -> Instance {
         let mut b = InstanceBuilder::new();
-        let fids: Vec<FacilityId> = self
-            .base
-            .facilities()
-            .map(|i| b.add_facility(self.base.opening_cost(i)))
-            .collect();
+        let fids: Vec<FacilityId> =
+            self.base.facilities().map(|i| b.add_facility(self.base.opening_cost(i))).collect();
         for j in self.base.clients() {
             let c = b.add_client();
             for &(i, cost) in self.base.client_links(j) {
-                let amortized = self.base.opening_cost(i).value()
-                    / f64::from(self.capacities[i.index()]);
-                b.link(c, fids[i.index()], Cost::new(cost.value() + amortized)
-                        .expect("finite amortized cost"))
-                    .expect("copying valid links");
+                let amortized =
+                    self.base.opening_cost(i).value() / f64::from(self.capacities[i.index()]);
+                b.link(
+                    c,
+                    fids[i.index()],
+                    Cost::new(cost.value() + amortized).expect("finite amortized cost"),
+                )
+                .expect("copying valid links");
             }
         }
         b.build().expect("reduction of a valid instance is valid")
@@ -128,11 +128,9 @@ impl CapacitatedSolution {
     pub fn check_feasible(&self, instance: &CapacitatedInstance) -> Result<(), CoreError> {
         self.assignment.check_feasible(&instance.base)?;
         for i in instance.base.facilities() {
-            let served = instance
-                .base
-                .clients()
-                .filter(|&j| self.assignment.assigned(j) == i)
-                .count() as u64;
+            let served =
+                instance.base.clients().filter(|&j| self.assignment.assigned(j) == i).count()
+                    as u64;
             let allowed =
                 u64::from(self.copies[i.index()]) * u64::from(instance.capacities[i.index()]);
             if served > allowed {
@@ -167,11 +165,8 @@ pub fn solve_soft(
     for &i in &assignment {
         served[i.index()] += 1;
     }
-    let copies: Vec<u32> = served
-        .iter()
-        .zip(&instance.capacities)
-        .map(|(&s, &u)| s.div_ceil(u))
-        .collect();
+    let copies: Vec<u32> =
+        served.iter().zip(&instance.capacities).map(|(&s, &u)| s.div_ceil(u)).collect();
     let assignment = Solution::from_assignment(&instance.base, assignment)?;
     let solution = CapacitatedSolution { copies, assignment };
     solution.check_feasible(instance)?;
@@ -255,8 +250,7 @@ pub fn solve_hard(
 /// instance's LP-style bound divided by 2 (each copy beyond the first is
 /// pre-paid by the amortized terms at rate ≥ 1/2).
 pub fn lower_bound(instance: &CapacitatedInstance, exact_limit: usize) -> f64 {
-    let base_lb =
-        distfl_lp::bounds::certified_lower_bound(&instance.base, &[], exact_limit).value;
+    let base_lb = distfl_lp::bounds::certified_lower_bound(&instance.base, &[], exact_limit).value;
     let reduced_lb =
         distfl_lp::bounds::certified_lower_bound(&instance.reduced(), &[], exact_limit).value;
     base_lb.max(reduced_lb / 2.0)
@@ -296,11 +290,9 @@ mod tests {
             sol.check_feasible(&inst).unwrap();
             // Copy counts are exactly the ceil of load over capacity.
             for i in inst.base().facilities() {
-                let served = inst
-                    .base()
-                    .clients()
-                    .filter(|&j| sol.assignment.assigned(j) == i)
-                    .count() as u32;
+                let served =
+                    inst.base().clients().filter(|&j| sol.assignment.assigned(j) == i).count()
+                        as u32;
                 assert_eq!(sol.copies[i.index()], served.div_ceil(u));
             }
         }
@@ -329,16 +321,20 @@ mod tests {
     #[test]
     fn tighter_capacity_costs_more() {
         let base = Clustered::new(3, 6, 24).unwrap().generate(5).unwrap();
-        let loose =
-            solve_soft(&CapacitatedInstance::uniform(base.clone(), 24).unwrap(),
-                &StarGreedy::new(), 0)
-            .unwrap()
-            .cost(&CapacitatedInstance::uniform(base.clone(), 24).unwrap());
-        let tight =
-            solve_soft(&CapacitatedInstance::uniform(base.clone(), 2).unwrap(),
-                &StarGreedy::new(), 0)
-            .unwrap()
-            .cost(&CapacitatedInstance::uniform(base, 2).unwrap());
+        let loose = solve_soft(
+            &CapacitatedInstance::uniform(base.clone(), 24).unwrap(),
+            &StarGreedy::new(),
+            0,
+        )
+        .unwrap()
+        .cost(&CapacitatedInstance::uniform(base.clone(), 24).unwrap());
+        let tight = solve_soft(
+            &CapacitatedInstance::uniform(base.clone(), 2).unwrap(),
+            &StarGreedy::new(),
+            0,
+        )
+        .unwrap()
+        .cost(&CapacitatedInstance::uniform(base, 2).unwrap());
         assert!(tight >= loose - 1e-9, "tight {tight} vs loose {loose}");
     }
 
@@ -350,11 +346,8 @@ mod tests {
         let inst = CapacitatedInstance::uniform(base, 2).unwrap();
         // Hand-build an over-capacity solution: everyone to facility 0,
         // one copy.
-        let assignment = Solution::from_assignment(
-            inst.base(),
-            vec![FacilityId::new(0); 6],
-        )
-        .unwrap();
+        let assignment =
+            Solution::from_assignment(inst.base(), vec![FacilityId::new(0); 6]).unwrap();
         let bad = CapacitatedSolution { copies: vec![1, 0, 0], assignment };
         assert!(matches!(bad.check_feasible(&inst), Err(CoreError::InvalidParams { .. })));
     }
@@ -384,10 +377,7 @@ mod tests {
         // Only one copy anywhere: 30 clients cannot fit.
         let mut copies = vec![0u32; 6];
         copies[0] = 1;
-        assert!(matches!(
-            assign_hard(&inst, &copies),
-            Err(CoreError::InvalidParams { .. })
-        ));
+        assert!(matches!(assign_hard(&inst, &copies), Err(CoreError::InvalidParams { .. })));
         assert!(assign_hard(&inst, &[1, 1]).is_err(), "wrong shape rejected");
     }
 
@@ -407,11 +397,9 @@ mod tests {
             );
             // Hard capacities actually respected per copy.
             for i in inst.base().facilities() {
-                let served = inst
-                    .base()
-                    .clients()
-                    .filter(|&j| hard.assignment.assigned(j) == i)
-                    .count() as u64;
+                let served =
+                    inst.base().clients().filter(|&j| hard.assignment.assigned(j) == i).count()
+                        as u64;
                 assert!(served <= u64::from(hard.copies[i.index()]) * 3);
             }
         }

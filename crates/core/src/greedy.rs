@@ -146,9 +146,7 @@ impl FlAlgorithm for StarGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distfl_instance::generators::{
-        AdversarialGreedy, InstanceGenerator, UniformRandom,
-    };
+    use distfl_instance::generators::{AdversarialGreedy, InstanceGenerator, UniformRandom};
     use distfl_instance::{Cost, InstanceBuilder};
     use distfl_lp::exact;
 

@@ -135,10 +135,8 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
             if connected[j.index()] {
                 continue;
             }
-            let tight_open = instance
-                .client_links(j)
-                .iter()
-                .any(|&(i, c)| open[i.index()] && c.value() <= t);
+            let tight_open =
+                instance.client_links(j).iter().any(|&(i, c)| open[i.index()] && c.value() <= t);
             if tight_open {
                 connected[j.index()] = true;
                 alpha[j.index()] = t;
@@ -165,19 +163,14 @@ pub fn solve(instance: &Instance) -> (Solution, DualSolution) {
     // Contributor sets: beta_ij > 0 iff alpha_j > c_ij (standard
     // simplification).
     let contributes = |j: ClientId, i: FacilityId| -> bool {
-        instance
-            .connection_cost(j, i)
-            .is_some_and(|c| alpha[j.index()] > c.value() + 1e-12)
+        instance.connection_cost(j, i).is_some_and(|c| alpha[j.index()] > c.value() + 1e-12)
     };
 
     // Greedy maximal independent set in opening order.
     let mut chosen: Vec<FacilityId> = Vec::new();
     for &i in &ascent.temp_open {
         let conflicts = chosen.iter().any(|&i2| {
-            instance
-                .facility_links(i)
-                .iter()
-                .any(|&(j, _)| contributes(j, i) && contributes(j, i2))
+            instance.facility_links(i).iter().any(|&(j, _)| contributes(j, i) && contributes(j, i2))
         });
         if !conflicts {
             chosen.push(i);
@@ -207,8 +200,8 @@ pub fn solve(instance: &Instance) -> (Solution, DualSolution) {
                 })
         })
         .collect();
-    let solution = Solution::from_assignment(instance, assignment)
-        .expect("assignment uses existing links");
+    let solution =
+        Solution::from_assignment(instance, assignment).expect("assignment uses existing links");
     (solution, DualSolution::new(ascent.alpha))
 }
 

@@ -97,11 +97,10 @@ where
         // Every probe yields a candidate: over-budget solutions are trimmed
         // to the best k of their own open set (the Lagrangian open count
         // can jump past k without ever hitting it exactly).
-        let candidate =
-            if over_budget { trim_to_k(instance, &solution, k) } else { solution };
-        let better = best.as_ref().is_none_or(|b| {
-            connection_only(instance, &candidate) < connection_only(instance, b)
-        });
+        let candidate = if over_budget { trim_to_k(instance, &solution, k) } else { solution };
+        let better = best
+            .as_ref()
+            .is_none_or(|b| connection_only(instance, &candidate) < connection_only(instance, b));
         if better {
             best = Some(candidate);
         }
@@ -151,10 +150,7 @@ fn trim_to_k(instance: &Instance, solution: &Solution, k: usize) -> Solution {
             let new_cost: f64 = instance
                 .clients()
                 .map(|j| {
-                    let c = instance
-                        .connection_cost(j, i)
-                        .expect("complete instance")
-                        .value();
+                    let c = instance.connection_cost(j, i).expect("complete instance").value();
                     c.min(cur_best[j.index()])
                 })
                 .sum();
@@ -274,11 +270,7 @@ pub fn exact(instance: &Instance, k: usize, limit: usize) -> Result<KMedianResul
             let mut bound = 0.0;
             let can_extend = self.cur_open.len() < self.k;
             for (j, &cur) in self.cur_best.iter().enumerate() {
-                let reachable = if can_extend {
-                    cur.min(self.suffix_min[f][j])
-                } else {
-                    cur
-                };
+                let reachable = if can_extend { cur.min(self.suffix_min[f][j]) } else { cur };
                 if !reachable.is_finite() {
                     return;
                 }
@@ -341,8 +333,7 @@ pub fn exact(instance: &Instance, k: usize, limit: usize) -> Result<KMedianResul
                 .expect("optimal k-median set covers every client")
         })
         .collect();
-    let solution =
-        Solution::from_assignment(instance, assignment).expect("assignment over links");
+    let solution = Solution::from_assignment(instance, assignment).expect("assignment over links");
     let connection_cost = connection_only(instance, &solution);
     Ok(KMedianResult { solution, connection_cost, probes: 0 })
 }
@@ -427,15 +418,10 @@ mod tests {
     #[test]
     fn clustered_instance_with_matching_k_is_nearly_exact() {
         // 3 tight clusters, k=3: probing should find the cluster centers.
-        let inst =
-            Clustered::with_geometry(3, 9, 30, 100.0, 1.0).unwrap().generate(5).unwrap();
+        let inst = Clustered::with_geometry(3, 9, 30, 100.0, 1.0).unwrap().generate(5).unwrap();
         let got = sequential(&inst, 3).unwrap();
         let opt = exact(&inst, 3, 10).unwrap().connection_cost;
-        assert!(
-            got.connection_cost <= 1.5 * opt + 1e-9,
-            "{} vs {opt}",
-            got.connection_cost
-        );
+        assert!(got.connection_cost <= 1.5 * opt + 1e-9, "{} vs {opt}", got.connection_cost);
     }
 
     #[test]

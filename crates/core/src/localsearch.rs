@@ -83,9 +83,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
         let mut best: Option<(Vec<bool>, f64)> = None;
         let consider = |candidate: Vec<bool>, best: &mut Option<(Vec<bool>, f64)>| {
             if let Some(cost) = open_set_cost(instance, &candidate) {
-                if cost < current - 1e-9
-                    && best.as_ref().is_none_or(|(_, b)| cost < *b)
-                {
+                if cost < current - 1e-9 && best.as_ref().is_none_or(|(_, b)| cost < *b) {
                     *best = Some((candidate, cost));
                 }
             }
@@ -137,8 +135,8 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
                 .expect("local-search open sets stay feasible")
         })
         .collect();
-    let solution = Solution::from_assignment(instance, assignment)
-        .expect("assignment over existing links");
+    let solution =
+        Solution::from_assignment(instance, assignment).expect("assignment over existing links");
     let final_cost = solution.cost(instance).value();
     LocalSearchRun { solution, initial_cost, final_cost, moves, converged }
 }
@@ -155,10 +153,8 @@ mod tests {
     fn never_worse_and_often_better() {
         for seed in 0..6 {
             let inst = UniformRandom::new(8, 30).unwrap().generate(seed).unwrap();
-            let coarse = PayDual::new(PayDualParams::with_phases(2))
-                .run(&inst, 1)
-                .unwrap()
-                .solution;
+            let coarse =
+                PayDual::new(PayDualParams::with_phases(2)).run(&inst, 1).unwrap().solution;
             let run = optimize(&inst, &coarse, 200);
             run.solution.check_feasible(&inst).unwrap();
             assert!(run.final_cost <= run.initial_cost + 1e-9, "seed {seed}");
@@ -173,12 +169,7 @@ mod tests {
             // Worst reasonable start: open everything.
             let assignment: Vec<FacilityId> =
                 inst.clients().map(|j| inst.cheapest_link(j).0).collect();
-            let all_open = Solution::new(
-                &inst,
-                vec![true; 6],
-                assignment,
-            )
-            .unwrap();
+            let all_open = Solution::new(&inst, vec![true; 6], assignment).unwrap();
             let run = optimize(&inst, &all_open, 500);
             assert!(run.converged);
             let opt = exact::solve(&inst).unwrap().cost.value();
@@ -205,8 +196,7 @@ mod tests {
     #[test]
     fn iteration_cap_is_respected() {
         let inst = UniformRandom::new(8, 30).unwrap().generate(9).unwrap();
-        let assignment: Vec<FacilityId> =
-            inst.clients().map(|j| inst.cheapest_link(j).0).collect();
+        let assignment: Vec<FacilityId> = inst.clients().map(|j| inst.cheapest_link(j).0).collect();
         let all_open = Solution::new(&inst, vec![true; 8], assignment).unwrap();
         let run = optimize(&inst, &all_open, 1);
         assert!(run.moves <= 1);

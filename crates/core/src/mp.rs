@@ -51,8 +51,7 @@ pub fn radius(instance: &Instance, i: FacilityId) -> f64 {
     if f == 0.0 {
         return 0.0;
     }
-    let mut costs: Vec<f64> =
-        instance.facility_links(i).iter().map(|(_, c)| c.value()).collect();
+    let mut costs: Vec<f64> = instance.facility_links(i).iter().map(|(_, c)| c.value()).collect();
     costs.sort_by(f64::total_cmp);
     let mut prefix = 0.0;
     for (k, &c) in costs.iter().enumerate() {
@@ -95,9 +94,7 @@ pub fn solve(instance: &Instance) -> Solution {
 
     let mut open: Vec<FacilityId> = Vec::new();
     for &(r, i) in &order {
-        let blocked = open
-            .iter()
-            .any(|&o| facility_distance(instance, i, o) <= 2.0 * r);
+        let blocked = open.iter().any(|&o| facility_distance(instance, i, o) <= 2.0 * r);
         if !blocked {
             open.push(i);
         }

@@ -151,8 +151,8 @@ impl FlAlgorithm for PayDual {
         };
         let mut net = Network::with_config(topo, nodes, seed, config)?;
         let total_rounds = crate::theory::paydual_rounds(self.params.phases);
-        let transcript = net.run(total_rounds)?;
-        debug_assert_eq!(transcript.num_rounds(), total_rounds);
+        net.run(total_rounds)?;
+        debug_assert_eq!(net.transcript().num_rounds(), total_rounds);
 
         let m = instance.num_facilities();
         let mut assignment = vec![FacilityId::new(0); instance.num_clients()];
@@ -177,14 +177,11 @@ impl FlAlgorithm for PayDual {
         // Final local polish (free in the model: one more exchange of the
         // already-broadcast OPEN sets): connect each client to its cheapest
         // kept-open facility.
-        let solution = if self.params.polish {
-            solution.reassign_greedily(instance)
-        } else {
-            solution
-        };
+        let solution =
+            if self.params.polish { solution.reassign_greedily(instance) } else { solution };
         Ok(Outcome {
             solution,
-            transcript: Some(transcript),
+            transcript: Some(net.into_transcript()),
             dual: Some(DualSolution::new(alpha)),
             modeled_rounds: None,
         })
@@ -218,9 +215,9 @@ mod tests {
         for (idx, inst) in instances.iter().enumerate() {
             for phases in [1, 4, 10] {
                 let out = run(inst, phases);
-                out.solution.check_feasible(inst).unwrap_or_else(|e| {
-                    panic!("instance {idx} phases {phases}: infeasible: {e}")
-                });
+                out.solution
+                    .check_feasible(inst)
+                    .unwrap_or_else(|e| panic!("instance {idx} phases {phases}: infeasible: {e}"));
             }
         }
     }
@@ -302,10 +299,7 @@ mod tests {
         let opt = exact::solve(&inst).unwrap().cost.value();
         let coarse = run(&inst, 1).solution.cost(&inst).value() / opt;
         let fine = run(&inst, 24).solution.cost(&inst).value() / opt;
-        assert!(
-            fine <= coarse * 1.10 + 1e-9,
-            "fine ({fine}) much worse than coarse ({coarse})"
-        );
+        assert!(fine <= coarse * 1.10 + 1e-9, "fine ({fine}) much worse than coarse ({coarse})");
     }
 
     #[test]
@@ -343,12 +337,11 @@ mod tests {
     #[test]
     fn parallel_execution_matches_serial() {
         let inst = UniformRandom::new(10, 60).unwrap().generate(8).unwrap();
-        let serial = PayDual::new(PayDualParams::with_phases(6))
-            .run(&inst, 3)
-            .unwrap();
-        let parallel = PayDual::new(PayDualParams { threads: Some(4), ..PayDualParams::with_phases(6) })
-            .run(&inst, 3)
-            .unwrap();
+        let serial = PayDual::new(PayDualParams::with_phases(6)).run(&inst, 3).unwrap();
+        let parallel =
+            PayDual::new(PayDualParams { threads: Some(4), ..PayDualParams::with_phases(6) })
+                .run(&inst, 3)
+                .unwrap();
         assert_eq!(serial.solution, parallel.solution);
         assert_eq!(serial.transcript, parallel.transcript);
     }

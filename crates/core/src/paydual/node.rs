@@ -107,11 +107,8 @@ pub fn build_nodes(
     }
     let size_bound = (m + instance.num_clients()) as f64;
     for j in instance.clients() {
-        let links = instance
-            .client_links(j)
-            .iter()
-            .map(|&(i, c)| (facility_node(i), c.value()))
-            .collect();
+        let links =
+            instance.client_links(j).iter().map(|&(i, c)| (facility_node(i), c.value())).collect();
         nodes.push(PayDualNode::Client(ClientState::new(
             links,
             phases,

@@ -99,9 +99,6 @@ mod tests {
     fn header_and_row_have_same_column_count() {
         let header = RunReport::table_header();
         let row = sample().table_row();
-        assert_eq!(
-            header.split_whitespace().count(),
-            row.split_whitespace().count()
-        );
+        assert_eq!(header.split_whitespace().count(), row.split_whitespace().count());
     }
 }

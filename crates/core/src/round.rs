@@ -206,9 +206,7 @@ impl ClientState {
                     .iter()
                     .enumerate()
                     .filter(|(idx, _)| self.in_support[*idx] && self.known_open[*idx])
-                    .min_by(|(ia, (_, ca)), (ib, (_, cb))| {
-                        ca.total_cmp(cb).then(ia.cmp(ib))
-                    })
+                    .min_by(|(ia, (_, ca)), (ib, (_, cb))| ca.total_cmp(cb).then(ia.cmp(ib)))
                     .map(|(idx, _)| idx);
                 if let Some(idx) = best {
                     self.assigned = Some(idx);
@@ -230,8 +228,7 @@ impl ClientState {
                 .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
                 .expect("instance invariant: every client has a link");
             self.assigned = Some(idx);
-            ctx.send(self.links[idx].0, RoundMsg::Force)
-                .expect("fallback target is a neighbor");
+            ctx.send(self.links[idx].0, RoundMsg::Force).expect("fallback target is a neighbor");
             self.done = true;
         }
         if r >= self.last_round {
@@ -293,11 +290,8 @@ pub fn distributed_round(
         }));
     }
     for j in instance.clients() {
-        let links: Vec<(NodeId, f64)> = instance
-            .client_links(j)
-            .iter()
-            .map(|&(i, c)| (facility_node(i), c.value()))
-            .collect();
+        let links: Vec<(NodeId, f64)> =
+            instance.client_links(j).iter().map(|&(i, c)| (facility_node(i), c.value())).collect();
         let in_support: Vec<bool> = instance
             .client_links(j)
             .iter()
@@ -316,13 +310,10 @@ pub fn distributed_round(
         }));
     }
     let topo = topology_of(instance)?;
-    let config = CongestConfig {
-        threads: params.threads,
-        fault: params.fault,
-        ..CongestConfig::default()
-    };
+    let config =
+        CongestConfig { threads: params.threads, fault: params.fault, ..CongestConfig::default() };
     let mut net = Network::with_config(topo, nodes, seed, config)?;
-    let transcript = net.run(rounding_rounds(params.trials))?;
+    net.run(rounding_rounds(params.trials))?;
 
     let mut assignment = vec![FacilityId::new(0); instance.num_clients()];
     let mut served_in_trial = vec![None; instance.num_clients()];
@@ -341,7 +332,12 @@ pub fn distributed_round(
     }
     let solution = Solution::from_assignment(instance, assignment)?;
     let _ = client_node(m, distfl_instance::ClientId::new(0));
-    Ok(DistRoundOutcome { solution, transcript, fallback_clients: fallback, served_in_trial })
+    Ok(DistRoundOutcome {
+        solution,
+        transcript: net.into_transcript(),
+        fallback_clients: fallback,
+        served_in_trial,
+    })
 }
 
 #[cfg(test)]
@@ -355,9 +351,8 @@ mod tests {
         for seed in 0..8 {
             let inst = UniformRandom::new(6, 20).unwrap().generate(seed).unwrap();
             let frac = spread_fractional(&inst, 3);
-            let out =
-                distributed_round(&inst, &frac, DistRoundParams::for_instance(&inst), seed)
-                    .unwrap();
+            let out = distributed_round(&inst, &frac, DistRoundParams::for_instance(&inst), seed)
+                .unwrap();
             out.solution.check_feasible(&inst).unwrap();
         }
     }
@@ -389,11 +384,7 @@ mod tests {
         let out = distributed_round(&inst, &frac, params, 5).unwrap();
         assert_eq!(out.fallback_clients, 0);
         // Most clients served in the first few trials.
-        let early = out
-            .served_in_trial
-            .iter()
-            .filter(|t| t.is_some_and(|v| v < 5))
-            .count();
+        let early = out.served_in_trial.iter().filter(|t| t.is_some_and(|v| v < 5)).count();
         assert!(early >= 25, "only {early}/30 served early");
     }
 
@@ -401,8 +392,7 @@ mod tests {
     fn congest_discipline_holds() {
         let inst = GridNetwork::new(8, 8, 5, 20).unwrap().generate(4).unwrap();
         let frac = spread_fractional(&inst, 2);
-        let out =
-            distributed_round(&inst, &frac, DistRoundParams::for_instance(&inst), 2).unwrap();
+        let out = distributed_round(&inst, &frac, DistRoundParams::for_instance(&inst), 2).unwrap();
         assert!(out.transcript.congest_compliant(72));
     }
 

@@ -71,8 +71,7 @@ pub fn evaluate(
         outcome.solution.check_feasible(instance)?;
         outcomes.push((algo.name(), outcome));
     }
-    let duals: Vec<&DualSolution> =
-        outcomes.iter().filter_map(|(_, o)| o.dual.as_ref()).collect();
+    let duals: Vec<&DualSolution> = outcomes.iter().filter_map(|(_, o)| o.dual.as_ref()).collect();
     let lb = bounds::certified_lower_bound(instance, &duals, exact_limit);
     let source = match lb.source {
         bounds::BoundSource::Exact => "exact",

@@ -277,11 +277,7 @@ impl SeqFacility {
         if self.wave.absorb_tree_msgs(ctx) {
             // Just joined: flood the tree wave.
             for &nb in ctx.neighbors() {
-                let msg = if Some(nb) == self.wave.parent {
-                    SeqMsg::ChildOf
-                } else {
-                    SeqMsg::Grow
-                };
+                let msg = if Some(nb) == self.wave.parent { SeqMsg::ChildOf } else { SeqMsg::Grow };
                 ctx.send(nb, msg).expect("neighbors are valid");
             }
             return;
@@ -322,8 +318,7 @@ impl SeqFacility {
         debug_assert_eq!(cycle, self.wave.cycle, "down wave out of order");
         if stop {
             for &child in &self.wave.children.clone() {
-                ctx.send(child, SeqMsg::Down { cycle, fid, stop })
-                    .expect("children are neighbors");
+                ctx.send(child, SeqMsg::Down { cycle, fid, stop }).expect("children are neighbors");
             }
             self.wave.done = true;
             return;
@@ -377,11 +372,7 @@ impl SeqClient {
     fn step(&mut self, ctx: &mut StepCtx<'_, SeqMsg>) {
         if self.wave.absorb_tree_msgs(ctx) {
             for &nb in ctx.neighbors() {
-                let msg = if Some(nb) == self.wave.parent {
-                    SeqMsg::ChildOf
-                } else {
-                    SeqMsg::Grow
-                };
+                let msg = if Some(nb) == self.wave.parent { SeqMsg::ChildOf } else { SeqMsg::Grow };
                 ctx.send(nb, msg).expect("neighbors are valid");
             }
             return;
@@ -448,8 +439,7 @@ impl SeqClient {
             let cycle = self.wave.cycle - 1;
             let served = self.assigned.is_some();
             for &(facility, _) in &self.links {
-                ctx.send(facility, SeqMsg::Status { cycle, served })
-                    .expect("links are neighbors");
+                ctx.send(facility, SeqMsg::Status { cycle, served }).expect("links are neighbors");
             }
             self.replied = true;
             self.wave.state_current = true;
@@ -548,11 +538,8 @@ pub fn run_protocol(instance: &Instance) -> Result<(Solution, Transcript), CoreE
         }));
     }
     for j in instance.clients() {
-        let links: Vec<(NodeId, f64)> = instance
-            .client_links(j)
-            .iter()
-            .map(|&(i, c)| (facility_node(i), c.value()))
-            .collect();
+        let links: Vec<(NodeId, f64)> =
+            instance.client_links(j).iter().map(|&(i, c)| (facility_node(i), c.value())).collect();
         nodes.push(SeqNode::Client(SeqClient {
             wave: WaveState::new(false),
             links,
@@ -567,7 +554,7 @@ pub fn run_protocol(instance: &Instance) -> Result<(Solution, Transcript), CoreE
     // Every greedy iteration costs at most ~4 tree depths + 4 rounds, and
     // there are at most n iterations plus the tree phase.
     let limit = (instance.num_clients() as u32 + 2) * (4 * n_total + 8) + 4 * n_total + 16;
-    let transcript = net.run(limit)?;
+    net.run(limit)?;
 
     let mut assignment = vec![FacilityId::new(0); instance.num_clients()];
     for (index, node) in net.nodes().iter().enumerate() {
@@ -579,7 +566,7 @@ pub fn run_protocol(instance: &Instance) -> Result<(Solution, Transcript), CoreE
         }
     }
     let solution = Solution::from_assignment(instance, assignment)?;
-    Ok((solution, transcript))
+    Ok((solution, net.into_transcript()))
 }
 
 impl FlAlgorithm for DistSeqGreedy {
@@ -589,12 +576,7 @@ impl FlAlgorithm for DistSeqGreedy {
 
     fn run(&self, instance: &Instance, _seed: u64) -> Result<Outcome, CoreError> {
         let (solution, transcript) = run_protocol(instance)?;
-        Ok(Outcome {
-            solution,
-            transcript: Some(transcript),
-            dual: None,
-            modeled_rounds: None,
-        })
+        Ok(Outcome { solution, transcript: Some(transcript), dual: None, modeled_rounds: None })
     }
 }
 
@@ -652,11 +634,8 @@ mod tests {
         // small constant factor.
         let inst = UniformRandom::new(8, 40).unwrap().generate(3).unwrap();
         let (_, t) = run_protocol(&inst).unwrap();
-        let modeled = crate::seqsim::SimulatedSeqGreedy::new()
-            .run(&inst, 0)
-            .unwrap()
-            .modeled_rounds
-            .unwrap();
+        let modeled =
+            crate::seqsim::SimulatedSeqGreedy::new().run(&inst, 0).unwrap().modeled_rounds.unwrap();
         let measured = t.num_rounds();
         let factor = f64::from(measured) / f64::from(modeled);
         assert!(

@@ -103,7 +103,7 @@ mod tests {
         for seed in 0..5 {
             let inst = UniformRandom::new(6, 20).unwrap().generate(seed).unwrap();
             let iters = greedy_iterations(&inst);
-            assert!(iters >= 1 && iters <= 20, "iterations {iters}");
+            assert!((1..=20).contains(&iters), "iterations {iters}");
         }
     }
 

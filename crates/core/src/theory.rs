@@ -64,10 +64,8 @@ mod tests {
 
     #[test]
     fn paper_bound_decreases_in_k() {
-        let bounds: Vec<f64> = [1u32, 4, 16, 64, 256]
-            .iter()
-            .map(|&k| paper_bound(k, 50, 400, 1e4))
-            .collect();
+        let bounds: Vec<f64> =
+            [1u32, 4, 16, 64, 256].iter().map(|&k| paper_bound(k, 50, 400, 1e4)).collect();
         for w in bounds.windows(2) {
             assert!(w[1] < w[0], "paper bound not decreasing: {bounds:?}");
         }

@@ -85,10 +85,10 @@ impl InstanceGenerator for AdversarialGreedy {
                 Cost::new(f).map(|c| b.add_facility(c))
             })
             .collect::<Result<_, _>>()?;
-        for k in 0..self.n {
+        for &decoy in &decoys {
             let j = b.add_client();
             b.link(j, hub, Cost::ZERO)?;
-            b.link(j, decoys[k], Cost::ZERO)?;
+            b.link(j, decoy, Cost::ZERO)?;
         }
         b.build()
     }
@@ -122,8 +122,7 @@ mod tests {
     fn decoy_solution_costs_h_n_factor() {
         let gen = AdversarialGreedy::new(6).unwrap();
         let inst = gen.generate(0).unwrap();
-        let assignment: Vec<FacilityId> =
-            (0..6).map(|k| FacilityId::new((k + 1) as u32)).collect();
+        let assignment: Vec<FacilityId> = (0..6).map(|k| FacilityId::new((k + 1) as u32)).collect();
         let sol = Solution::from_assignment(&inst, assignment).unwrap();
         assert!((sol.cost(&inst).value() - gen.greedy_cost()).abs() < 1e-9);
         // Sanity: the gap really is ~H_6 ≈ 2.45.

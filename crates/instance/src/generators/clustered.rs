@@ -73,12 +73,10 @@ impl InstanceGenerator for Clustered {
             let y = (center.1 + self.spread * standard_normal(rng)).clamp(0.0, self.side);
             (x, y)
         };
-        let facilities: Vec<(f64, f64)> = (0..self.m)
-            .map(|k| blob_point(&mut rng, centers[k % self.clusters]))
-            .collect();
-        let clients: Vec<(f64, f64)> = (0..self.n)
-            .map(|k| blob_point(&mut rng, centers[k % self.clusters]))
-            .collect();
+        let facilities: Vec<(f64, f64)> =
+            (0..self.m).map(|k| blob_point(&mut rng, centers[k % self.clusters])).collect();
+        let clients: Vec<(f64, f64)> =
+            (0..self.n).map(|k| blob_point(&mut rng, centers[k % self.clusters])).collect();
         // Opening costs comparable to an inter-cluster hop, so opening one
         // facility per cluster is the interesting regime.
         let opening: Vec<Cost> = (0..self.m)
@@ -86,12 +84,7 @@ impl InstanceGenerator for Clustered {
             .collect::<Result<_, _>>()?;
         let costs: Vec<Vec<Cost>> = clients
             .iter()
-            .map(|&p| {
-                facilities
-                    .iter()
-                    .map(|&q| Cost::new(dist(p, q)))
-                    .collect::<Result<_, _>>()
-            })
+            .map(|&p| facilities.iter().map(|&q| Cost::new(dist(p, q))).collect::<Result<_, _>>())
             .collect::<Result<_, _>>()?;
         Instance::from_dense(opening, costs)
     }
@@ -115,8 +108,7 @@ mod tests {
     fn clustering_creates_cheap_links() {
         // With tight blobs, each client should have at least one facility
         // far closer than the square diameter.
-        let inst =
-            Clustered::with_geometry(4, 8, 24, 100.0, 1.0).unwrap().generate(7).unwrap();
+        let inst = Clustered::with_geometry(4, 8, 24, 100.0, 1.0).unwrap().generate(7).unwrap();
         let mut near = 0;
         for j in inst.clients() {
             let (_, c) = inst.cheapest_link(j);

@@ -61,12 +61,7 @@ impl InstanceGenerator for Euclidean {
             .collect::<Result<_, _>>()?;
         let costs: Vec<Vec<Cost>> = clients
             .iter()
-            .map(|&p| {
-                facilities
-                    .iter()
-                    .map(|&q| Cost::new(dist(p, q)))
-                    .collect::<Result<_, _>>()
-            })
+            .map(|&p| facilities.iter().map(|&q| Cost::new(dist(p, q))).collect::<Result<_, _>>())
             .collect::<Result<_, _>>()?;
         Instance::from_dense(opening, costs)
     }

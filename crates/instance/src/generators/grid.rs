@@ -85,7 +85,8 @@ impl InstanceGenerator for GridNetwork {
         // Facilities occupy distinct cells (partial Fisher-Yates).
         let mut pool: Vec<usize> = (0..cells).collect();
         for k in 0..self.m {
-            let pick = k + (uniform_in(&mut rng, 0.0, (cells - k) as f64) as usize).min(cells - k - 1);
+            let pick =
+                k + (uniform_in(&mut rng, 0.0, (cells - k) as f64) as usize).min(cells - k - 1);
             pool.swap(k, pick);
         }
         let facility_cells: Vec<usize> = pool[..self.m].to_vec();

@@ -63,18 +63,12 @@ impl InstanceGenerator for PowerLaw {
 
     fn generate(&self, seed: u64) -> Result<Instance, InstanceError> {
         let mut rng = rng_for(seed);
-        let draw = |rng: &mut rand::rngs::StdRng| {
-            self.floor * self.rho.powf(uniform_in(rng, 0.0, 1.0))
-        };
-        let opening: Vec<Cost> = (0..self.m)
-            .map(|_| Cost::new(draw(&mut rng)))
-            .collect::<Result<_, _>>()?;
+        let draw =
+            |rng: &mut rand::rngs::StdRng| self.floor * self.rho.powf(uniform_in(rng, 0.0, 1.0));
+        let opening: Vec<Cost> =
+            (0..self.m).map(|_| Cost::new(draw(&mut rng))).collect::<Result<_, _>>()?;
         let mut costs: Vec<Vec<Cost>> = (0..self.n)
-            .map(|_| {
-                (0..self.m)
-                    .map(|_| Cost::new(draw(&mut rng)))
-                    .collect::<Result<_, _>>()
-            })
+            .map(|_| (0..self.m).map(|_| Cost::new(draw(&mut rng))).collect::<Result<_, _>>())
             .collect::<Result<Vec<Vec<Cost>>, _>>()?;
         // Pin the extremes so the realized spread is exactly rho.
         costs[0][0] = Cost::new(self.floor)?;

@@ -167,10 +167,7 @@ impl Instance {
     /// The connection cost of the link `(j, i)`, or `None` if absent.
     pub fn connection_cost(&self, j: ClientId, i: FacilityId) -> Option<Cost> {
         let links = self.client_links(j);
-        links
-            .binary_search_by_key(&i, |(f, _)| *f)
-            .ok()
-            .map(|pos| links[pos].1)
+        links.binary_search_by_key(&i, |(f, _)| *f).ok().map(|pos| links[pos].1)
     }
 
     /// The links of client `j`, sorted by facility id.
@@ -225,10 +222,7 @@ impl Instance {
     /// Iterates over every coefficient of the instance (all opening costs,
     /// then all connection costs).
     pub fn coefficients(&self) -> impl Iterator<Item = Cost> + '_ {
-        self.opening
-            .iter()
-            .copied()
-            .chain(self.client_links.iter().flatten().map(|(_, c)| *c))
+        self.opening.iter().copied().chain(self.client_links.iter().flatten().map(|(_, c)| *c))
     }
 
     /// Maximum number of links at any single client or facility (the degree
@@ -339,14 +333,8 @@ impl InstanceBuilder {
         }
         // Clients were visited in increasing order, so each facility's list
         // is already sorted by client id.
-        debug_assert!(facility_links
-            .iter()
-            .all(|l| l.windows(2).all(|w| w[0].0 < w[1].0)));
-        Ok(Instance {
-            opening: self.opening,
-            client_links: self.client_links,
-            facility_links,
-        })
+        debug_assert!(facility_links.iter().all(|l| l.windows(2).all(|w| w[0].0 < w[1].0)));
+        Ok(Instance { opening: self.opening, client_links: self.client_links, facility_links })
     }
 }
 
@@ -378,10 +366,7 @@ mod tests {
         assert_eq!(inst.num_links(), 4);
         assert!(!inst.is_complete());
         assert_eq!(inst.opening_cost(FacilityId::new(1)), cost(4.0));
-        assert_eq!(
-            inst.connection_cost(ClientId::new(0), FacilityId::new(1)),
-            Some(cost(2.0))
-        );
+        assert_eq!(inst.connection_cost(ClientId::new(0), FacilityId::new(1)), Some(cost(2.0)));
         assert_eq!(inst.connection_cost(ClientId::new(1), FacilityId::new(0)), None);
         assert_eq!(inst.cheapest_link(ClientId::new(0)), (FacilityId::new(0), cost(1.0)));
         assert_eq!(inst.total_opening_cost(), cost(14.0));
@@ -407,10 +392,7 @@ mod tests {
         .unwrap();
         assert!(inst.is_complete());
         assert_eq!(inst.num_links(), 4);
-        assert_eq!(
-            inst.connection_cost(ClientId::new(1), FacilityId::new(0)),
-            Some(cost(3.0))
-        );
+        assert_eq!(inst.connection_cost(ClientId::new(1), FacilityId::new(0)), Some(cost(3.0)));
     }
 
     #[test]

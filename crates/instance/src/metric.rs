@@ -34,8 +34,7 @@ pub fn metricity_defect(instance: &Instance) -> f64 {
                     else {
                         continue;
                     };
-                    let slack =
-                        c_ij.value() - c_il.value() - c_kl.value() - c_kj.value();
+                    let slack = c_ij.value() - c_il.value() - c_kl.value() - c_kj.value();
                     worst = worst.max(slack);
                 }
             }
@@ -73,8 +72,7 @@ mod tests {
 
     fn inst_from_matrix(opening: &[f64], matrix: &[&[f64]]) -> Instance {
         let mut b = InstanceBuilder::new();
-        let fs: Vec<_> =
-            opening.iter().map(|&f| b.add_facility(Cost::new(f).unwrap())).collect();
+        let fs: Vec<_> = opening.iter().map(|&f| b.add_facility(Cost::new(f).unwrap())).collect();
         for row in matrix {
             let c = b.add_client();
             for (i, &v) in row.iter().enumerate() {

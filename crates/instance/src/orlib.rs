@@ -49,11 +49,8 @@ pub fn to_string(instance: &Instance) -> Result<String, InstanceError> {
     }
     for j in instance.clients() {
         let _ = writeln!(out, "0");
-        let row: Vec<String> = instance
-            .client_links(j)
-            .iter()
-            .map(|(_, c)| c.value().to_string())
-            .collect();
+        let row: Vec<String> =
+            instance.client_links(j).iter().map(|(_, c)| c.value().to_string()).collect();
         let _ = writeln!(out, "{}", row.join(" "));
     }
     Ok(out)
@@ -163,10 +160,7 @@ mod tests {
         let c = b.add_client();
         b.link(c, f0, Cost::new(1.0).unwrap()).unwrap();
         let inst = b.build().unwrap();
-        assert!(matches!(
-            to_string(&inst),
-            Err(InstanceError::UnreachableClient { client: 0 })
-        ));
+        assert!(matches!(to_string(&inst), Err(InstanceError::UnreachableClient { client: 0 })));
     }
 
     #[test]

@@ -125,11 +125,7 @@ impl Solution {
 
     /// Iterates over the open facilities.
     pub fn open_facilities(&self) -> impl Iterator<Item = FacilityId> + '_ {
-        self.open
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| **o)
-            .map(|(i, _)| FacilityId::new(i as u32))
+        self.open.iter().enumerate().filter(|(_, o)| **o).map(|(i, _)| FacilityId::new(i as u32))
     }
 
     /// Number of open facilities.
@@ -211,12 +207,9 @@ mod tests {
     #[test]
     fn cost_accounting() {
         let inst = inst();
-        let sol = Solution::new(
-            &inst,
-            vec![true, true],
-            vec![FacilityId::new(0), FacilityId::new(1)],
-        )
-        .unwrap();
+        let sol =
+            Solution::new(&inst, vec![true, true], vec![FacilityId::new(0), FacilityId::new(1)])
+                .unwrap();
         assert_eq!(sol.opening_cost(&inst), cost(11.0));
         assert_eq!(sol.connection_cost(&inst), cost(2.0));
         assert_eq!(sol.cost(&inst), cost(13.0));
@@ -238,11 +231,8 @@ mod tests {
     #[test]
     fn rejects_assignment_to_closed_facility() {
         let inst = inst();
-        let out = Solution::new(
-            &inst,
-            vec![true, false],
-            vec![FacilityId::new(0), FacilityId::new(1)],
-        );
+        let out =
+            Solution::new(&inst, vec![true, false], vec![FacilityId::new(0), FacilityId::new(1)]);
         assert!(matches!(out, Err(InstanceError::UnreachableClient { client: 1 })));
     }
 
@@ -270,12 +260,9 @@ mod tests {
     fn greedy_reassignment_never_increases_cost() {
         let inst = inst();
         // Assign both clients to the expensive facility 0 while 1 is open.
-        let sol = Solution::new(
-            &inst,
-            vec![true, true],
-            vec![FacilityId::new(0), FacilityId::new(0)],
-        )
-        .unwrap();
+        let sol =
+            Solution::new(&inst, vec![true, true], vec![FacilityId::new(0), FacilityId::new(0)])
+                .unwrap();
         let improved = sol.reassign_greedily(&inst);
         assert!(improved.cost(&inst) <= sol.cost(&inst));
         // Client 1 should have moved to the cheaper facility 1.

@@ -22,10 +22,7 @@ pub fn positive_floor(instance: &Instance) -> Cost {
 
 /// The largest coefficient of the instance.
 pub fn max_coefficient(instance: &Instance) -> Cost {
-    instance
-        .coefficients()
-        .max()
-        .expect("instances are non-empty")
+    instance.coefficients().max().expect("instances are non-empty")
 }
 
 /// The coefficient spread `ρ = max coefficient / min positive coefficient`.
@@ -79,8 +76,7 @@ mod tests {
 
     fn inst(opening: &[f64], connection: &[&[f64]]) -> Instance {
         let mut b = InstanceBuilder::new();
-        let fs: Vec<_> =
-            opening.iter().map(|&f| b.add_facility(Cost::new(f).unwrap())).collect();
+        let fs: Vec<_> = opening.iter().map(|&f| b.add_facility(Cost::new(f).unwrap())).collect();
         for row in connection {
             let c = b.add_client();
             for (i, &v) in row.iter().enumerate() {

@@ -56,10 +56,7 @@ pub fn to_string(instance: &Instance) -> String {
 /// syntactic problem, and the usual construction errors for semantic ones
 /// (duplicate links, unreachable clients, ...).
 pub fn from_str(text: &str) -> Result<Instance, InstanceError> {
-    let err = |line: usize, reason: &str| InstanceError::Parse {
-        line,
-        reason: reason.to_owned(),
-    };
+    let err = |line: usize, reason: &str| InstanceError::Parse { line, reason: reason.to_owned() };
     let mut lines = text
         .lines()
         .enumerate()
@@ -72,8 +69,7 @@ pub fn from_str(text: &str) -> Result<Instance, InstanceError> {
     }
 
     let mut expect_count = |keyword: &str| -> Result<usize, InstanceError> {
-        let (line_no, line) =
-            lines.next().ok_or_else(|| err(0, "unexpected end of input"))?;
+        let (line_no, line) = lines.next().ok_or_else(|| err(0, "unexpected end of input"))?;
         let mut parts = line.split_whitespace();
         if parts.next() != Some(keyword) {
             return Err(err(line_no, &format!("expected '{keyword} <count>'")));
@@ -86,8 +82,7 @@ pub fn from_str(text: &str) -> Result<Instance, InstanceError> {
     let m = expect_count("facilities")?;
     let n = expect_count("clients")?;
 
-    let (line_no, opening_line) =
-        lines.next().ok_or_else(|| err(0, "unexpected end of input"))?;
+    let (line_no, opening_line) = lines.next().ok_or_else(|| err(0, "unexpected end of input"))?;
     let mut parts = opening_line.split_whitespace();
     if parts.next() != Some("opening") {
         return Err(err(line_no, "expected 'opening <m costs>'"));
@@ -137,10 +132,7 @@ pub fn from_str(text: &str) -> Result<Instance, InstanceError> {
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| err(line_no, "missing link cost"))?;
             if i >= m {
-                return Err(InstanceError::FacilityOutOfRange {
-                    facility: i,
-                    num_facilities: m,
-                });
+                return Err(InstanceError::FacilityOutOfRange { facility: i, num_facilities: m });
             }
             builder.link(cids[j], fids[i], Cost::new(c)?)?;
         }

@@ -118,10 +118,7 @@ pub fn restrict_facilities(
 ///
 /// Returns [`InstanceError::ClientOutOfRange`] for bad indices or
 /// [`InstanceError::NoClients`] if `keep` is empty.
-pub fn restrict_clients(
-    instance: &Instance,
-    keep: &[ClientId],
-) -> Result<Instance, InstanceError> {
+pub fn restrict_clients(instance: &Instance, keep: &[ClientId]) -> Result<Instance, InstanceError> {
     let mut b = InstanceBuilder::new();
     let fids: Vec<FacilityId> =
         instance.facilities().map(|i| b.add_facility(instance.opening_cost(i))).collect();
@@ -184,9 +181,7 @@ mod tests {
             assert!((cb.value() - 2.5 * ca.value()).abs() < 1e-9);
         }
         // Spread is scale-invariant.
-        assert!(
-            (spread::coefficient_spread(&a) - spread::coefficient_spread(&b)).abs() < 1e-6
-        );
+        assert!((spread::coefficient_spread(&a) - spread::coefficient_spread(&b)).abs() < 1e-6);
     }
 
     #[test]
@@ -262,10 +257,7 @@ mod tests {
         assert_eq!(merged.num_clients(), 24);
         assert_eq!(merged.num_links(), a.num_links() + b.num_links());
         // No cross links.
-        assert_eq!(
-            merged.connection_cost(ClientId::new(0), FacilityId::new(7)),
-            None
-        );
+        assert_eq!(merged.connection_cost(ClientId::new(0), FacilityId::new(7)), None);
         // Costs preserved with offsets.
         assert_eq!(
             merged.connection_cost(ClientId::new(12), FacilityId::new(5)),

@@ -7,9 +7,8 @@ use distfl_instance::generators::{InstanceGenerator, UniformRandom};
 use distfl_instance::{orlib, spread, textio, transform, Instance};
 
 fn arbitrary_instance() -> impl Strategy<Value = Instance> {
-    (1usize..8, 1usize..15, 0u64..500).prop_map(|(m, n, seed)| {
-        UniformRandom::new(m, n).unwrap().generate(seed).unwrap()
-    })
+    (1usize..8, 1usize..15, 0u64..500)
+        .prop_map(|(m, n, seed)| UniformRandom::new(m, n).unwrap().generate(seed).unwrap())
 }
 
 proptest! {

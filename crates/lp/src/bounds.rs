@@ -24,8 +24,7 @@ pub fn trivial_lower_bound(instance: &Instance) -> f64 {
         .facilities()
         .map(|i| instance.opening_cost(i).value())
         .fold(f64::INFINITY, f64::min);
-    let connections: f64 =
-        instance.clients().map(|j| instance.cheapest_link(j).1.value()).sum();
+    let connections: f64 = instance.clients().map(|j| instance.cheapest_link(j).1.value()).sum();
     min_opening + connections
 }
 
@@ -60,7 +59,8 @@ pub fn certified_lower_bound(
     if let Ok(opt) = exact::solve_with_limit(instance, exact_limit) {
         return LowerBound { value: opt.cost.value(), source: BoundSource::Exact };
     }
-    let mut best = LowerBound { value: trivial_lower_bound(instance), source: BoundSource::Trivial };
+    let mut best =
+        LowerBound { value: trivial_lower_bound(instance), source: BoundSource::Trivial };
     for dual in duals {
         let lb = dual.lower_bound(instance, crate::TOLERANCE);
         if lb > best.value {

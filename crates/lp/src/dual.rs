@@ -96,9 +96,9 @@ impl DualSolution {
     /// Whether this point is dual-feasible up to an additive tolerance on
     /// each constraint.
     pub fn is_feasible(&self, instance: &Instance, tolerance: f64) -> bool {
-        instance.facilities().all(|i| {
-            self.payment(instance, i) <= instance.opening_cost(i).value() + tolerance
-        })
+        instance
+            .facilities()
+            .all(|i| self.payment(instance, i) <= instance.opening_cost(i).value() + tolerance)
     }
 
     /// A certified lower bound on `OPT` by dual fitting: the dual value

@@ -128,8 +128,8 @@ pub fn solve_with_limit(instance: &Instance, limit: usize) -> Result<Optimum, Ex
                 .expect("optimal open set covers every client")
         })
         .collect();
-    let solution = Solution::from_assignment(instance, assignment)
-        .expect("optimal assignment is feasible");
+    let solution =
+        Solution::from_assignment(instance, assignment).expect("optimal assignment is feasible");
     let cost = solution.cost(instance);
     Ok(Optimum { solution, cost, nodes_explored: search.nodes })
 }

@@ -244,8 +244,7 @@ mod tests {
                     let load0 = pick.iter().filter(|&&p| p == 0).count() as i64;
                     let load1 = 3 - load0;
                     if load0 <= caps[0] && load1 <= caps[1] {
-                        let total: f64 =
-                            pick.iter().enumerate().map(|(j, &p)| costs[p][j]).sum();
+                        let total: f64 = pick.iter().enumerate().map(|(j, &p)| costs[p][j]).sum();
                         best = best.min(total);
                     }
                 }

@@ -26,11 +26,7 @@ pub struct LineOptimum {
 ///
 /// Panics if the facility arrays' lengths differ, either side is empty,
 /// or any value is not finite / any opening cost is negative.
-pub fn solve_line(
-    facility_pos: &[f64],
-    opening: &[f64],
-    client_pos: &[f64],
-) -> LineOptimum {
+pub fn solve_line(facility_pos: &[f64], opening: &[f64], client_pos: &[f64]) -> LineOptimum {
     assert_eq!(facility_pos.len(), opening.len(), "facility arrays must align");
     assert!(!facility_pos.is_empty(), "need at least one facility");
     assert!(!client_pos.is_empty(), "need at least one client");
@@ -70,8 +66,7 @@ pub fn solve_line(
         }
         // Split into clients left of pos and right of pos.
         let mid = lower_bound(pos).clamp(lo, hi);
-        (mid - lo) as f64 * pos - range_sum(lo, mid) + range_sum(mid, hi)
-            - (hi - mid) as f64 * pos
+        (mid - lo) as f64 * pos - range_sum(lo, mid) + range_sum(mid, hi) - (hi - mid) as f64 * pos
     };
     // Cost of the clients strictly between consecutive open facilities at
     // positions a < b (client range [lo, hi)), each served by the nearer.
@@ -202,12 +197,7 @@ mod tests {
         let opening_cost: f64 = dp.open.iter().map(|&i| opening[i]).sum();
         let connection: f64 = cpos
             .iter()
-            .map(|&q| {
-                dp.open
-                    .iter()
-                    .map(|&i| (fpos[i] - q).abs())
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|&q| dp.open.iter().map(|&i| (fpos[i] - q).abs()).fold(f64::INFINITY, f64::min))
             .sum();
         assert!(
             (dp.cost - opening_cost - connection).abs() < 1e-6,

@@ -87,14 +87,9 @@ impl FractionalSolution {
 
     /// The canonical fractional point induced by an integral solution.
     pub fn from_integral(instance: &Instance, solution: &distfl_instance::Solution) -> Self {
-        let y = instance
-            .facilities()
-            .map(|i| if solution.is_open(i) { 1.0 } else { 0.0 })
-            .collect();
-        let x = instance
-            .clients()
-            .map(|j| vec![(solution.assigned(j), 1.0)])
-            .collect();
+        let y =
+            instance.facilities().map(|i| if solution.is_open(i) { 1.0 } else { 0.0 }).collect();
+        let x = instance.clients().map(|j| vec![(solution.assigned(j), 1.0)]).collect();
         FractionalSolution { y, x }
     }
 
@@ -222,11 +217,8 @@ mod tests {
     #[test]
     fn from_integral_is_feasible_with_same_cost() {
         let inst = inst();
-        let integral = Solution::from_assignment(
-            &inst,
-            vec![FacilityId::new(1), FacilityId::new(1)],
-        )
-        .unwrap();
+        let integral =
+            Solution::from_assignment(&inst, vec![FacilityId::new(1), FacilityId::new(1)]).unwrap();
         let frac = FractionalSolution::from_integral(&inst, &integral);
         frac.check_feasible(&inst, 0.0).unwrap();
         assert!((frac.objective(&inst) - integral.cost(&inst).value()).abs() < 1e-12);

@@ -213,10 +213,9 @@ mod tests {
         let frac = fractional_uniform(&inst);
         let lp = frac.objective(&inst);
         let cfg = RoundingConfig::for_instance(&inst);
-        let avg: f64 = (0..20)
-            .map(|s| round(&inst, &frac, cfg, s).solution.cost(&inst).value())
-            .sum::<f64>()
-            / 20.0;
+        let avg: f64 =
+            (0..20).map(|s| round(&inst, &frac, cfg, s).solution.cost(&inst).value()).sum::<f64>()
+                / 20.0;
         let envelope = lp * (cfg.boost * cfg.trials as f64 + 2.0);
         assert!(avg <= envelope, "avg rounded {avg} vs envelope {envelope}");
     }

@@ -47,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (cost, placement) = best.expect("at least one run");
     println!("\nchosen build-out (cost {cost:.1}):");
     for site in placement.open_facilities() {
-        let regions = instance
-            .clients()
-            .filter(|&j| placement.assigned(j) == site)
-            .count();
+        let regions = instance.clients().filter(|&j| placement.assigned(j) == site).count();
         println!(
             "  site {site}: build cost {:>8.1}, serves {regions} regions",
             instance.opening_cost(site).value()

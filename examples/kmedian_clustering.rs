@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         instance.num_clients()
     );
 
-    println!("{:<4} {:>12} {:>12} {:>12} {:>8}", "k", "distributed", "sequential", "exact", "probes");
+    println!(
+        "{:<4} {:>12} {:>12} {:>12} {:>8}",
+        "k", "distributed", "sequential", "exact", "probes"
+    );
     for k in 1..=6usize {
         let dist = kmedian::distributed(&instance, k, 10, 7)?;
         let seq = kmedian::sequential(&instance, k)?;
@@ -36,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chosen = kmedian::distributed(&instance, 4, 10, 7)?;
     println!("\ncenters chosen at k=4 (distributed probing):");
     for center in chosen.solution.open_facilities() {
-        let members = instance
-            .clients()
-            .filter(|&j| chosen.solution.assigned(j) == center)
-            .count();
+        let members = instance.clients().filter(|&j| chosen.solution.assigned(j) == center).count();
         println!("  center {center}: {members} points");
     }
     println!(

@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  messages          : {}", transcript.total_messages());
     println!("  total bits        : {}", transcript.total_bits());
     println!("  max message bits  : {}", transcript.max_message_bits());
-    println!(
-        "  CONGEST compliant : {}",
-        transcript.congest_compliant(72)
-    );
+    println!("  CONGEST compliant : {}", transcript.congest_compliant(72));
     println!(
         "  cluster heads     : {} of {} candidates",
         outcome.solution.num_open(),
@@ -54,10 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .solution
         .open_facilities()
         .map(|head| {
-            let size = instance
-                .clients()
-                .filter(|&j| outcome.solution.assigned(j) == head)
-                .count();
+            let size = instance.clients().filter(|&j| outcome.solution.assigned(j) == head).count();
             (head, size)
         })
         .collect();

@@ -43,8 +43,7 @@ impl Opts {
                 };
                 named.insert(key.to_owned(), value);
             } else if let Some(key) = arg.strip_prefix('-') {
-                let value =
-                    iter.next().ok_or_else(|| format!("option -{key} needs a value"))?;
+                let value = iter.next().ok_or_else(|| format!("option -{key} needs a value"))?;
                 named.insert(key.to_owned(), value);
             } else {
                 positional.push(arg);
@@ -56,9 +55,7 @@ impl Opts {
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.named.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("invalid value '{raw}' for --{key}")),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for --{key}")),
         }
     }
 
@@ -75,11 +72,8 @@ impl Opts {
 }
 
 fn generate(opts: &Opts) -> Result<(), String> {
-    let family = opts
-        .positional
-        .get(1)
-        .ok_or("usage: distfl generate <family> [options] -o FILE")?
-        .as_str();
+    let family =
+        opts.positional.get(1).ok_or("usage: distfl generate <family> [options] -o FILE")?.as_str();
     let m: usize = opts.get("m", 10)?;
     let n: usize = opts.get("n", 50)?;
     let seed: u64 = opts.get("seed", 0)?;
@@ -94,9 +88,7 @@ fn generate(opts: &Opts) -> Result<(), String> {
             let rows: usize = opts.get("rows", 12)?;
             let cols: usize = opts.get("cols", 12)?;
             let radius: usize = opts.get("radius", (rows + cols).div_ceil(4))?;
-            Box::new(
-                GridNetwork::with_radius(rows, cols, m, n, radius).map_err(|e| e.to_string())?,
-            )
+            Box::new(GridNetwork::with_radius(rows, cols, m, n, radius).map_err(|e| e.to_string())?)
         }
         "powerlaw" => {
             let rho: f64 = opts.get("rho", 1e4)?;
@@ -198,8 +190,7 @@ fn evaluate_cmd(opts: &Opts) -> Result<(), String> {
     let bucket = GreedyBucket::new(BucketParams::new(6, 4));
     let greedy = StarGreedy::new();
     let strawman = SimulatedSeqGreedy::new();
-    let mut algos: Vec<&dyn FlAlgorithm> =
-        vec![&paydual8, &paydual24, &bucket, &greedy, &strawman];
+    let mut algos: Vec<&dyn FlAlgorithm> = vec![&paydual8, &paydual24, &bucket, &greedy, &strawman];
     let jv = JainVazirani::new();
     let mp = MettuPlaxton::new();
     let small_enough = inst.num_facilities() * inst.num_clients() <= 40_000;
@@ -304,10 +295,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("inst.fl");
         let file_str = file.to_str().unwrap().to_owned();
-        dispatch(args(&format!(
-            "generate uniform -m 6 -n 20 --seed 3 -o {file_str}"
-        )))
-        .unwrap();
+        dispatch(args(&format!("generate uniform -m 6 -n 20 --seed 3 -o {file_str}"))).unwrap();
         dispatch(args(&format!("info {file_str}"))).unwrap();
         dispatch(args(&format!("solve {file_str} --algo paydual --phases 6"))).unwrap();
         dispatch(args(&format!("solve {file_str} --algo greedy"))).unwrap();
@@ -322,15 +310,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("km.fl");
         let file_str = file.to_str().unwrap().to_owned();
-        dispatch(args(&format!(
-            "generate euclidean -m 6 -n 18 --seed 2 -o {file_str}"
-        )))
-        .unwrap();
+        dispatch(args(&format!("generate euclidean -m 6 -n 18 --seed 2 -o {file_str}"))).unwrap();
         dispatch(args(&format!("kmedian {file_str} -k 2"))).unwrap();
-        dispatch(args(&format!(
-            "kmedian {file_str} -k 2 --distributed --phases 6"
-        )))
-        .unwrap();
+        dispatch(args(&format!("kmedian {file_str} -k 2 --distributed --phases 6"))).unwrap();
         std::fs::remove_file(&file).unwrap();
     }
 }

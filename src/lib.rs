@@ -53,12 +53,12 @@ pub mod prelude {
     pub use distfl_core::bucket::{BucketParams, GreedyBucket};
     pub use distfl_core::greedy::StarGreedy;
     pub use distfl_core::jv::JainVazirani;
-    pub use distfl_core::{audit, capacitated, kmedian, localsearch};
     pub use distfl_core::mp::MettuPlaxton;
     pub use distfl_core::paydual::{ConnectRule, PayDual, PayDualParams};
     pub use distfl_core::round::{distributed_round, DistRoundParams};
     pub use distfl_core::seqdist::DistSeqGreedy;
     pub use distfl_core::seqsim::SimulatedSeqGreedy;
+    pub use distfl_core::{audit, capacitated, kmedian, localsearch};
     pub use distfl_core::{evaluate, FlAlgorithm, Outcome, RunReport};
     pub use distfl_instance::generators::{
         AdversarialGreedy, CdnTrace, Clustered, Euclidean, GridNetwork, InstanceGenerator,

@@ -23,9 +23,8 @@ fn every_distributed_algorithm_is_feasible_on_every_family() {
         let paydual = PayDual::new(PayDualParams::with_phases(6));
         let bucket = GreedyBucket::new(BucketParams::new(4, 3));
         for algo in [&paydual as &dyn FlAlgorithm, &bucket] {
-            let out = algo
-                .run(&inst, 1)
-                .unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
+            let out =
+                algo.run(&inst, 1).unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
             out.solution
                 .check_feasible(&inst)
                 .unwrap_or_else(|e| panic!("{} on {name}: infeasible: {e}", algo.name()));
@@ -48,11 +47,7 @@ fn certified_ratios_are_at_least_one_everywhere() {
                 "{name}/{}: ratio {ratio} below 1 — lower bound not a lower bound",
                 r.algorithm
             );
-            assert!(
-                ratio < 100.0,
-                "{name}/{}: ratio {ratio} absurdly large",
-                r.algorithm
-            );
+            assert!(ratio < 100.0, "{name}/{}: ratio {ratio} absurdly large", r.algorithm);
         }
     }
 }
@@ -67,10 +62,7 @@ fn exact_optimum_beats_or_matches_every_algorithm() {
             ("paydual", paydual.solution.cost(&inst).value()),
             ("greedy", greedy.cost(&inst).value()),
         ] {
-            assert!(
-                cost >= opt - 1e-6,
-                "{name}/{algo}: cost {cost} below the exact optimum {opt}"
-            );
+            assert!(cost >= opt - 1e-6, "{name}/{algo}: cost {cost} below the exact optimum {opt}");
         }
     }
 }
@@ -123,13 +115,8 @@ fn full_pipeline_fractional_solve_plus_distributed_rounding() {
     let fractional = distfl::core::fraclp::payment_fractional(&inst, &dual);
     fractional.check_feasible(&inst, 1e-9).unwrap();
     // Stage 2: distributed randomized rounding.
-    let rounded = distributed_round(
-        &inst,
-        &fractional,
-        DistRoundParams::for_instance(&inst),
-        4,
-    )
-    .unwrap();
+    let rounded =
+        distributed_round(&inst, &fractional, DistRoundParams::for_instance(&inst), 4).unwrap();
     rounded.solution.check_feasible(&inst).unwrap();
     // The two-stage pipeline should stay within a log-ish factor of the
     // one-stage result on this easy instance.
@@ -163,12 +150,10 @@ fn paydual_is_invariant_under_uniform_cost_scaling() {
 fn parallel_and_serial_simulation_agree_end_to_end() {
     let inst = CdnTrace::new(10, 60).unwrap().generate(21).unwrap();
     let serial = PayDual::new(PayDualParams::with_phases(7)).run(&inst, 5).unwrap();
-    let parallel = PayDual::new(PayDualParams {
-        threads: Some(8),
-        ..PayDualParams::with_phases(7)
-    })
-    .run(&inst, 5)
-    .unwrap();
+    let parallel =
+        PayDual::new(PayDualParams { threads: Some(8), ..PayDualParams::with_phases(7) })
+            .run(&inst, 5)
+            .unwrap();
     assert_eq!(serial.solution, parallel.solution);
     assert_eq!(serial.transcript, parallel.transcript);
 }

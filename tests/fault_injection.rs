@@ -67,15 +67,10 @@ fn loss_degrades_quality_monotonically_in_expectation() {
     let avg_cost = |drop: f64| -> f64 {
         (0..8)
             .map(|seed| {
-                let fault = (drop > 0.0)
-                    .then(|| FaultPlan::drop_with_probability(drop, 1000 + seed));
+                let fault =
+                    (drop > 0.0).then(|| FaultPlan::drop_with_probability(drop, 1000 + seed));
                 let params = PayDualParams { fault, ..PayDualParams::with_phases(8) };
-                PayDual::new(params)
-                    .run(&inst, seed)
-                    .unwrap()
-                    .solution
-                    .cost(&inst)
-                    .value()
+                PayDual::new(params).run(&inst, seed).unwrap().solution.cost(&inst).value()
             })
             .sum::<f64>()
             / 8.0
@@ -124,11 +119,10 @@ fn paydual_survives_crashed_facilities() {
                 assignment.push(target);
             }
         }
-        let solution =
-            distfl::instance::Solution::from_assignment(&inst, assignment).unwrap();
-        solution.check_feasible(&inst).unwrap_or_else(|e| {
-            panic!("crash at round {crash_round}: infeasible: {e}")
-        });
+        let solution = distfl::instance::Solution::from_assignment(&inst, assignment).unwrap();
+        solution
+            .check_feasible(&inst)
+            .unwrap_or_else(|e| panic!("crash at round {crash_round}: infeasible: {e}"));
     }
 }
 

@@ -28,21 +28,18 @@ fn recipe_strategy() -> impl Strategy<Value = Recipe> {
 fn build(recipe: &Recipe) -> Instance {
     let m = recipe.opening.len();
     let mut b = InstanceBuilder::new();
-    let fids: Vec<_> = recipe
-        .opening
-        .iter()
-        .map(|&f| b.add_facility(Cost::new(f64::from(f)).unwrap()))
-        .collect();
+    let fids: Vec<_> =
+        recipe.opening.iter().map(|&f| b.add_facility(Cost::new(f64::from(f)).unwrap())).collect();
     for (ci, &(first, mask, base)) in recipe.clients.iter().enumerate() {
         let c = b.add_client();
         // Guaranteed link.
         let anchor = first % m;
         b.link(c, fids[anchor], Cost::new(f64::from(base)).unwrap()).unwrap();
         // Extra links from the mask bits.
-        for bit in 0..8usize.min(m) {
+        for (bit, &fid) in fids.iter().enumerate().take(8usize.min(m)) {
             if mask & (1 << bit) != 0 && bit != anchor {
                 let cost = f64::from(base % (100 + bit as u32 + ci as u32) + 1);
-                b.link(c, fids[bit], Cost::new(cost).unwrap()).unwrap();
+                b.link(c, fid, Cost::new(cost).unwrap()).unwrap();
             }
         }
     }

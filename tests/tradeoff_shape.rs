@@ -31,10 +31,7 @@ fn e1_more_rounds_buy_better_ratios() {
     let inst = PowerLaw::new(10, 40, 1e5).unwrap().generate(8).unwrap();
     let coarse = avg_ratio(&inst, 1, 0..4);
     let fine = avg_ratio(&inst, 32, 0..4);
-    assert!(
-        coarse > fine * 1.05,
-        "no visible trade-off: coarse {coarse} vs fine {fine}"
-    );
+    assert!(coarse > fine * 1.05, "no visible trade-off: coarse {coarse} vs fine {fine}");
     assert!(fine < 3.0, "fine-budget ratio {fine} should be small");
 }
 
@@ -57,13 +54,9 @@ fn e2_rounds_are_local_but_the_strawman_is_not() {
     assert_eq!(rounds(&small), rounds(&large));
     assert_eq!(rounds(&small), theory::paydual_rounds(phases));
 
-    let strawman = |inst: &Instance| {
-        SimulatedSeqGreedy::new().run(inst, 0).unwrap().modeled_rounds.unwrap()
-    };
-    assert!(
-        strawman(&large) > strawman(&small),
-        "straw-man rounds should grow with the input"
-    );
+    let strawman =
+        |inst: &Instance| SimulatedSeqGreedy::new().run(inst, 0).unwrap().modeled_rounds.unwrap();
+    assert!(strawman(&large) > strawman(&small), "straw-man rounds should grow with the input");
     assert!(
         strawman(&large) > rounds(&large),
         "straw-man should be slower than paydual on the large instance"

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports no-op derive macros and declares empty marker traits so that
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{...}` compile
+//! without network access. No serialization is performed in-tree; swap in
+//! real serde by restoring the crates.io dependency.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; no-op derives).
+pub trait SerializeTrait {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; no-op derives).
+pub trait DeserializeTrait<'de> {}

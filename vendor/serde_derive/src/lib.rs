@@ -1,0 +1,21 @@
+//! Offline no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on its public data types so that a
+//! real serde can be dropped in when the build environment has network
+//! access, but nothing in-tree calls serialization methods. These derives
+//! accept the same surface syntax (including `#[serde(...)]` helper
+//! attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
