@@ -1,0 +1,65 @@
+//! Criterion: sequential solver hot paths against their retained naive
+//! references — the micro-benchmark view of `bench_solvers` / BENCH_2.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use distfl_core::{greedy, jv, localsearch};
+use distfl_instance::generators::{InstanceGenerator, LineCity, UniformRandom};
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers_greedy");
+    for &(m, n) in &[(10usize, 50usize), (20, 200), (40, 800)] {
+        let inst = UniformRandom::new(m, n).unwrap().generate(1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("lazy_heap", format!("{m}x{n}")),
+            &inst,
+            |b, inst| b.iter(|| greedy::solve_detailed(inst)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{m}x{n}")),
+            &inst,
+            |b, inst| b.iter(|| greedy::solve_detailed_reference(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers_local_search");
+    for &(m, n) in &[(10usize, 50usize), (20, 200)] {
+        let inst = UniformRandom::new(m, n).unwrap().generate(2).unwrap();
+        let (start, _) = greedy::solve(&inst);
+        group.bench_with_input(
+            BenchmarkId::new("cached", format!("{m}x{n}")),
+            &(&inst, &start),
+            |b, (inst, start)| b.iter(|| localsearch::optimize(inst, start, 4)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{m}x{n}")),
+            &(&inst, &start),
+            |b, (inst, start)| b.iter(|| localsearch::optimize_reference(inst, start, 4)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_jv_ascent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers_jv_ascent");
+    for &(m, n) in &[(10usize, 60usize), (30, 300)] {
+        let inst = LineCity::new(m, n).unwrap().generate(3).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("event_driven", format!("{m}x{n}")),
+            &inst,
+            |b, inst| b.iter(|| jv::dual_ascent(inst)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{m}x{n}")),
+            &inst,
+            |b, inst| b.iter(|| jv::dual_ascent_reference(inst)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(solvers, bench_greedy, bench_local_search, bench_jv_ascent);
+criterion_main!(solvers);

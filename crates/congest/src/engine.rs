@@ -21,13 +21,19 @@
 //!
 //! The worker count is the *minimum* of the requested `threads` and the
 //! machine's available parallelism — scoped threads are spawned every
-//! round, so oversubscribing cores only adds spawn latency. When that
-//! minimum is 1 the engine takes a **fused** fast path instead: each
-//! node's outbox is delivered immediately after the node steps, while it
-//! is still hot in cache, and messages are *moved* (not cloned) into the
-//! inboxes. The fused path visits sources in the same ascending order as
-//! the staged pipeline, so inbox contents, statistics, error selection,
-//! and the recorded event stream are all bit-identical.
+//! round, so oversubscribing cores only adds spawn latency. Parallelism
+//! is additionally gated on the previous round's *message volume*: on
+//! sparse topologies (a ring moves one message per node per round) the
+//! per-round spawn-and-join cost exceeds the work being split, and
+//! threading makes rounds slower, not faster. Only when the last round
+//! moved at least [`PARALLEL_MIN_VOLUME`] messages (delivered + dropped)
+//! does the engine fan out. When the effective worker count is 1 the
+//! engine takes a **fused** fast path instead: each node's outbox is
+//! delivered immediately after the node steps, while it is still hot in
+//! cache, and messages are *moved* (not cloned) into the inboxes. The
+//! fused path visits sources in the same ascending order as the staged
+//! pipeline, so inbox contents, statistics, error selection, and the
+//! recorded event stream are all bit-identical.
 //!
 //! Inboxes are double-buffered (`inboxes`/`next_inboxes`) and all buffer
 //! sets keep their capacity across rounds, so a steady-state round
@@ -58,6 +64,18 @@ pub enum DuplicatePolicy {
     Record,
 }
 
+/// Minimum number of messages the previous round must have moved
+/// (delivered + dropped) for the staged parallel pipeline to engage.
+///
+/// Below this volume the per-round scoped-thread spawn-and-join overhead
+/// outweighs the split work and the fused serial path is faster (the
+/// BENCH_1.json `line_4000` topology, ~8k messages/round, lost throughput
+/// under threads; `dense_bipartite_60x400`, ~48k messages/round, gained).
+/// The very first round always runs fused — no volume is known yet.
+/// [`CongestConfig::force_shards`] bypasses the gate, keeping the staged
+/// path deterministically testable.
+pub const PARALLEL_MIN_VOLUME: u64 = 16_384;
+
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
 pub struct CongestConfig {
@@ -68,7 +86,9 @@ pub struct CongestConfig {
     /// bit-identical either way. The effective worker count is capped at
     /// the machine's available parallelism (threads are spawned per
     /// round, so oversubscription only costs spawn latency); small
-    /// networks (under `2 * threads` nodes) run serially regardless.
+    /// networks (under `2 * threads` nodes) and low-traffic rounds
+    /// (previous round moved fewer than [`PARALLEL_MIN_VOLUME`] messages)
+    /// run serially regardless.
     pub threads: Option<usize>,
     /// Overrides the delivery shard count independently of the worker
     /// count; shards beyond the available workers execute inline. Results
@@ -241,6 +261,9 @@ pub struct Network<L: NodeLogic> {
     crash_round: Vec<u32>,
     /// Available hardware parallelism, cached at construction.
     cores: usize,
+    /// Messages moved (delivered + dropped) by the previous round; gates
+    /// the parallel pipeline so sparse topologies stay fused.
+    prev_messages: u64,
     transcript: Transcript,
     recorder: Recorder,
 }
@@ -305,6 +328,7 @@ impl<L: NodeLogic> Network<L> {
             step_errors: (0..n).map(|_| None).collect(),
             crash_round,
             cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
+            prev_messages: 0,
             transcript: Transcript::new(),
             recorder,
         })
@@ -374,10 +398,17 @@ impl<L: NodeLogic> Network<L> {
 
     /// The number of worker threads both pipeline stages use this round:
     /// the requested thread count capped at the machine's parallelism
-    /// (spawning more scoped threads than cores only adds latency).
+    /// (spawning more scoped threads than cores only adds latency), and
+    /// forced to 1 when the previous round's message volume is too small
+    /// to amortize the per-round spawn-and-join cost (BENCH_1.json shows
+    /// sparse rings *losing* throughput under threads; dense bipartite
+    /// topologies, ~48k messages/round, gain).
     fn worker_count(&self) -> usize {
         let threads = self.config.threads.unwrap_or(1).max(1).min(self.cores);
-        if threads <= 1 || self.nodes.len() < 2 * threads {
+        if threads <= 1
+            || self.nodes.len() < 2 * threads
+            || self.prev_messages < PARALLEL_MIN_VOLUME
+        {
             1
         } else {
             threads
@@ -418,6 +449,7 @@ impl<L: NodeLogic> Network<L> {
             ib.clear();
         }
 
+        self.prev_messages = stats.messages + stats.dropped;
         self.transcript.push(stats);
         self.round += 1;
         Ok(stats)
@@ -922,6 +954,26 @@ mod tests {
             let right = ((i + 1) % 6) as u64 + 1;
             assert_eq!(node.heard, 2 * (left + right), "node {i}");
         }
+    }
+
+    #[test]
+    fn parallelism_is_gated_on_message_volume() {
+        let mut net = flood_net(64, 3, Some(4));
+        net.cores = 8; // pretend multi-core, independent of the test host
+        assert_eq!(net.worker_count(), 1, "round 0 has no known volume: stay fused");
+        net.prev_messages = PARALLEL_MIN_VOLUME - 1;
+        assert_eq!(net.worker_count(), 1, "sparse rounds stay on the fused path");
+        net.prev_messages = PARALLEL_MIN_VOLUME;
+        assert_eq!(net.worker_count(), 4, "high-volume rounds fan out");
+        // Small networks stay serial even at high volume.
+        let mut small = flood_net(6, 3, Some(4));
+        small.cores = 8;
+        small.prev_messages = PARALLEL_MIN_VOLUME;
+        assert_eq!(small.worker_count(), 1);
+        // The gate tracks the transcript: after a real (low-volume) round
+        // the recorded volume matches what worker_count consults.
+        let stats = net.step().unwrap();
+        assert_eq!(net.prev_messages, stats.messages + stats.dropped);
     }
 
     #[test]

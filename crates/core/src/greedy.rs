@@ -11,8 +11,27 @@
 //! client `j` served at ratio `r` gets `α_j = r`, and `α / H_n` is
 //! dual-feasible — so the greedy run itself certifies a lower bound of
 //! `cost / H_n` on `OPT`.
+//!
+//! # Lazy-evaluation heap
+//!
+//! [`solve_detailed`] avoids the naive per-iteration rescan of every
+//! facility's star. Once a facility's star ratio is computed it is cached
+//! in a min-heap keyed by `(ratio, facility id)`. Serving clients only
+//! *shrinks* the unserved pool, and a star available after a removal was
+//! available before it, so a facility's best ratio is monotone
+//! non-decreasing while the facility stays closed — cached keys are lower
+//! bounds. (Opening a facility drops its residual to zero, which *can*
+//! lower its ratio; that only happens to the facility just selected, whose
+//! key is recomputed and reinserted immediately.) Pop → recompute →
+//! compare against the next cached key → select or reinsert therefore
+//! yields exactly the naive selection sequence, including `(ratio,
+//! facility)` tie-breaks; [`solve_detailed_reference`] retains the naive
+//! scan and the equivalence is pinned bit-for-bit by proptests.
 
-use distfl_instance::{FacilityId, Instance, Solution};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use distfl_instance::{ClientId, FacilityId, Instance, Solution};
 use distfl_lp::DualSolution;
 
 use crate::error::CoreError;
@@ -82,8 +101,153 @@ pub fn solve(instance: &Instance) -> (Solution, Vec<f64>) {
     (run.solution, run.ratios)
 }
 
-/// Runs star greedy with full diagnostics.
+/// Heap key ordered by `(ratio, facility id)`. Ratios are finite and
+/// non-negative, so `total_cmp` coincides with numeric order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StarKey {
+    ratio: f64,
+    fid: u32,
+}
+
+impl Eq for StarKey {}
+
+impl Ord for StarKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.ratio.total_cmp(&other.ratio).then(self.fid.cmp(&other.fid))
+    }
+}
+
+impl PartialOrd for StarKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-facility link lists sorted by `(cost, client id)` — the order
+/// `best_star` sorts into — flattened CSR-style so each re-evaluation is a
+/// single allocation-free scan.
+struct SortedStars {
+    offsets: Vec<u32>,
+    links: Vec<(f64, ClientId)>,
+}
+
+impl SortedStars {
+    fn build(instance: &Instance) -> Self {
+        let mut offsets = Vec::with_capacity(instance.num_facilities() + 1);
+        let mut links = Vec::with_capacity(instance.num_links());
+        offsets.push(0u32);
+        for i in instance.facilities() {
+            let start = links.len();
+            links.extend(instance.facility_links(i).iter().map(|&(j, c)| (c.value(), j)));
+            links[start..].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            offsets.push(links.len() as u32);
+        }
+        SortedStars { offsets, links }
+    }
+
+    fn of(&self, i: FacilityId) -> &[(f64, ClientId)] {
+        &self.links[self.offsets[i.index()] as usize..self.offsets[i.index() + 1] as usize]
+    }
+}
+
+/// The best star over currently unserved clients of one pre-sorted link
+/// list: `(ratio, star size)`, or `None` if every linked client is served.
+///
+/// Scanning the pre-sorted list while skipping served clients visits the
+/// exact `(cost, client)` sequence `best_star` produces by filtering and
+/// sorting, so prefix sums and ratios are bit-identical.
+fn eval_star(sorted: &[(f64, ClientId)], residual: f64, served: &[bool]) -> Option<(f64, usize)> {
+    let mut best_ratio = f64::INFINITY;
+    let mut best_k = 0usize;
+    let mut k = 0usize;
+    let mut prefix = 0.0f64;
+    for &(c, j) in sorted {
+        if served[j.index()] {
+            continue;
+        }
+        prefix += c;
+        k += 1;
+        let ratio = (residual + prefix) / k as f64;
+        if ratio < best_ratio {
+            best_ratio = ratio;
+            best_k = k;
+        }
+    }
+    (best_k > 0).then_some((best_ratio, best_k))
+}
+
+/// Runs star greedy with full diagnostics (lazy-evaluation heap).
 pub fn solve_detailed(instance: &Instance) -> GreedyRun {
+    let n = instance.num_clients();
+    let m = instance.num_facilities();
+    let stars = SortedStars::build(instance);
+    let mut served = vec![false; n];
+    let mut opened = vec![false; m];
+    let mut assignment = vec![FacilityId::new(0); n];
+    let mut ratios = vec![0.0f64; n];
+    let mut remaining = n;
+    let mut iterations = 0u32;
+
+    let mut heap: BinaryHeap<std::cmp::Reverse<StarKey>> = BinaryHeap::with_capacity(m);
+    for i in instance.facilities() {
+        let residual = instance.opening_cost(i).value();
+        if let Some((ratio, _)) = eval_star(stars.of(i), residual, &served) {
+            heap.push(std::cmp::Reverse(StarKey { ratio, fid: i.raw() }));
+        }
+    }
+
+    while remaining > 0 {
+        let std::cmp::Reverse(key) =
+            heap.pop().expect("instance invariant: every client is linked, so a star exists");
+        let i = FacilityId::new(key.fid);
+        let residual = if opened[i.index()] { 0.0 } else { instance.opening_cost(i).value() };
+        let Some((ratio, k)) = eval_star(stars.of(i), residual, &served) else {
+            // Every linked client is served; this facility is permanently
+            // out of stars (serving never un-serves).
+            continue;
+        };
+        let fresh = StarKey { ratio, fid: key.fid };
+        // Cached keys are lower bounds on true keys, so beating the best
+        // cached key proves global minimality (ids are unique, so the
+        // lexicographic comparison is never an exact tie across facilities).
+        if heap.peek().is_some_and(|std::cmp::Reverse(top)| *top < fresh) {
+            heap.push(std::cmp::Reverse(fresh));
+            continue;
+        }
+        iterations += 1;
+        opened[i.index()] = true;
+        let mut taken = 0usize;
+        for &(_, j) in stars.of(i) {
+            if taken == k {
+                break;
+            }
+            if served[j.index()] {
+                continue;
+            }
+            served[j.index()] = true;
+            assignment[j.index()] = i;
+            ratios[j.index()] = ratio;
+            taken += 1;
+            remaining -= 1;
+        }
+        debug_assert_eq!(taken, k, "star members must all have been unserved");
+        // The winner's residual just dropped to zero; recompute eagerly so
+        // its (possibly lower) new ratio re-enters the heap.
+        if let Some((ratio, _)) = eval_star(stars.of(i), 0.0, &served) {
+            heap.push(std::cmp::Reverse(StarKey { ratio, fid: key.fid }));
+        }
+    }
+
+    let solution = Solution::from_assignment(instance, assignment)
+        .expect("greedy assigns over existing links");
+    GreedyRun { solution, ratios, iterations }
+}
+
+/// Runs star greedy with full diagnostics by the naive per-iteration
+/// rescan. Retained as the reference implementation: `bench_solvers`
+/// measures [`solve_detailed`] against it and the solver-equivalence
+/// proptests pin bit-identical output.
+pub fn solve_detailed_reference(instance: &Instance) -> GreedyRun {
     let n = instance.num_clients();
     let m = instance.num_facilities();
     let mut served = vec![false; n];

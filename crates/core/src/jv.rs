@@ -61,8 +61,275 @@ pub struct DualAscent {
     pub temp_open: Vec<FacilityId>,
 }
 
-/// Runs the exact continuous dual ascent (phase 1).
+/// The exact facility event threshold, replicating the reference scan
+/// bit-for-bit: the time at which `i` becomes fully paid (`t` itself if it
+/// already is), or `None` if no active client is paying toward it.
+fn exact_facility_event(
+    instance: &Instance,
+    i: FacilityId,
+    t: f64,
+    frozen: &[f64],
+    connected: &[bool],
+) -> Option<f64> {
+    let f = instance.opening_cost(i).value();
+    let mut paid = frozen[i.index()];
+    let mut rate = 0u32;
+    for &(j, c) in instance.facility_links(i) {
+        if !connected[j.index()] && c.value() <= t {
+            paid += t - c.value();
+            rate += 1;
+        }
+    }
+    if paid >= f {
+        Some(t)
+    } else if rate > 0 {
+        Some(t + (f - paid) / f64::from(rate))
+    } else {
+        None
+    }
+}
+
+/// The exact payment toward `i` at time `t`, replicating the reference
+/// open-pass scan bit-for-bit.
+fn exact_paid(
+    instance: &Instance,
+    i: FacilityId,
+    t: f64,
+    frozen: &[f64],
+    connected: &[bool],
+) -> f64 {
+    let mut paid = frozen[i.index()];
+    for &(j, c) in instance.facility_links(i) {
+        if !connected[j.index()] && c.value() <= t {
+            paid += t - c.value();
+        }
+    }
+    paid
+}
+
+/// Runs the exact continuous dual ascent (phase 1), event-driven.
+///
+/// Produces bit-identical duals and opening order to
+/// [`dual_ascent_reference`] while avoiding its per-round scan over every
+/// link. Each client keeps its links sorted by cost behind a pointer, so
+/// the next tightness event is an O(1) lookup of an exact input constant.
+/// Each facility keeps an incrementally-maintained *linear form* of its
+/// payment (`frozen + rate·t − Σc` over active tight links) whose O(1)
+/// threshold estimate agrees with the exact scan up to floating-point
+/// noise; the handful of facilities within a generous margin of the
+/// minimum estimate are re-evaluated with the reference's exact
+/// summation (same link order, same operations), so the event time that
+/// wins — and every `α_j`, `frozen` update, and opening decision — is the
+/// exact value the reference computes.
 pub fn dual_ascent(instance: &Instance) -> DualAscent {
+    let n = instance.num_clients();
+    let m = instance.num_facilities();
+    let mut alpha = vec![0.0f64; n];
+    let mut connected = vec![false; n];
+    let mut open = vec![false; m];
+    let mut frozen = vec![0.0f64; m]; // payment frozen from connected clients
+    let mut temp_open = Vec::new();
+    let mut active = n;
+    let mut t = 0.0f64;
+
+    // Per-client links sorted by cost, behind a tightness pointer: links
+    // before `ptr` have become tight (cost <= t) and are registered in the
+    // facility linear forms below.
+    let mut offs = Vec::with_capacity(n + 1);
+    let mut sorted: Vec<(f64, u32)> = Vec::with_capacity(instance.num_links());
+    offs.push(0u32);
+    for j in instance.clients() {
+        let s = sorted.len();
+        sorted.extend(instance.client_links(j).iter().map(|&(i, c)| (c.value(), i.raw())));
+        sorted[s..].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        offs.push(sorted.len() as u32);
+    }
+    let mut ptr: Vec<u32> = offs[..n].to_vec();
+
+    // Facility linear forms: payment ≈ frozen + rate·t − sum_c over active
+    // tight links. `rate` is an exact count; `sum_c` is approximate and
+    // only ever used for shortlisting.
+    let mut rate = vec![0i64; m];
+    let mut sum_c = vec![0.0f64; m];
+    let f_cost: Vec<f64> =
+        instance.facilities().map(|i| instance.opening_cost(i).value()).collect();
+
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut newly_open: Vec<usize> = Vec::new();
+
+    // Advance one client's pointer past links that became tight at time t,
+    // registering them with their facility's linear form; links tight with
+    // an already-open facility make the client a connect candidate.
+    let advance = |j: usize,
+                   t: f64,
+                   ptr: &mut [u32],
+                   rate: &mut [i64],
+                   sum_c: &mut [f64],
+                   open: &[bool],
+                   candidates: &mut Vec<usize>| {
+        let end = offs[j + 1];
+        while ptr[j] < end {
+            let (c, i) = sorted[ptr[j] as usize];
+            if c > t {
+                break;
+            }
+            if open[i as usize] {
+                candidates.push(j);
+            } else {
+                rate[i as usize] += 1;
+                sum_c[i as usize] += c;
+            }
+            ptr[j] += 1;
+        }
+    };
+
+    // Register links that are tight at t = 0 (zero-cost links).
+    for j in 0..n {
+        advance(j, t, &mut ptr, &mut rate, &mut sum_c, &open, &mut candidates);
+    }
+
+    while active > 0 {
+        // Next event: either a client becomes tight with a facility, or a
+        // facility becomes fully paid. Client events are exact constants;
+        // facility events are shortlisted by linear form, then computed
+        // with the reference's exact scan.
+        let mut next = f64::INFINITY;
+        for j in 0..n {
+            if !connected[j] && ptr[j] < offs[j + 1] {
+                next = next.min(sorted[ptr[j] as usize].0);
+            }
+        }
+        let mut min_lin = f64::INFINITY;
+        for i in 0..m {
+            if open[i] {
+                continue;
+            }
+            let paid_lin = frozen[i] + rate[i] as f64 * t - sum_c[i];
+            if paid_lin >= f_cost[i] {
+                min_lin = min_lin.min(t);
+            } else if rate[i] > 0 {
+                min_lin = min_lin.min(t + (f_cost[i] - paid_lin) / rate[i] as f64);
+            }
+        }
+        if min_lin.is_finite() {
+            // The linear forms track the exact scans up to ~1e-12 relative
+            // error; a 1e-6-relative margin is orders of magnitude wider,
+            // so the facility holding the exact minimum is shortlisted.
+            let margin = 1e-6 * (1.0 + min_lin.abs() + t.abs());
+            for i in 0..m {
+                if open[i] {
+                    continue;
+                }
+                let paid_lin = frozen[i] + rate[i] as f64 * t - sum_c[i];
+                let thr_lin = if paid_lin >= f_cost[i] - margin {
+                    t
+                } else if rate[i] > 0 {
+                    t + (f_cost[i] - paid_lin) / rate[i] as f64
+                } else {
+                    continue;
+                };
+                if thr_lin <= min_lin + margin {
+                    if let Some(ev) = exact_facility_event(
+                        instance,
+                        FacilityId::new(i as u32),
+                        t,
+                        &frozen,
+                        &connected,
+                    ) {
+                        next = next.min(ev);
+                    }
+                }
+            }
+        }
+        debug_assert!(next.is_finite(), "ascent must always have a next event");
+        t = next.max(t);
+
+        // Register links that became tight at the new t. Previously untight
+        // links have cost >= t, so they contribute exactly 0 payment right
+        // now — the linear forms stay in sync whether registered before or
+        // after the open pass.
+        for (j, &done) in connected.iter().enumerate() {
+            if !done {
+                advance(j, t, &mut ptr, &mut rate, &mut sum_c, &open, &mut candidates);
+            }
+        }
+
+        // Open every facility that is fully paid at time t: shortlist by
+        // linear form, confirm with the reference's exact scan (ascending
+        // id, preserving the reference's opening order).
+        newly_open.clear();
+        for i in 0..m {
+            if open[i] {
+                continue;
+            }
+            let paid_lin = frozen[i] + rate[i] as f64 * t - sum_c[i];
+            let margin = 1e-6 * (1.0 + f_cost[i].abs() + paid_lin.abs() + rate[i] as f64 * t.abs());
+            if paid_lin >= f_cost[i] - margin {
+                let fid = FacilityId::new(i as u32);
+                if exact_paid(instance, fid, t, &frozen, &connected) >= f_cost[i] - 1e-12 {
+                    open[i] = true;
+                    temp_open.push(fid);
+                    newly_open.push(i);
+                }
+            }
+        }
+        // A newly-opened facility's tight active clients connect now; its
+        // linear form is retired.
+        for &i in &newly_open {
+            for &(j, c) in instance.facility_links(FacilityId::new(i as u32)) {
+                if !connected[j.index()] && c.value() <= t {
+                    candidates.push(j.index());
+                }
+            }
+        }
+
+        // Connect candidate clients tight with an open facility, in
+        // ascending order, with exactly the reference's per-client checks
+        // and freeze updates. Candidates are complete: a link tight with an
+        // open facility was flagged either when the pointer passed it
+        // (facility already open) or when its facility opened (link already
+        // tight) — there is no third way.
+        candidates.sort_unstable();
+        candidates.dedup();
+        for jx in std::mem::take(&mut candidates) {
+            if connected[jx] {
+                continue;
+            }
+            let j = ClientId::new(jx as u32);
+            let tight_open =
+                instance.client_links(j).iter().any(|&(i, c)| open[i.index()] && c.value() <= t);
+            if tight_open {
+                connected[jx] = true;
+                alpha[jx] = t;
+                active -= 1;
+                // Freeze this client's contributions into *all* facilities
+                // it is paying (they stop growing).
+                for &(i, c) in instance.client_links(j) {
+                    if !open[i.index()] && c.value() < t {
+                        frozen[i.index()] += t - c.value();
+                    }
+                }
+                // Retire the client's tight links from the linear forms.
+                for p in offs[jx]..ptr[jx] {
+                    let (c, i) = sorted[p as usize];
+                    if !open[i as usize] {
+                        rate[i as usize] -= 1;
+                        sum_c[i as usize] -= c;
+                        debug_assert!(rate[i as usize] >= 0, "rate bookkeeping went negative");
+                    }
+                }
+            }
+        }
+    }
+
+    DualAscent { alpha, temp_open }
+}
+
+/// Runs the exact continuous dual ascent (phase 1) by rescanning every
+/// link each round. Retained as the reference implementation:
+/// `bench_solvers` measures [`dual_ascent`] against it and the
+/// equivalence tests pin bit-identical duals.
+pub fn dual_ascent_reference(instance: &Instance) -> DualAscent {
     let n = instance.num_clients();
     let m = instance.num_facilities();
     let mut alpha = vec![0.0f64; n];
@@ -95,19 +362,8 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
             if open[i.index()] {
                 continue;
             }
-            let f = instance.opening_cost(i).value();
-            let mut paid = frozen[i.index()];
-            let mut rate = 0u32;
-            for &(j, c) in instance.facility_links(i) {
-                if !connected[j.index()] && c.value() <= t {
-                    paid += t - c.value();
-                    rate += 1;
-                }
-            }
-            if paid >= f {
-                next = t; // fully paid right now
-            } else if rate > 0 {
-                next = next.min(t + (f - paid) / f64::from(rate));
+            if let Some(ev) = exact_facility_event(instance, i, t, &frozen, &connected) {
+                next = next.min(ev);
             }
         }
         debug_assert!(next.is_finite(), "ascent must always have a next event");
@@ -119,13 +375,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
                 continue;
             }
             let f = instance.opening_cost(i).value();
-            let mut paid = frozen[i.index()];
-            for &(j, c) in instance.facility_links(i) {
-                if !connected[j.index()] && c.value() <= t {
-                    paid += t - c.value();
-                }
-            }
-            if paid >= f - 1e-12 {
+            if exact_paid(instance, i, t, &frozen, &connected) >= f - 1e-12 {
                 open[i.index()] = true;
                 temp_open.push(i);
             }
@@ -307,6 +557,31 @@ mod tests {
             let opt = exact::solve(&inst).unwrap().cost.value();
             assert!(lb <= opt + 1e-6, "seed {seed}: {lb} > OPT {opt}");
             assert!(lb > 0.0);
+        }
+    }
+
+    #[test]
+    fn event_driven_ascent_matches_reference_bitwise() {
+        for seed in 0..8 {
+            let inst = UniformRandom::new(10, 40).unwrap().generate(seed).unwrap();
+            let fast = dual_ascent(&inst);
+            let slow = dual_ascent_reference(&inst);
+            assert_eq!(fast.alpha, slow.alpha, "uniform seed {seed}");
+            assert_eq!(fast.temp_open, slow.temp_open, "uniform seed {seed}");
+        }
+        for seed in 0..6 {
+            let inst = Clustered::new(4, 8, 30).unwrap().generate(seed).unwrap();
+            let fast = dual_ascent(&inst);
+            let slow = dual_ascent_reference(&inst);
+            assert_eq!(fast.alpha, slow.alpha, "clustered seed {seed}");
+            assert_eq!(fast.temp_open, slow.temp_open, "clustered seed {seed}");
+        }
+        for seed in 0..6 {
+            let inst = Euclidean::new(9, 25).unwrap().generate(seed).unwrap();
+            let fast = dual_ascent(&inst);
+            let slow = dual_ascent_reference(&inst);
+            assert_eq!(fast.alpha, slow.alpha, "euclidean seed {seed}");
+            assert_eq!(fast.temp_open, slow.temp_open, "euclidean seed {seed}");
         }
     }
 

@@ -16,6 +16,21 @@
 //! centralized) local-search pass polishes it offline. The experiments
 //! keep the two regimes separate for honesty; this module is the bridge
 //! for users who want final quality.
+//!
+//! # Cached assignment costs
+//!
+//! [`optimize`] keeps, per client, the best and second-best service costs
+//! over the *currently* open facilities. A candidate move then prices each
+//! client in O(1): dropping facility `a` falls back to the second-best
+//! exactly when `a` holds the best, and adding facility `b` takes the min
+//! with `b`'s link cost (stamped into a scratch array in O(deg b)). A
+//! candidate is therefore O(n + m + deg b) instead of the naive
+//! O(Σ_j deg j) full rescan. The per-client minimum of a set of `f64`s is
+//! the same value no matter how it is computed, and the candidate total
+//! sums those minima in the same (ascending client, then ascending
+//! facility) order as the full rescan, so every candidate cost — and hence
+//! the best-move selection sequence — is bit-identical to
+//! [`optimize_reference`].
 
 use distfl_instance::{FacilityId, Instance, Solution};
 
@@ -64,12 +79,224 @@ fn open_set_cost(instance: &Instance, open: &[bool]) -> Option<f64> {
     assignment_cost(instance, open).map(|a| a + opening)
 }
 
+/// Per-client service-cost caches over the currently open set: the best
+/// open facility (by cost, first link wins ties) and the best value with
+/// that facility excluded.
+struct ServiceCache {
+    best_cost: Vec<f64>,
+    best_fac: Vec<usize>,
+    second_cost: Vec<f64>,
+}
+
+impl ServiceCache {
+    fn new(n: usize) -> Self {
+        ServiceCache {
+            best_cost: vec![f64::INFINITY; n],
+            best_fac: vec![usize::MAX; n],
+            second_cost: vec![f64::INFINITY; n],
+        }
+    }
+
+    fn rebuild(&mut self, instance: &Instance, open: &[bool]) {
+        for j in instance.clients() {
+            let (mut b1, mut bf, mut b2) = (f64::INFINITY, usize::MAX, f64::INFINITY);
+            for &(i, c) in instance.client_links(j) {
+                if !open[i.index()] {
+                    continue;
+                }
+                let c = c.value();
+                if c < b1 {
+                    b2 = b1;
+                    b1 = c;
+                    bf = i.index();
+                } else if c < b2 {
+                    b2 = c;
+                }
+            }
+            self.best_cost[j.index()] = b1;
+            self.best_fac[j.index()] = bf;
+            self.second_cost[j.index()] = b2;
+        }
+    }
+}
+
+/// Cost of the candidate open set obtained by closing `drop` and/or
+/// opening `add`, priced from the caches — bitwise-identical to
+/// `open_set_cost` on the flipped set, `None` if infeasible.
+///
+/// When `add` is `Some(b)`, `scratch` must hold `b`'s link costs stamped
+/// with `epoch`.
+#[allow(clippy::too_many_arguments)]
+fn cached_candidate_cost(
+    cache: &ServiceCache,
+    open: &[bool],
+    f_cost: &[f64],
+    drop: Option<usize>,
+    add: Option<usize>,
+    scratch: &[f64],
+    stamp: &[u64],
+    epoch: u64,
+) -> Option<f64> {
+    let mut assign = 0.0f64;
+    for j in 0..cache.best_cost.len() {
+        let base = match drop {
+            Some(a) if cache.best_fac[j] == a => cache.second_cost[j],
+            _ => cache.best_cost[j],
+        };
+        let v = if add.is_some() && stamp[j] == epoch { base.min(scratch[j]) } else { base };
+        if !v.is_finite() {
+            return None;
+        }
+        assign += v;
+    }
+    let mut opening = 0.0f64;
+    for (i, &f) in f_cost.iter().enumerate() {
+        let is_open = if Some(i) == drop {
+            false
+        } else if Some(i) == add {
+            true
+        } else {
+            open[i]
+        };
+        if is_open {
+            opening += f;
+        }
+    }
+    Some(assign + opening)
+}
+
 /// Runs best-improvement local search from `start`, with an iteration cap.
+///
+/// Evaluates candidates through the per-client [`ServiceCache`]; produces
+/// the exact move sequence and costs of [`optimize_reference`].
 ///
 /// # Panics
 ///
 /// Panics if `start` is infeasible for `instance`.
 pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalSearchRun {
+    start.check_feasible(instance).expect("local search needs a feasible start");
+    let n = instance.num_clients();
+    let m = instance.num_facilities();
+    let f_cost: Vec<f64> =
+        instance.facilities().map(|i| instance.opening_cost(i).value()).collect();
+    let mut open: Vec<bool> = instance.facilities().map(|i| start.is_open(i)).collect();
+    let initial_cost = start.cost(instance).value();
+    let mut cache = ServiceCache::new(n);
+    cache.rebuild(instance, &open);
+    let mut scratch = vec![0.0f64; n];
+    let mut stamp = vec![0u64; n];
+    let mut epoch = 0u64;
+    // The optimal reassignment may already beat the given assignment.
+    let mut current =
+        cached_candidate_cost(&cache, &open, &f_cost, None, None, &scratch, &stamp, 0)
+            .expect("feasible start");
+    let mut moves = 0;
+    let mut converged = false;
+
+    while moves < max_moves {
+        let mut best: Option<(Option<usize>, Option<usize>, f64)> = None;
+        let consider =
+            |drop: Option<usize>,
+             add: Option<usize>,
+             epoch: u64,
+             scratch: &[f64],
+             stamp: &[u64],
+             best: &mut Option<(Option<usize>, Option<usize>, f64)>| {
+                if let Some(cost) =
+                    cached_candidate_cost(&cache, &open, &f_cost, drop, add, scratch, stamp, epoch)
+                {
+                    if cost < current - 1e-9 && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
+                        *best = Some((drop, add, cost));
+                    }
+                }
+            };
+        for a in 0..m {
+            if !open[a] {
+                // Add.
+                epoch += 1;
+                stamp_links(instance, a, epoch, &mut scratch, &mut stamp);
+                consider(None, Some(a), epoch, &scratch, &stamp, &mut best);
+            } else {
+                // Drop.
+                consider(Some(a), None, epoch, &scratch, &stamp, &mut best);
+                // Swap a -> b.
+                for b in (0..m).filter(|&b| !open[b]) {
+                    epoch += 1;
+                    stamp_links(instance, b, epoch, &mut scratch, &mut stamp);
+                    consider(Some(a), Some(b), epoch, &scratch, &stamp, &mut best);
+                }
+            }
+        }
+        match best {
+            Some((drop, add, cost)) => {
+                if let Some(a) = drop {
+                    open[a] = false;
+                }
+                if let Some(b) = add {
+                    open[b] = true;
+                }
+                current = cost;
+                moves += 1;
+                cache.rebuild(instance, &open);
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    finish(instance, open, initial_cost, moves, converged)
+}
+
+/// Stamps facility `b`'s link costs into the scratch array under `epoch`.
+fn stamp_links(instance: &Instance, b: usize, epoch: u64, scratch: &mut [f64], stamp: &mut [u64]) {
+    for &(j, c) in instance.facility_links(FacilityId::new(b as u32)) {
+        let j = j.index();
+        if stamp[j] == epoch {
+            scratch[j] = scratch[j].min(c.value());
+        } else {
+            scratch[j] = c.value();
+            stamp[j] = epoch;
+        }
+    }
+}
+
+/// Builds the final run record from a locally-optimized open set.
+fn finish(
+    instance: &Instance,
+    open: Vec<bool>,
+    initial_cost: f64,
+    moves: u32,
+    converged: bool,
+) -> LocalSearchRun {
+    let assignment: Vec<FacilityId> = instance
+        .clients()
+        .map(|j| {
+            instance
+                .client_links(j)
+                .iter()
+                .filter(|(i, _)| open[i.index()])
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .map(|(i, _)| *i)
+                .expect("local-search open sets stay feasible")
+        })
+        .collect();
+    let solution =
+        Solution::from_assignment(instance, assignment).expect("assignment over existing links");
+    let final_cost = solution.cost(instance).value();
+    LocalSearchRun { solution, initial_cost, final_cost, moves, converged }
+}
+
+/// Runs best-improvement local search by fully re-pricing every candidate
+/// open set. Retained as the reference implementation: `bench_solvers`
+/// measures [`optimize`] against it and the solver-equivalence proptests
+/// pin bit-identical output.
+///
+/// # Panics
+///
+/// Panics if `start` is infeasible for `instance`.
+pub fn optimize_reference(instance: &Instance, start: &Solution, max_moves: u32) -> LocalSearchRun {
     start.check_feasible(instance).expect("local search needs a feasible start");
     let m = instance.num_facilities();
     let mut open: Vec<bool> = instance.facilities().map(|i| start.is_open(i)).collect();
@@ -123,22 +350,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
         }
     }
 
-    let assignment: Vec<FacilityId> = instance
-        .clients()
-        .map(|j| {
-            instance
-                .client_links(j)
-                .iter()
-                .filter(|(i, _)| open[i.index()])
-                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-                .map(|(i, _)| *i)
-                .expect("local-search open sets stay feasible")
-        })
-        .collect();
-    let solution =
-        Solution::from_assignment(instance, assignment).expect("assignment over existing links");
-    let final_cost = solution.cost(instance).value();
-    LocalSearchRun { solution, initial_cost, final_cost, moves, converged }
+    finish(instance, open, initial_cost, moves, converged)
 }
 
 #[cfg(test)]

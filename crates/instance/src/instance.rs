@@ -96,11 +96,30 @@ impl fmt::Display for ClientId {
 /// Build instances with [`InstanceBuilder`], [`Instance::from_dense`], a
 /// generator from [`crate::generators`], or parse one with
 /// [`crate::textio`].
+///
+/// # Storage
+///
+/// The link structure is stored in CSR (compressed sparse row) form, one
+/// contiguous `(id, cost)` array per direction plus offset tables, so the
+/// solver hot paths scan adjacency as flat cache-friendly slices instead
+/// of chasing one heap allocation per node. [`Instance::cheapest_link`]
+/// and [`Instance::max_degree`] are precomputed at build time and are
+/// `O(1)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Instance {
     opening: Vec<Cost>,
-    client_links: Vec<Vec<(FacilityId, Cost)>>,
-    facility_links: Vec<Vec<(ClientId, Cost)>>,
+    /// CSR offsets into `client_adj`, length `n + 1`.
+    client_offsets: Vec<u32>,
+    /// Client-major adjacency, sorted by facility id within each client.
+    client_adj: Vec<(FacilityId, Cost)>,
+    /// CSR offsets into `facility_adj`, length `m + 1`.
+    facility_offsets: Vec<u32>,
+    /// Facility-major adjacency, sorted by client id within each facility.
+    facility_adj: Vec<(ClientId, Cost)>,
+    /// Per-client cheapest link (ties broken by lowest facility id).
+    cheapest: Vec<(FacilityId, Cost)>,
+    /// Maximum degree over all clients and facilities.
+    max_degree: u32,
 }
 
 impl Instance {
@@ -141,12 +160,13 @@ impl Instance {
     /// Number of clients `n`.
     #[inline]
     pub fn num_clients(&self) -> usize {
-        self.client_links.len()
+        self.client_offsets.len() - 1
     }
 
     /// Total number of links `|E|`.
+    #[inline]
     pub fn num_links(&self) -> usize {
-        self.client_links.iter().map(Vec::len).sum()
+        self.client_adj.len()
     }
 
     /// Whether every client/facility pair is linked.
@@ -177,7 +197,9 @@ impl Instance {
     /// Panics if `j` is out of range.
     #[inline]
     pub fn client_links(&self, j: ClientId) -> &[(FacilityId, Cost)] {
-        &self.client_links[j.index()]
+        let lo = self.client_offsets[j.index()] as usize;
+        let hi = self.client_offsets[j.index() + 1] as usize;
+        &self.client_adj[lo..hi]
     }
 
     /// The links of facility `i`, sorted by client id.
@@ -187,21 +209,21 @@ impl Instance {
     /// Panics if `i` is out of range.
     #[inline]
     pub fn facility_links(&self, i: FacilityId) -> &[(ClientId, Cost)] {
-        &self.facility_links[i.index()]
+        let lo = self.facility_offsets[i.index()] as usize;
+        let hi = self.facility_offsets[i.index() + 1] as usize;
+        &self.facility_adj[lo..hi]
     }
 
-    /// The cheapest link of client `j` (ties broken by lowest facility id).
+    /// The cheapest link of client `j` (ties broken by lowest facility id);
+    /// precomputed at build time, `O(1)`.
     ///
     /// # Panics
     ///
     /// Panics if `j` is out of range (every in-range client has a link by
     /// the instance invariant).
+    #[inline]
     pub fn cheapest_link(&self, j: ClientId) -> (FacilityId, Cost) {
-        *self
-            .client_links(j)
-            .iter()
-            .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-            .expect("instance invariant: every client has a link")
+        self.cheapest[j.index()]
     }
 
     /// Iterates over all facility ids.
@@ -222,15 +244,15 @@ impl Instance {
     /// Iterates over every coefficient of the instance (all opening costs,
     /// then all connection costs).
     pub fn coefficients(&self) -> impl Iterator<Item = Cost> + '_ {
-        self.opening.iter().copied().chain(self.client_links.iter().flatten().map(|(_, c)| *c))
+        self.opening.iter().copied().chain(self.client_adj.iter().map(|(_, c)| *c))
     }
 
     /// Maximum number of links at any single client or facility (the degree
-    /// bound of the CONGEST communication graph).
+    /// bound of the CONGEST communication graph); precomputed at build
+    /// time, `O(1)`.
+    #[inline]
     pub fn max_degree(&self) -> usize {
-        let c = self.client_links.iter().map(Vec::len).max().unwrap_or(0);
-        let f = self.facility_links.iter().map(Vec::len).max().unwrap_or(0);
-        c.max(f)
+        self.max_degree as usize
     }
 }
 
@@ -325,16 +347,65 @@ impl InstanceBuilder {
         if !any_positive {
             return Err(InstanceError::AllZeroCosts);
         }
-        let mut facility_links: Vec<Vec<(ClientId, Cost)>> = vec![Vec::new(); self.opening.len()];
+        let m = self.opening.len();
+        let n = self.client_links.len();
+        let num_links: usize = self.client_links.iter().map(Vec::len).sum();
+
+        // Client-major CSR: flatten the per-client lists (already sorted by
+        // facility id) and record the cheapest link per client as we go.
+        let mut client_offsets = Vec::with_capacity(n + 1);
+        let mut client_adj = Vec::with_capacity(num_links);
+        let mut cheapest = Vec::with_capacity(n);
+        client_offsets.push(0u32);
+        for links in &self.client_links {
+            client_adj.extend_from_slice(links);
+            client_offsets.push(client_adj.len() as u32);
+            let best = *links
+                .iter()
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .expect("unreachable clients were rejected above");
+            cheapest.push(best);
+        }
+
+        // Facility-major CSR via counting sort: degree histogram, prefix
+        // sums, then a fill pass. Clients are visited in increasing order,
+        // so each facility's range comes out sorted by client id.
+        let mut facility_offsets = vec![0u32; m + 1];
+        for &(i, _) in &client_adj {
+            facility_offsets[i.index() + 1] += 1;
+        }
+        for i in 1..=m {
+            facility_offsets[i] += facility_offsets[i - 1];
+        }
+        let mut facility_adj = vec![(ClientId::new(0), Cost::ZERO); num_links];
+        let mut cursor: Vec<u32> = facility_offsets[..m].to_vec();
         for (j, links) in self.client_links.iter().enumerate() {
             for &(i, c) in links {
-                facility_links[i.index()].push((ClientId::new(j as u32), c));
+                let slot = cursor[i.index()];
+                facility_adj[slot as usize] = (ClientId::new(j as u32), c);
+                cursor[i.index()] = slot + 1;
             }
         }
-        // Clients were visited in increasing order, so each facility's list
-        // is already sorted by client id.
-        debug_assert!(facility_links.iter().all(|l| l.windows(2).all(|w| w[0].0 < w[1].0)));
-        Ok(Instance { opening: self.opening, client_links: self.client_links, facility_links })
+        debug_assert!((0..m).all(|i| {
+            facility_adj[facility_offsets[i] as usize..facility_offsets[i + 1] as usize]
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0)
+        }));
+
+        let client_deg =
+            client_offsets.windows(2).map(|w| w[1] - w[0]).max().expect("n >= 1 checked above");
+        let facility_deg =
+            facility_offsets.windows(2).map(|w| w[1] - w[0]).max().expect("m >= 1 checked above");
+
+        Ok(Instance {
+            opening: self.opening,
+            client_offsets,
+            client_adj,
+            facility_offsets,
+            facility_adj,
+            cheapest,
+            max_degree: client_deg.max(facility_deg),
+        })
     }
 }
 
@@ -439,6 +510,30 @@ mod tests {
         let c = b.add_client();
         b.link(c, f, Cost::ZERO).unwrap();
         assert!(matches!(b.build(), Err(InstanceError::AllZeroCosts)));
+    }
+
+    #[test]
+    fn csr_layout_is_consistent() {
+        let inst = small();
+        // Offsets cover the flat arrays exactly and per-row slices stay
+        // sorted by the opposite-side id.
+        let total: usize = inst.clients().map(|j| inst.client_links(j).len()).sum();
+        assert_eq!(total, inst.num_links());
+        let total: usize = inst.facilities().map(|i| inst.facility_links(i).len()).sum();
+        assert_eq!(total, inst.num_links());
+        for j in inst.clients() {
+            assert!(inst.client_links(j).windows(2).all(|w| w[0].0 < w[1].0));
+            // The precomputed cheapest link matches a fresh scan.
+            let scan = *inst
+                .client_links(j)
+                .iter()
+                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .unwrap();
+            assert_eq!(inst.cheapest_link(j), scan);
+        }
+        for i in inst.facilities() {
+            assert!(inst.facility_links(i).windows(2).all(|w| w[0].0 < w[1].0));
+        }
     }
 
     #[test]
