@@ -1,7 +1,24 @@
-//! Runs every experiment E1-E7 and writes all CSVs; the data source for
+//! Runs every experiment E1-E10 and writes all CSVs; the data source for
 //! EXPERIMENTS.md. Pass `--quick` for a reduced sweep.
+//!
+//! Sweeps fan out on the shared worker pool; output is byte-identical at
+//! any thread count. Concurrency flags:
+//!
+//! * `--serial` — run every trial inline on the main thread,
+//! * `--threads N` — use `N` threads in total (`N-1` pool workers),
+//! * default — `DISTFL_THREADS` if set, else all available cores.
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serial") {
+        distfl_bench::set_sweep_workers(0);
+    } else if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--threads needs a positive integer");
+        distfl_bench::set_sweep_workers(n.saturating_sub(1));
+    }
     let tables = distfl_bench::experiments::run_all(distfl_bench::quick_mode());
     distfl_bench::emit(&tables);
     let figures = distfl_bench::experiments::figures::standard_figures(&tables);

@@ -33,21 +33,29 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E10: PayDual quality under message loss (feasibility is unconditional)",
         &["drop_prob", "ratio", "ratio_sd", "open", "dropped_frac"],
     );
-    for &p in drops {
-        let mut ratios = Vec::new();
-        let mut opens = Vec::new();
-        let mut dropped = Vec::new();
-        for s in 0..seeds {
-            let fault = (p > 0.0).then(|| FaultPlan::drop_with_probability(p, 2000 + s));
-            let params = PayDualParams { fault, ..PayDualParams::with_phases(10) };
-            let out = PayDual::new(params).run(&inst, s).expect("paydual run");
-            out.solution.check_feasible(&inst).expect("safety is unconditional");
-            ratios.push(out.solution.cost(&inst).value() / lb);
-            opens.push(out.solution.num_open() as f64);
-            let t = out.transcript.expect("distributed run");
-            let total = t.total_messages() + t.total_dropped();
-            dropped.push(if total == 0 { 0.0 } else { t.total_dropped() as f64 / total as f64 });
-        }
+    // Flat (drop_prob, seed) fan-out; triples fold back per row in order.
+    let pool = crate::sweep_pool();
+    let drop_cells: Vec<(f64, u64)> =
+        drops.iter().flat_map(|&p| (0..seeds).map(move |s| (p, s))).collect();
+    let drop_trials: Vec<(f64, f64, f64)> = pool.map_indexed(drop_cells.len(), |c| {
+        let (p, s) = drop_cells[c];
+        let fault = (p > 0.0).then(|| FaultPlan::drop_with_probability(p, 2000 + s));
+        let params = PayDualParams { fault, ..PayDualParams::with_phases(10) };
+        let out = PayDual::new(params).run(&inst, s).expect("paydual run");
+        out.solution.check_feasible(&inst).expect("safety is unconditional");
+        let t = out.transcript.expect("distributed run");
+        let total = t.total_messages() + t.total_dropped();
+        (
+            out.solution.cost(&inst).value() / lb,
+            out.solution.num_open() as f64,
+            if total == 0 { 0.0 } else { t.total_dropped() as f64 / total as f64 },
+        )
+    });
+    for (row, per_seed) in drop_trials.chunks(seeds as usize).enumerate() {
+        let p = drops[row];
+        let ratios: Vec<f64> = per_seed.iter().map(|x| x.0).collect();
+        let opens: Vec<f64> = per_seed.iter().map(|x| x.1).collect();
+        let dropped: Vec<f64> = per_seed.iter().map(|x| x.2).collect();
         table.push(vec![
             num(p, 2),
             num(mean(&ratios), 3),
@@ -64,9 +72,14 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["crashed_facilities", "ratio"],
     );
     let crash_counts: &[usize] = if quick { &[0, 2] } else { &[0, 1, 2, 4, 8] };
-    for &k in crash_counts {
-        let ratios: Vec<f64> = (0..seeds).map(|s| run_with_crashes(&inst, k, s) / lb).collect();
-        crash_table.push(vec![k.to_string(), num(mean(&ratios), 3)]);
+    let crash_cells: Vec<(usize, u64)> =
+        crash_counts.iter().flat_map(|&k| (0..seeds).map(move |s| (k, s))).collect();
+    let crash_ratios: Vec<f64> = pool.map_indexed(crash_cells.len(), |c| {
+        let (k, s) = crash_cells[c];
+        run_with_crashes(&inst, k, s) / lb
+    });
+    for (row, per_seed) in crash_ratios.chunks(seeds as usize).enumerate() {
+        crash_table.push(vec![crash_counts[row].to_string(), num(mean(per_seed), 3)]);
     }
     vec![table, crash_table]
 }

@@ -35,40 +35,50 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E1: approximation ratio vs round budget (PayDual)",
         &["family", "phases", "rounds", "gamma", "ratio", "ratio_sd", "bound_repro", "bound_paper"],
     );
-    for (family, inst) in &workloads {
-        let lb = lower_bound_for(inst);
-        for &phases in phase_grid {
-            let ratios: Vec<f64> = (0..seeds)
-                .map(|s| {
-                    PayDual::new(PayDualParams::with_phases(phases))
-                        .run(inst, s)
-                        .expect("paydual run")
-                        .solution
-                        .cost(inst)
-                        .value()
-                        / lb
-                })
-                .collect();
-            let rounds = theory::paydual_rounds(phases);
-            table.push(vec![
-                (*family).to_owned(),
-                phases.to_string(),
-                rounds.to_string(),
-                num(spread::phase_factor(inst, phases), 3),
-                num(mean(&ratios), 3),
-                num(std_dev(&ratios), 3),
-                num(theory::paydual_bound(inst, phases), 1),
-                num(
-                    theory::paper_bound(
-                        rounds,
-                        inst.num_facilities(),
-                        inst.num_clients(),
-                        spread::coefficient_spread(inst),
-                    ),
-                    1,
+    // Every (workload, phases) cell is an independent trial bundle: fan the
+    // cells out on the pool and assemble rows in index order, so the table
+    // is identical to the serial double loop.
+    let pool = crate::sweep_pool();
+    let lbs: Vec<f64> = pool.map_indexed(workloads.len(), |w| lower_bound_for(&workloads[w].1));
+    let cells: Vec<(usize, u32)> = (0..workloads.len())
+        .flat_map(|w| phase_grid.iter().map(move |&phases| (w, phases)))
+        .collect();
+    let cell_ratios: Vec<Vec<f64>> = pool.map_indexed(cells.len(), |c| {
+        let (w, phases) = cells[c];
+        let inst = &workloads[w].1;
+        (0..seeds)
+            .map(|s| {
+                PayDual::new(PayDualParams::with_phases(phases))
+                    .run(inst, s)
+                    .expect("paydual run")
+                    .solution
+                    .cost(inst)
+                    .value()
+                    / lbs[w]
+            })
+            .collect()
+    });
+    for (&(w, phases), ratios) in cells.iter().zip(&cell_ratios) {
+        let (family, inst) = &workloads[w];
+        let rounds = theory::paydual_rounds(phases);
+        table.push(vec![
+            (*family).to_owned(),
+            phases.to_string(),
+            rounds.to_string(),
+            num(spread::phase_factor(inst, phases), 3),
+            num(mean(ratios), 3),
+            num(std_dev(ratios), 3),
+            num(theory::paydual_bound(inst, phases), 1),
+            num(
+                theory::paper_bound(
+                    rounds,
+                    inst.num_facilities(),
+                    inst.num_clients(),
+                    spread::coefficient_spread(inst),
                 ),
-            ]);
-        }
+                1,
+            ),
+        ]);
     }
     vec![table]
 }

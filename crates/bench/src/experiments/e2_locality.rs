@@ -50,7 +50,21 @@ pub fn run(quick: bool) -> Vec<Table> {
         ],
     );
 
-    let mut record = |family: &str, inst: &Instance| {
+    // Each row is an independent trial described by a spec; the instance is
+    // generated *inside* the task from the fixed seed, so the rows are the
+    // same at any worker count. Specs are listed in the serial row order
+    // and results collected by index.
+    enum Spec {
+        Uniform { m: usize, n: usize },
+        Grid { side: usize, m: usize, n: usize },
+        Line { m: usize, n: usize },
+    }
+    let mut specs: Vec<Spec> = Vec::new();
+    specs.extend(dense_sizes.iter().map(|&(m, n)| Spec::Uniform { m, n }));
+    specs.extend(grid_sizes.iter().map(|&(side, m, n)| Spec::Grid { side, m, n }));
+    specs.extend(line_sizes.iter().map(|&(m, n)| Spec::Line { m, n }));
+
+    let metric_row = |family: &str, inst: &Instance| -> Vec<String> {
         let out =
             PayDual::new(PayDualParams::with_phases(phases)).run(inst, 1).expect("paydual run");
         let t = out.transcript.expect("distributed run");
@@ -78,7 +92,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         } else {
             "-".to_owned()
         };
-        table.push(vec![
+        vec![
             family.to_owned(),
             inst.num_facilities().to_string(),
             inst.num_clients().to_string(),
@@ -87,42 +101,52 @@ pub fn run(quick: bool) -> Vec<Table> {
             strawman.to_string(),
             real,
             num(out.solution.cost(inst).value() / lb, 3),
-        ]);
+        ]
     };
 
-    for &(m, n) in dense_sizes {
-        let inst = UniformRandom::new(m, n).unwrap().generate(200).unwrap();
-        record("uniform", &inst);
-    }
-    for &(side, m, n) in grid_sizes {
-        let inst = GridNetwork::new(side, side, m, n).unwrap().generate(200).unwrap();
-        record("grid", &inst);
-    }
-    // Line rows: same protocol, exact DP denominator.
-    for &(m, n) in line_sizes {
-        let gen = LineCity::new(m, n).unwrap();
-        let layout = gen.layout(200);
-        let inst = gen.generate(200).unwrap();
-        let out =
-            PayDual::new(PayDualParams::with_phases(phases)).run(&inst, 1).expect("paydual run");
-        let t = out.transcript.expect("distributed run");
-        let strawman = SimulatedSeqGreedy::new()
-            .run(&inst, 1)
-            .expect("strawman run")
-            .modeled_rounds
-            .expect("strawman models rounds");
-        let opt =
-            distfl_lp::line::solve_line(&layout.facility_pos, &layout.opening, &layout.client_pos);
-        table.push(vec![
-            "line (exact)".to_owned(),
-            m.to_string(),
-            n.to_string(),
-            t.num_rounds().to_string(),
-            t.total_messages().to_string(),
-            strawman.to_string(),
-            "-".to_owned(),
-            crate::table::num(out.solution.cost(&inst).value() / opt.cost, 3),
-        ]);
+    let pool = crate::sweep_pool();
+    let rows: Vec<Vec<String>> = pool.map_indexed(specs.len(), |i| match specs[i] {
+        Spec::Uniform { m, n } => {
+            let inst = UniformRandom::new(m, n).unwrap().generate(200).unwrap();
+            metric_row("uniform", &inst)
+        }
+        Spec::Grid { side, m, n } => {
+            let inst = GridNetwork::new(side, side, m, n).unwrap().generate(200).unwrap();
+            metric_row("grid", &inst)
+        }
+        // Line rows: same protocol, exact DP denominator.
+        Spec::Line { m, n } => {
+            let gen = LineCity::new(m, n).unwrap();
+            let layout = gen.layout(200);
+            let inst = gen.generate(200).unwrap();
+            let out = PayDual::new(PayDualParams::with_phases(phases))
+                .run(&inst, 1)
+                .expect("paydual run");
+            let t = out.transcript.expect("distributed run");
+            let strawman = SimulatedSeqGreedy::new()
+                .run(&inst, 1)
+                .expect("strawman run")
+                .modeled_rounds
+                .expect("strawman models rounds");
+            let opt = distfl_lp::line::solve_line(
+                &layout.facility_pos,
+                &layout.opening,
+                &layout.client_pos,
+            );
+            vec![
+                "line (exact)".to_owned(),
+                m.to_string(),
+                n.to_string(),
+                t.num_rounds().to_string(),
+                t.total_messages().to_string(),
+                strawman.to_string(),
+                "-".to_owned(),
+                num(out.solution.cost(&inst).value() / opt.cost, 3),
+            ]
+        }
+    });
+    for row in rows {
+        table.push(row);
     }
     vec![table]
 }

@@ -33,31 +33,41 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E3: spread sensitivity at fixed budgets (PayDual on pinned-spread instances)",
         &["rho", "phases", "gamma", "ratio", "bound_repro", "phases_for_gamma1.5"],
     );
-    for &rho in rhos {
+    // One pool task per ρ level (each shares its generated instance and
+    // lower bound across the budget sweep); rows come back in ρ order.
+    let pool = crate::sweep_pool();
+    let rho_rows: Vec<Vec<Vec<String>>> = pool.map_indexed(rhos.len(), |r| {
+        let rho = rhos[r];
         let inst = PowerLaw::new(m, n, rho).unwrap().generate(300).unwrap();
         let lb = lower_bound_for(&inst);
         let needed = spread::phases_for_factor(&inst, 1.5);
-        for &phases in budgets {
-            let ratios: Vec<f64> = (0..seeds)
-                .map(|s| {
-                    PayDual::new(PayDualParams::with_phases(phases))
-                        .run(&inst, s)
-                        .expect("paydual run")
-                        .solution
-                        .cost(&inst)
-                        .value()
-                        / lb
-                })
-                .collect();
-            table.push(vec![
-                format!("{rho:.0e}"),
-                phases.to_string(),
-                num(spread::phase_factor(&inst, phases), 3),
-                num(mean(&ratios), 3),
-                num(theory::paydual_bound(&inst, phases), 1),
-                needed.to_string(),
-            ]);
-        }
+        budgets
+            .iter()
+            .map(|&phases| {
+                let ratios: Vec<f64> = (0..seeds)
+                    .map(|s| {
+                        PayDual::new(PayDualParams::with_phases(phases))
+                            .run(&inst, s)
+                            .expect("paydual run")
+                            .solution
+                            .cost(&inst)
+                            .value()
+                            / lb
+                    })
+                    .collect();
+                vec![
+                    format!("{rho:.0e}"),
+                    phases.to_string(),
+                    num(spread::phase_factor(&inst, phases), 3),
+                    num(mean(&ratios), 3),
+                    num(theory::paydual_bound(&inst, phases), 1),
+                    needed.to_string(),
+                ]
+            })
+            .collect()
+    });
+    for row in rho_rows.into_iter().flatten() {
+        table.push(row);
     }
     vec![table]
 }

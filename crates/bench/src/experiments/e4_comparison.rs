@@ -48,57 +48,70 @@ pub fn run(quick: bool) -> Vec<Table> {
         v
     };
 
-    let paydual_coarse = PayDual::new(PayDualParams::with_phases(4));
-    let paydual_fine = PayDual::new(PayDualParams::with_phases(16));
-    let bucket = GreedyBucket::new(BucketParams::new(4, 4));
-    let greedy = StarGreedy::new();
-    let strawman = SimulatedSeqGreedy::new();
-    let strawman_real = DistSeqGreedy::new();
-    let jv = JainVazirani::new();
-    let mp = MettuPlaxton::new();
-    let algorithms: Vec<&dyn FlAlgorithm> =
-        vec![&paydual_coarse, &paydual_fine, &bucket, &greedy, &strawman, &strawman_real, &jv, &mp];
+    // Algorithms as non-capturing constructors so every pool task builds
+    // its own instance (the trait objects need not be `Sync`).
+    let algorithms: Vec<fn() -> Box<dyn FlAlgorithm>> = vec![
+        || Box::new(PayDual::new(PayDualParams::with_phases(4))),
+        || Box::new(PayDual::new(PayDualParams::with_phases(16))),
+        || Box::new(GreedyBucket::new(BucketParams::new(4, 4))),
+        || Box::new(StarGreedy::new()),
+        || Box::new(SimulatedSeqGreedy::new()),
+        || Box::new(DistSeqGreedy::new()),
+        || Box::new(JainVazirani::new()),
+        || Box::new(MettuPlaxton::new()),
+    ];
 
     let mut table = Table::new(
         "e4_comparison",
         "E4: algorithm comparison across workload families (ratio vs certified LB)",
         &["family", "algorithm", "ratio", "rounds", "messages"],
     );
-    for (family, inst) in &families {
-        let lb = lower_bound_for(inst);
-        for algo in &algorithms {
-            let mut ratios = Vec::new();
-            let mut rounds_cell = "-".to_owned();
-            let mut msgs_cell = "-".to_owned();
-            let mut applicable = true;
-            for s in 0..seeds {
-                match algo.run(inst, s) {
-                    Ok(out) => {
-                        ratios.push(out.solution.cost(inst).value() / lb);
-                        if let Some(t) = &out.transcript {
-                            rounds_cell = t.num_rounds().to_string();
-                            msgs_cell = t.total_messages().to_string();
-                        } else if let Some(r) = out.modeled_rounds {
-                            rounds_cell = format!("~{r}");
-                        }
+    // One pool task per (family, algorithm) cell; the seed loop stays
+    // inside the task because its early exit on `RequiresMetric` is part
+    // of the cell's semantics. Rows are assembled in index order.
+    let pool = crate::sweep_pool();
+    let lbs: Vec<f64> = pool.map_indexed(families.len(), |f| lower_bound_for(&families[f].1));
+    let cells: Vec<(usize, usize)> =
+        (0..families.len()).flat_map(|f| (0..algorithms.len()).map(move |a| (f, a))).collect();
+    let rows: Vec<Vec<String>> = pool.map_indexed(cells.len(), |c| {
+        let (f, a) = cells[c];
+        let (family, inst) = &families[f];
+        let lb = lbs[f];
+        let algo = algorithms[a]();
+        let mut ratios = Vec::new();
+        let mut rounds_cell = "-".to_owned();
+        let mut msgs_cell = "-".to_owned();
+        let mut applicable = true;
+        for s in 0..seeds {
+            match algo.run(inst, s) {
+                Ok(out) => {
+                    ratios.push(out.solution.cost(inst).value() / lb);
+                    if let Some(t) = &out.transcript {
+                        rounds_cell = t.num_rounds().to_string();
+                        msgs_cell = t.total_messages().to_string();
+                    } else if let Some(r) = out.modeled_rounds {
+                        rounds_cell = format!("~{r}");
                     }
-                    Err(CoreError::RequiresMetric { .. }) => {
-                        applicable = false;
-                        break;
-                    }
-                    Err(e) => panic!("{} on {family}: {e}", algo.name()),
                 }
+                Err(CoreError::RequiresMetric { .. }) => {
+                    applicable = false;
+                    break;
+                }
+                Err(e) => panic!("{} on {family}: {e}", algo.name()),
             }
-            let ratio_cell =
-                if applicable { num(mean(&ratios), 3) } else { "n/a (non-metric)".to_owned() };
-            table.push(vec![
-                (*family).to_owned(),
-                algo.name(),
-                ratio_cell,
-                if applicable { rounds_cell } else { "-".to_owned() },
-                if applicable { msgs_cell } else { "-".to_owned() },
-            ]);
         }
+        let ratio_cell =
+            if applicable { num(mean(&ratios), 3) } else { "n/a (non-metric)".to_owned() };
+        vec![
+            (*family).to_owned(),
+            algo.name(),
+            ratio_cell,
+            if applicable { rounds_cell } else { "-".to_owned() },
+            if applicable { msgs_cell } else { "-".to_owned() },
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     vec![table]
 }

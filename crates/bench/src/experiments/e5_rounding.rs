@@ -33,19 +33,29 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E5: rounding-stage trial budget vs success and cost",
         &["trials", "rounds", "fallback_frac", "cost_over_lp", "seq_cost_over_lp", "dist_over_seq"],
     );
-    for &trials in trials_grid {
-        let mut fallback = Vec::new();
-        let mut dist_cost = Vec::new();
-        let mut seq_cost = Vec::new();
-        for s in 0..seeds {
-            let params = DistRoundParams { boost: 2.0, trials, threads: None, fault: None };
-            let out = distributed_round(&inst, &frac, params, s).expect("rounding run");
-            out.solution.check_feasible(&inst).expect("rounded solution feasible");
-            fallback.push(out.fallback_clients as f64 / n as f64);
-            dist_cost.push(out.solution.cost(&inst).value());
-            let seq = seq_round(&inst, &frac, RoundingConfig { boost: 2.0, trials }, s);
-            seq_cost.push(seq.solution.cost(&inst).value());
-        }
+    // Flat (trials, seed) fan-out: each task returns its (fallback,
+    // dist_cost, seq_cost) triple; rows fold the triples back per trial
+    // budget in index order.
+    let pool = crate::sweep_pool();
+    let cells: Vec<(u32, u64)> =
+        trials_grid.iter().flat_map(|&trials| (0..seeds).map(move |s| (trials, s))).collect();
+    let triples: Vec<(f64, f64, f64)> = pool.map_indexed(cells.len(), |c| {
+        let (trials, s) = cells[c];
+        let params = DistRoundParams { boost: 2.0, trials, threads: None, fault: None };
+        let out = distributed_round(&inst, &frac, params, s).expect("rounding run");
+        out.solution.check_feasible(&inst).expect("rounded solution feasible");
+        let seq = seq_round(&inst, &frac, RoundingConfig { boost: 2.0, trials }, s);
+        (
+            out.fallback_clients as f64 / n as f64,
+            out.solution.cost(&inst).value(),
+            seq.solution.cost(&inst).value(),
+        )
+    });
+    for (t, &trials) in trials_grid.iter().enumerate() {
+        let per_seed = &triples[t * seeds as usize..(t + 1) * seeds as usize];
+        let fallback: Vec<f64> = per_seed.iter().map(|x| x.0).collect();
+        let dist_cost: Vec<f64> = per_seed.iter().map(|x| x.1).collect();
+        let seq_cost: Vec<f64> = per_seed.iter().map(|x| x.2).collect();
         table.push(vec![
             trials.to_string(),
             rounding_rounds(trials).to_string(),

@@ -39,13 +39,23 @@ pub fn run(quick: bool) -> Vec<Table> {
             "compliant",
         ],
     );
-    let mut record = |family: &str, inst: &Instance| {
+    // Row specs in serial order; each pool task generates its instance
+    // from the fixed seed and returns a finished row.
+    enum Spec {
+        Dense { m: usize, n: usize },
+        Grid { side: usize, m: usize, n: usize },
+    }
+    let mut specs: Vec<Spec> = Vec::new();
+    specs.extend(dense.iter().map(|&(m, n)| Spec::Dense { m, n }));
+    specs.extend(sparse.iter().map(|&(side, m, n)| Spec::Grid { side, m, n }));
+
+    let row_for = |family: &str, inst: &Instance| -> Vec<String> {
         let edges = topology_of(inst).expect("topology").num_edges() as u64;
         let out =
             PayDual::new(PayDualParams::with_phases(phases)).run(inst, 1).expect("paydual run");
         let t = out.transcript.expect("distributed run");
         let capacity = u64::from(t.num_rounds()) * 2 * edges;
-        table.push(vec![
+        vec![
             family.to_owned(),
             (inst.num_facilities() + inst.num_clients()).to_string(),
             edges.to_string(),
@@ -55,15 +65,21 @@ pub fn run(quick: bool) -> Vec<Table> {
             t.max_message_bits().to_string(),
             t.max_messages_per_edge().to_string(),
             t.congest_compliant(72).to_string(),
-        ]);
+        ]
     };
-    for &(m, n) in dense {
-        let inst = UniformRandom::new(m, n).unwrap().generate(600).unwrap();
-        record("dense", &inst);
-    }
-    for &(side, m, n) in sparse {
-        let inst = GridNetwork::new(side, side, m, n).unwrap().generate(600).unwrap();
-        record("grid", &inst);
+    let pool = crate::sweep_pool();
+    let rows: Vec<Vec<String>> = pool.map_indexed(specs.len(), |i| match specs[i] {
+        Spec::Dense { m, n } => {
+            let inst = UniformRandom::new(m, n).unwrap().generate(600).unwrap();
+            row_for("dense", &inst)
+        }
+        Spec::Grid { side, m, n } => {
+            let inst = GridNetwork::new(side, side, m, n).unwrap().generate(600).unwrap();
+            row_for("grid", &inst)
+        }
+    });
+    for row in rows {
+        table.push(row);
     }
     vec![table]
 }

@@ -31,30 +31,36 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E7: GreedyBucket nesting ablation (ratio per outer x inner cell)",
         &["outer", "inner", "rounds", "ratio", "round_cost_per_quality"],
     );
-    for &outer in grid {
-        for &inner in grid {
-            let params = BucketParams::new(outer, inner);
-            let ratios: Vec<f64> = (0..seeds)
-                .map(|s| {
-                    GreedyBucket::new(params)
-                        .run(&inst, s)
-                        .expect("bucket run")
-                        .solution
-                        .cost(&inst)
-                        .value()
-                        / lb
-                })
-                .collect();
-            let rounds = bucket_rounds(params);
-            let ratio = mean(&ratios);
-            table.push(vec![
-                outer.to_string(),
-                inner.to_string(),
-                rounds.to_string(),
-                num(ratio, 3),
-                num(f64::from(rounds) * ratio, 1),
-            ]);
-        }
+    // One pool task per (outer, inner) cell, rows in grid order.
+    let pool = crate::sweep_pool();
+    let cells: Vec<(u32, u32)> =
+        grid.iter().flat_map(|&outer| grid.iter().map(move |&inner| (outer, inner))).collect();
+    let rows: Vec<Vec<String>> = pool.map_indexed(cells.len(), |c| {
+        let (outer, inner) = cells[c];
+        let params = BucketParams::new(outer, inner);
+        let ratios: Vec<f64> = (0..seeds)
+            .map(|s| {
+                GreedyBucket::new(params)
+                    .run(&inst, s)
+                    .expect("bucket run")
+                    .solution
+                    .cost(&inst)
+                    .value()
+                    / lb
+            })
+            .collect();
+        let rounds = bucket_rounds(params);
+        let ratio = mean(&ratios);
+        vec![
+            outer.to_string(),
+            inner.to_string(),
+            rounds.to_string(),
+            num(ratio, 3),
+            num(f64::from(rounds) * ratio, 1),
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     vec![table]
 }

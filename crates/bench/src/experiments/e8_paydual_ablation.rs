@@ -39,27 +39,32 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E8: PayDual design-choice ablation (ratio per variant)",
         &["family", "phases", "slack+polish", "slack", "cheap+polish", "cheap"],
     );
-    for (family, inst) in &families {
-        let lb = lower_bound_for(inst);
-        for &phases in budgets {
-            let ratio = |rule: ConnectRule, polish: bool| -> f64 {
-                let params = PayDualParams {
-                    connect_rule: rule,
-                    polish,
-                    ..PayDualParams::with_phases(phases)
-                };
-                PayDual::new(params).run(inst, 1).expect("paydual run").solution.cost(inst).value()
-                    / lb
-            };
-            table.push(vec![
-                (*family).to_owned(),
-                phases.to_string(),
-                num(ratio(ConnectRule::MaxSlack, true), 3),
-                num(ratio(ConnectRule::MaxSlack, false), 3),
-                num(ratio(ConnectRule::CheapestEligible, true), 3),
-                num(ratio(ConnectRule::CheapestEligible, false), 3),
-            ]);
-        }
+    // One pool task per (family, phases) row; each task evaluates its four
+    // variants and returns a finished row.
+    let pool = crate::sweep_pool();
+    let lbs: Vec<f64> = pool.map_indexed(families.len(), |f| lower_bound_for(&families[f].1));
+    let cells: Vec<(usize, u32)> =
+        (0..families.len()).flat_map(|f| budgets.iter().map(move |&phases| (f, phases))).collect();
+    let rows: Vec<Vec<String>> = pool.map_indexed(cells.len(), |c| {
+        let (f, phases) = cells[c];
+        let (family, inst) = &families[f];
+        let lb = lbs[f];
+        let ratio = |rule: ConnectRule, polish: bool| -> f64 {
+            let params =
+                PayDualParams { connect_rule: rule, polish, ..PayDualParams::with_phases(phases) };
+            PayDual::new(params).run(inst, 1).expect("paydual run").solution.cost(inst).value() / lb
+        };
+        vec![
+            (*family).to_owned(),
+            phases.to_string(),
+            num(ratio(ConnectRule::MaxSlack, true), 3),
+            num(ratio(ConnectRule::MaxSlack, false), 3),
+            num(ratio(ConnectRule::CheapestEligible, true), 3),
+            num(ratio(ConnectRule::CheapestEligible, false), 3),
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     vec![table]
 }

@@ -33,20 +33,27 @@ pub fn lower_bound_for(instance: &Instance) -> f64 {
     bounds::certified_lower_bound(instance, &[&greedy_dual], EXACT_LIMIT).value
 }
 
-/// Runs every experiment, in order (the `exp_all` binary).
+/// Runs every experiment (the `exp_all` binary).
+///
+/// The ten experiments are independent, so they fan out as tasks on the
+/// shared [`crate::sweep_pool`]; results come back in index order, which
+/// keeps the table sequence (and thus every CSV and figure) identical to
+/// a serial run.
 pub fn run_all(quick: bool) -> Vec<crate::Table> {
-    let mut tables = Vec::new();
-    tables.extend(e1_tradeoff::run(quick));
-    tables.extend(e2_locality::run(quick));
-    tables.extend(e3_rho::run(quick));
-    tables.extend(e4_comparison::run(quick));
-    tables.extend(e5_rounding::run(quick));
-    tables.extend(e6_congestion::run(quick));
-    tables.extend(e7_bucket_ablation::run(quick));
-    tables.extend(e8_paydual_ablation::run(quick));
-    tables.extend(e9_benchmark::run(quick));
-    tables.extend(e10_faults::run(quick));
-    tables
+    let exps: &[fn(bool) -> Vec<crate::Table>] = &[
+        e1_tradeoff::run,
+        e2_locality::run,
+        e3_rho::run,
+        e4_comparison::run,
+        e5_rounding::run,
+        e6_congestion::run,
+        e7_bucket_ablation::run,
+        e8_paydual_ablation::run,
+        e9_benchmark::run,
+        e10_faults::run,
+    ];
+    let pool = crate::sweep_pool();
+    pool.map_indexed(exps.len(), |i| exps[i](quick)).into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -14,11 +14,22 @@
 //! | E5 | rounding stage: `log(m+n)` loss and success prob | [`experiments::e5_rounding`] |
 //! | E6 | CONGEST compliance and message complexity | [`experiments::e6_congestion`] |
 //! | E7 | ablation of the two-level phase nesting | [`experiments::e7_bucket_ablation`] |
+//! | E8 | PayDual design ablation (rules × polish) | [`experiments::e8_paydual_ablation`] |
+//! | E9 | cross-algorithm benchmark on shaped families | [`experiments::e9_benchmark`] |
+//! | E10 | graceful degradation under faults | [`experiments::e10_faults`] |
 //!
 //! Every experiment is a library function returning [`Table`]s, so the
-//! binaries (`exp_e1` … `exp_e7`, `exp_all`) are thin wrappers and the
+//! binaries (`exp_e1` … `exp_e10`, `exp_all`) are thin wrappers and the
 //! harness itself is unit-tested. Tables are printed aligned and written
 //! as CSV under `target/experiments/`.
+//!
+//! ## Concurrency
+//!
+//! Sweeps fan their independent trials out on the shared
+//! [`distfl_pool::WorkerPool`] via [`sweep_pool`]. Every trial derives its
+//! RNG seed from the row indices alone and results are collected in index
+//! order, so the emitted CSVs are byte-identical to a serial run at any
+//! worker count (`--serial`, `--threads N`, or `DISTFL_THREADS`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,4 +72,49 @@ pub fn emit(tables: &[Table]) {
 /// `DISTFL_QUICK` environment variable.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var_os("DISTFL_QUICK").is_some()
+}
+
+use distfl_pool::WorkerPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Sentinel meaning "not set explicitly — resolve from the environment".
+const SWEEP_AUTO: usize = usize::MAX;
+
+static SWEEP_WORKERS: AtomicUsize = AtomicUsize::new(SWEEP_AUTO);
+
+/// Pins the number of pool workers used by experiment sweeps.
+///
+/// `0` forces fully serial execution (trials run inline on the caller, in
+/// spawn order). Binaries call this for `--serial` / `--threads N`; it
+/// overrides the `DISTFL_THREADS` environment variable.
+pub fn set_sweep_workers(workers: usize) {
+    SWEEP_WORKERS.store(workers, Ordering::Relaxed);
+}
+
+/// Number of pool workers experiment sweeps will use.
+///
+/// Resolution order: [`set_sweep_workers`], then `DISTFL_THREADS` (total
+/// concurrency, so `workers = threads - 1` because the caller also runs
+/// trials), then `available_parallelism() - 1`.
+pub fn sweep_workers() -> usize {
+    let pinned = SWEEP_WORKERS.load(Ordering::Relaxed);
+    if pinned != SWEEP_AUTO {
+        return pinned;
+    }
+    if let Some(v) = std::env::var_os("DISTFL_THREADS") {
+        if let Ok(n) = v.to_string_lossy().parse::<usize>() {
+            return n.saturating_sub(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(0, |n| n.get().saturating_sub(1))
+}
+
+/// The shared worker pool experiment sweeps fan out on.
+///
+/// With zero workers every task runs inline in spawn order, which is the
+/// reference serial schedule; results are always collected in index order,
+/// so output is identical either way.
+pub fn sweep_pool() -> Arc<WorkerPool> {
+    WorkerPool::shared(sweep_workers())
 }

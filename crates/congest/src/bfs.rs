@@ -80,6 +80,28 @@ impl Payload for BfsMsg {
             _ => 8,
         }
     }
+
+    /// Canonical wire encoding: one tag byte, plus the big-endian partial
+    /// aggregate for `Up`/`Down` — exactly the [`BfsMsg::size_bits`]
+    /// budget. Used by the wire-format test to keep the declared sizes
+    /// honest.
+    fn encode(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut b = bytes::BytesMut::with_capacity(9);
+        match self {
+            BfsMsg::Grow => b.put_u8(0),
+            BfsMsg::Child => b.put_u8(1),
+            BfsMsg::Up(v) => {
+                b.put_u8(2);
+                b.put_f64(*v);
+            }
+            BfsMsg::Down(v) => {
+                b.put_u8(3);
+                b.put_f64(*v);
+            }
+        }
+        b.freeze()
+    }
 }
 
 /// Per-node state of the aggregation protocol.
@@ -269,6 +291,27 @@ mod tests {
 
     fn values(n: usize) -> Vec<f64> {
         (0..n).map(|i| (i * i % 17) as f64 + 0.5).collect()
+    }
+
+    #[test]
+    fn wire_encoding_fits_the_declared_budget_and_is_distinct() {
+        let msgs = [BfsMsg::Grow, BfsMsg::Child, BfsMsg::Up(1.5), BfsMsg::Down(1.5)];
+        let mut encodings = Vec::new();
+        for m in msgs {
+            let enc = m.encode();
+            assert!(
+                (enc.len() as u64) * 8 <= m.size_bits(),
+                "{m:?} encodes to {} bits but declares {}",
+                enc.len() * 8,
+                m.size_bits()
+            );
+            encodings.push(enc);
+        }
+        // Same aggregate value, different tags: encodings must differ.
+        assert_eq!(encodings.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+        // The aggregate round-trips through the big-endian bytes.
+        let enc = BfsMsg::Up(42.25).encode();
+        assert_eq!(f64::from_be_bytes(enc[1..9].try_into().unwrap()), 42.25);
     }
 
     #[test]

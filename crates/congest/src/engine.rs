@@ -19,15 +19,21 @@
 //!    sorted-inbox invariant, fault drops, and crash semantics are
 //!    bit-identical to serial execution.
 //!
-//! The worker count is the *minimum* of the requested `threads` and the
-//! machine's available parallelism — scoped threads are spawned every
-//! round, so oversubscribing cores only adds spawn latency. Parallelism
-//! is additionally gated on the previous round's *message volume*: on
-//! sparse topologies (a ring moves one message per node per round) the
-//! per-round spawn-and-join cost exceeds the work being split, and
-//! threading makes rounds slower, not faster. Only when the last round
-//! moved at least [`PARALLEL_MIN_VOLUME`] messages (delivered + dropped)
-//! does the engine fan out. When the effective worker count is 1 the
+//! Both stages execute on a persistent work-stealing
+//! [`WorkerPool`](distfl_pool::WorkerPool) (long-lived workers,
+//! per-worker deques with stealing, park/unpark idling — the
+//! `distfl-pool` crate), so dispatching a parallel stage costs a queue
+//! push and a condvar wake instead of the per-round `std::thread::scope`
+//! spawn-and-join the engine used to pay. The worker count is the
+//! *minimum* of the requested `threads` and the pool's parallelism (its
+//! workers plus the submitting thread, which always helps drain its own
+//! scope). Parallelism is additionally gated on the previous round's
+//! *message volume*: on sparse topologies (a ring moves one message per
+//! node per round) even pooled dispatch exceeds the work being split.
+//! Only when the last round moved at least [`PARALLEL_MIN_VOLUME`]
+//! messages (delivered + dropped) — or when
+//! [`CongestConfig::parallel_min_volume`] overrides that default — does
+//! the engine fan out. When the effective worker count is 1 the
 //! engine takes a **fused** fast path instead: each node's outbox is
 //! delivered immediately after the node steps, while it is still hot in
 //! cache, and messages are *moved* (not cloned) into the inboxes. The
@@ -41,15 +47,22 @@
 //! set, delivery keeps the serial `(src, dst)` event order (fused path,
 //! or a single shard under threads); the recorder is consulted once per
 //! round, never per message.
+//!
+//! Per-round wall-clock stage timings and pool steal counts are collected
+//! in an [`EngineProfile`] ([`Network::profile`]) — deliberately *outside*
+//! the [`Transcript`], which must stay bit-identical across worker counts.
 
 use crate::error::CongestError;
 use crate::fault::FaultPlan;
 use crate::message::Payload;
-use crate::metrics::{RoundStats, Transcript};
+use crate::metrics::{EngineProfile, RoundStats, StageTimings, Transcript};
 use crate::node::{NodeId, NodeLogic};
 use crate::rng::NodeRng;
 use crate::topology::Topology;
 use crate::trace::{Event, EventKind, Recorder};
+use distfl_pool::{ScopeStats, WorkerPool};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// What to do when a node sends two messages over the same directed edge in
 /// one round (a CONGEST violation).
@@ -64,17 +77,23 @@ pub enum DuplicatePolicy {
     Record,
 }
 
-/// Minimum number of messages the previous round must have moved
+/// Default minimum number of messages the previous round must have moved
 /// (delivered + dropped) for the staged parallel pipeline to engage.
 ///
-/// Below this volume the per-round scoped-thread spawn-and-join overhead
-/// outweighs the split work and the fused serial path is faster (the
-/// BENCH_1.json `line_4000` topology, ~8k messages/round, lost throughput
-/// under threads; `dense_bipartite_60x400`, ~48k messages/round, gained).
+/// Below this volume stage-dispatch overhead outweighs the split work and
+/// the fused serial path is faster. The threshold was 16 384 while the
+/// engine spawned scoped threads every round; with the persistent
+/// [`WorkerPool`] a stage dispatch is a queue push plus a condvar wake —
+/// the BENCH_3.json dispatch microbench measures a fork/join batch at
+/// 25–33x cheaper than a scoped spawn-and-join (about 0.8–2.8 µs vs
+/// 20–92 µs for 2–8 tasks) — so the break-even volume drops accordingly
+/// and medium-traffic rounds (for example sparse PayDual phases at a few
+/// thousand messages) now fan out.
 /// The very first round always runs fused — no volume is known yet.
-/// [`CongestConfig::force_shards`] bypasses the gate, keeping the staged
-/// path deterministically testable.
-pub const PARALLEL_MIN_VOLUME: u64 = 16_384;
+/// [`CongestConfig::parallel_min_volume`] overrides this default;
+/// [`CongestConfig::force_shards`] bypasses the gate entirely, keeping
+/// the staged path deterministically testable.
+pub const PARALLEL_MIN_VOLUME: u64 = 2_048;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -84,12 +103,21 @@ pub struct CongestConfig {
     /// Number of worker threads for parallel stepping *and* sharded
     /// delivery; `None` or `Some(1)` runs serially. Results are
     /// bit-identical either way. The effective worker count is capped at
-    /// the machine's available parallelism (threads are spawned per
-    /// round, so oversubscription only costs spawn latency); small
-    /// networks (under `2 * threads` nodes) and low-traffic rounds
-    /// (previous round moved fewer than [`PARALLEL_MIN_VOLUME`] messages)
-    /// run serially regardless.
+    /// the worker pool's parallelism (its workers plus the submitting
+    /// thread); small networks (under `2 * threads` nodes) and
+    /// low-traffic rounds (previous round moved fewer than
+    /// [`PARALLEL_MIN_VOLUME`] messages) run serially regardless.
     pub threads: Option<usize>,
+    /// The worker pool both pipeline stages dispatch to. `None` uses the
+    /// process-wide [`WorkerPool::global`] pool (sized from
+    /// `DISTFL_POOL_THREADS` or the machine's parallelism). Supplying a
+    /// pool explicitly lets tests and benches exercise any worker count
+    /// on any machine; results are bit-identical for every choice.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Overrides the [`PARALLEL_MIN_VOLUME`] message-volume gate.
+    /// `Some(0)` parallelizes every round regardless of traffic (tests);
+    /// `Some(u64::MAX)` pins the engine to the fused serial path.
+    pub parallel_min_volume: Option<u64>,
     /// Overrides the delivery shard count independently of the worker
     /// count; shards beyond the available workers execute inline. Results
     /// are bit-identical for any value. Exists so the sharded merge path
@@ -259,12 +287,16 @@ pub struct Network<L: NodeLogic> {
     step_errors: Vec<Option<CongestError>>,
     /// Round from which each node is crashed (`u32::MAX` = never).
     crash_round: Vec<u32>,
-    /// Available hardware parallelism, cached at construction.
-    cores: usize,
+    /// The persistent worker pool both stages dispatch to.
+    pool: Arc<WorkerPool>,
+    /// The pool's parallelism (workers + submitting thread), cached at
+    /// construction; caps the effective worker count.
+    parallelism: usize,
     /// Messages moved (delivered + dropped) by the previous round; gates
     /// the parallel pipeline so sparse topologies stay fused.
     prev_messages: u64,
     transcript: Transcript,
+    profile: EngineProfile,
     recorder: Recorder,
 }
 
@@ -316,6 +348,8 @@ impl<L: NodeLogic> Network<L> {
         }
         let recorder =
             if config.record_events { Recorder::enabled() } else { Recorder::disabled() };
+        let pool = config.pool.clone().unwrap_or_else(WorkerPool::global);
+        let parallelism = pool.parallelism();
         Ok(Network {
             topo,
             nodes,
@@ -327,9 +361,11 @@ impl<L: NodeLogic> Network<L> {
             outboxes: (0..n).map(|_| Vec::new()).collect(),
             step_errors: (0..n).map(|_| None).collect(),
             crash_round,
-            cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
+            pool,
+            parallelism,
             prev_messages: 0,
             transcript: Transcript::new(),
+            profile: EngineProfile::default(),
             recorder,
         })
     }
@@ -379,6 +415,14 @@ impl<L: NodeLogic> Network<L> {
         &self.recorder
     }
 
+    /// Per-round stage timings and pool scheduling counters accumulated so
+    /// far. Observational only: timings are machine-dependent and steal
+    /// counts are racy by nature, which is exactly why they live here and
+    /// not in the (bit-identical, equality-compared) [`Transcript`].
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
     /// The next round to execute (0-based).
     pub fn round(&self) -> u32 {
         self.round
@@ -396,19 +440,16 @@ impl<L: NodeLogic> Network<L> {
         self.nodes.iter().enumerate().all(|(i, l)| l.is_done() || self.is_crashed(i, round))
     }
 
-    /// The number of worker threads both pipeline stages use this round:
-    /// the requested thread count capped at the machine's parallelism
-    /// (spawning more scoped threads than cores only adds latency), and
+    /// The number of concurrent lanes both pipeline stages use this round:
+    /// the requested thread count capped at the pool's parallelism, and
     /// forced to 1 when the previous round's message volume is too small
-    /// to amortize the per-round spawn-and-join cost (BENCH_1.json shows
-    /// sparse rings *losing* throughput under threads; dense bipartite
-    /// topologies, ~48k messages/round, gain).
+    /// to amortize even pooled stage dispatch (BENCH_1.json showed sparse
+    /// rings *losing* throughput under per-round spawns; BENCH_3.json
+    /// re-measures the break-even for the persistent pool).
     fn worker_count(&self) -> usize {
-        let threads = self.config.threads.unwrap_or(1).max(1).min(self.cores);
-        if threads <= 1
-            || self.nodes.len() < 2 * threads
-            || self.prev_messages < PARALLEL_MIN_VOLUME
-        {
+        let threads = self.config.threads.unwrap_or(1).max(1).min(self.parallelism);
+        let gate = self.config.parallel_min_volume.unwrap_or(PARALLEL_MIN_VOLUME);
+        if threads <= 1 || self.nodes.len() < 2 * threads || self.prev_messages < gate {
             1
         } else {
             threads
@@ -429,7 +470,17 @@ impl<L: NodeLogic> Network<L> {
         let shards = self.config.force_shards.unwrap_or(workers).max(1);
 
         let stats = if workers <= 1 && shards <= 1 {
-            self.step_round_fused(round)
+            let started = Instant::now();
+            let stats = self.step_round_fused(round);
+            self.profile.push(StageTimings {
+                round,
+                fused: true,
+                step_nanos: started.elapsed().as_nanos() as u64,
+                deliver_nanos: 0,
+                pool_tasks: 0,
+                stolen_tasks: 0,
+            });
+            stats
         } else {
             self.step_round_staged(round, workers, shards)
         };
@@ -463,13 +514,32 @@ impl<L: NodeLogic> Network<L> {
         workers: usize,
         shards: usize,
     ) -> Result<RoundStats, CongestError> {
-        self.step_stage(round, workers);
+        let started = Instant::now();
+        let step_scope = self.step_stage(round, workers);
+        let mut timings = StageTimings {
+            round,
+            fused: false,
+            step_nanos: started.elapsed().as_nanos() as u64,
+            deliver_nanos: 0,
+            pool_tasks: step_scope.tasks,
+            stolen_tasks: step_scope.stolen,
+        };
         for slot in &mut self.step_errors {
             if let Some(err) = slot.take() {
+                self.profile.push(timings);
                 return Err(err);
             }
         }
-        self.deliver_stage(round, shards, workers)
+        let started = Instant::now();
+        let delivered = self.deliver_stage(round, shards, workers);
+        timings.deliver_nanos = started.elapsed().as_nanos() as u64;
+        let result = delivered.map(|(stats, deliver_scope)| {
+            timings.pool_tasks += deliver_scope.tasks;
+            timings.stolen_tasks += deliver_scope.stolen;
+            stats
+        });
+        self.profile.push(timings);
+        result
     }
 
     /// The fused serial fast path: each node's outbox is delivered right
@@ -512,8 +582,9 @@ impl<L: NodeLogic> Network<L> {
     }
 
     /// Stage 1: steps every live node, filling the pooled outboxes (sorted
-    /// by destination) and the per-node error slots.
-    fn step_stage(&mut self, round: u32, workers: usize) {
+    /// by destination) and the per-node error slots. Parallel execution
+    /// dispatches one task per contiguous node chunk to the worker pool.
+    fn step_stage(&mut self, round: u32, workers: usize) -> ScopeStats {
         let n = self.nodes.len();
         let topo = &self.topo;
         let seed = self.master_seed;
@@ -532,14 +603,14 @@ impl<L: NodeLogic> Network<L> {
                     seed,
                 );
             }
-            return;
+            return ScopeStats::default();
         }
         let chunk = n.div_ceil(workers);
         let node_chunks = self.nodes.chunks_mut(chunk);
         let inbox_chunks = self.inboxes.chunks(chunk);
         let outbox_chunks = self.outboxes.chunks_mut(chunk);
         let error_chunks = self.step_errors.chunks_mut(chunk);
-        std::thread::scope(|scope| {
+        self.pool.scope(|scope| {
             for (chunk_index, (((nodes, inboxes), outboxes), errors)) in
                 node_chunks.zip(inbox_chunks).zip(outbox_chunks).zip(error_chunks).enumerate()
             {
@@ -561,18 +632,18 @@ impl<L: NodeLogic> Network<L> {
                     }
                 });
             }
-        });
+        })
     }
 
     /// Stage 2: delivers every outbox message into `next_inboxes`,
-    /// sharded by destination range. Shards run on scoped threads when
-    /// more than one worker is available, inline otherwise.
+    /// sharded by destination range. Shards run as pool tasks when more
+    /// than one worker is available, inline otherwise.
     fn deliver_stage(
         &mut self,
         round: u32,
         shards: usize,
         workers: usize,
-    ) -> Result<RoundStats, CongestError> {
+    ) -> Result<(RoundStats, ScopeStats), CongestError> {
         let n = self.nodes.len();
         let policy = self.config.duplicate_policy;
         let fault = self.config.fault;
@@ -592,13 +663,14 @@ impl<L: NodeLogic> Network<L> {
                 max_bits,
                 &mut TraceInto(events),
             );
-            return merge_outcomes(std::iter::once(outcome), round);
+            let stats = merge_outcomes(std::iter::once(outcome), round)?;
+            return Ok((stats, ScopeStats::default()));
         }
 
         let chunk = n.div_ceil(shards.min(n).max(1));
         if workers <= 1 {
-            // Not enough cores to pay for spawning: run the shards inline.
-            // Same shard partition, same merge, no threads.
+            // A single lane pays nothing for dispatch: run the shards
+            // inline. Same shard partition, same merge, no pool.
             let outcomes =
                 self.next_inboxes.chunks_mut(chunk).enumerate().map(|(shard, inbox_chunk)| {
                     deliver_shard(
@@ -612,36 +684,28 @@ impl<L: NodeLogic> Network<L> {
                         &mut NoTrace,
                     )
                 });
-            return merge_outcomes(outcomes, round);
+            let stats = merge_outcomes(outcomes, round)?;
+            return Ok((stats, ScopeStats::default()));
         }
 
-        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .next_inboxes
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(shard, inbox_chunk)| {
-                    let fault = fault.as_ref();
-                    scope.spawn(move || {
-                        deliver_shard(
-                            outboxes,
-                            inbox_chunk,
-                            shard * chunk,
-                            round,
-                            policy,
-                            fault,
-                            max_bits,
-                            &mut NoTrace,
-                        )
-                    })
-                })
-                .collect();
-            // Merge in shard order: deterministic regardless of timing.
-            outcomes
-                .extend(handles.into_iter().map(|h| h.join().expect("delivery worker panicked")));
-        });
-        merge_outcomes(outcomes.into_iter(), round)
+        // One pool task per shard; every task writes its own pre-assigned
+        // slot, so the merge below visits outcomes in shard order no
+        // matter which worker ran (or stole) which shard.
+        let (outcomes, scope_stats) =
+            self.pool.map_chunks(&mut self.next_inboxes, chunk, |shard, inbox_chunk| {
+                deliver_shard(
+                    outboxes,
+                    inbox_chunk,
+                    shard * chunk,
+                    round,
+                    policy,
+                    fault.as_ref(),
+                    max_bits,
+                    &mut NoTrace,
+                )
+            });
+        let stats = merge_outcomes(outcomes.into_iter(), round)?;
+        Ok((stats, scope_stats))
     }
 
     /// Runs rounds until every node is done or `max_rounds` is reached.
@@ -959,7 +1023,7 @@ mod tests {
     #[test]
     fn parallelism_is_gated_on_message_volume() {
         let mut net = flood_net(64, 3, Some(4));
-        net.cores = 8; // pretend multi-core, independent of the test host
+        net.parallelism = 8; // pretend multi-core, independent of the host
         assert_eq!(net.worker_count(), 1, "round 0 has no known volume: stay fused");
         net.prev_messages = PARALLEL_MIN_VOLUME - 1;
         assert_eq!(net.worker_count(), 1, "sparse rounds stay on the fused path");
@@ -967,9 +1031,17 @@ mod tests {
         assert_eq!(net.worker_count(), 4, "high-volume rounds fan out");
         // Small networks stay serial even at high volume.
         let mut small = flood_net(6, 3, Some(4));
-        small.cores = 8;
+        small.parallelism = 8;
         small.prev_messages = PARALLEL_MIN_VOLUME;
         assert_eq!(small.worker_count(), 1);
+        // The config override replaces the default gate in both directions.
+        net.config.parallel_min_volume = Some(0);
+        net.prev_messages = 0;
+        assert_eq!(net.worker_count(), 4, "zero gate parallelizes every round");
+        net.config.parallel_min_volume = Some(u64::MAX);
+        net.prev_messages = u64::MAX - 1;
+        assert_eq!(net.worker_count(), 1, "maximal gate pins the fused path");
+        net.config.parallel_min_volume = None;
         // The gate tracks the transcript: after a real (low-volume) round
         // the recorded volume matches what worker_count consults.
         let stats = net.step().unwrap();
@@ -981,19 +1053,57 @@ mod tests {
         let mut serial = flood_net(31, 3, None);
         serial.run(10).unwrap();
         let hs: Vec<u64> = serial.nodes().iter().map(|n| n.heard).collect();
-        // Threaded config (capped at available cores) and forced shard
-        // partitioning (exercises the sharded merge on any machine).
+        // An explicit 3-worker pool with a zeroed volume gate drives the
+        // staged pool path on any machine; forced shard partitioning
+        // additionally exercises the sharded merge.
         for force_shards in [None, Some(4)] {
             let topo = Topology::ring(31).unwrap();
             let nodes = (0..31).map(|_| Flood { ttl: 3, heard: 0, done: false }).collect();
-            let config =
-                CongestConfig { threads: Some(4), force_shards, ..CongestConfig::default() };
+            let config = CongestConfig {
+                threads: Some(4),
+                force_shards,
+                pool: Some(WorkerPool::shared(3)),
+                parallel_min_volume: Some(0),
+                ..CongestConfig::default()
+            };
             let mut parallel = Network::with_config(topo, nodes, 7, config).unwrap();
             parallel.run(10).unwrap();
             assert_eq!(serial.transcript(), parallel.transcript());
             let hp: Vec<u64> = parallel.nodes().iter().map(|n| n.heard).collect();
             assert_eq!(hs, hp);
         }
+    }
+
+    /// The profile records one entry per round, attributes fused rounds to
+    /// the step stage, and counts pool tasks only on staged rounds — while
+    /// the transcript stays identical, profile or not.
+    #[test]
+    fn profile_records_stage_timings_and_pool_tasks() {
+        let mut fused = flood_net(31, 3, None);
+        fused.run(10).unwrap();
+        let profile = fused.profile();
+        assert_eq!(profile.rounds().len(), fused.transcript().num_rounds() as usize);
+        assert!(profile.rounds().iter().all(|t| t.fused && t.pool_tasks == 0));
+        assert_eq!(profile.fused_rounds() as usize, profile.rounds().len());
+
+        let topo = Topology::ring(31).unwrap();
+        let nodes = (0..31).map(|_| Flood { ttl: 3, heard: 0, done: false }).collect();
+        let config = CongestConfig {
+            threads: Some(2),
+            pool: Some(WorkerPool::shared(1)),
+            parallel_min_volume: Some(0),
+            ..CongestConfig::default()
+        };
+        let mut staged = Network::with_config(topo, nodes, 7, config).unwrap();
+        staged.run(10).unwrap();
+        assert_eq!(fused.transcript(), staged.transcript());
+        let profile = staged.profile();
+        assert_eq!(profile.rounds().len(), staged.transcript().num_rounds() as usize);
+        // With a zeroed gate even round 0 fans out.
+        assert!(profile.rounds().iter().all(|t| !t.fused));
+        // 2 step chunks + 2 delivery shards per staged round.
+        assert!(profile.rounds().iter().all(|t| t.pool_tasks == 4));
+        assert_eq!(profile.total_pool_tasks(), 4 * profile.rounds().len() as u64);
     }
 
     #[test]

@@ -74,11 +74,16 @@ mod rng;
 mod topology;
 mod trace;
 
-pub use engine::{CongestConfig, DuplicatePolicy, Network, StepCtx};
+pub use engine::{CongestConfig, DuplicatePolicy, Network, StepCtx, PARALLEL_MIN_VOLUME};
 pub use error::CongestError;
 pub use fault::FaultPlan;
 pub use message::Payload;
-pub use metrics::{RoundStats, Transcript};
+pub use metrics::{EngineProfile, RoundStats, StageTimings, Transcript};
+
+// The worker-pool substrate both pipeline stages dispatch to; re-exported
+// so callers can hand the engine an explicitly sized pool
+// (`CongestConfig::pool`) without depending on `distfl-pool` directly.
+pub use distfl_pool::{ScopeStats, WorkerPool};
 pub use node::{NodeId, NodeLogic};
 pub use rng::NodeRng;
 pub use topology::Topology;

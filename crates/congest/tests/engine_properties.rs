@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use distfl_congest::bfs::{aggregate, AggregateOp};
 use distfl_congest::{
     CongestConfig, CongestError, FaultPlan, Network, NodeId, NodeLogic, StepCtx, Topology,
-    Transcript,
+    Transcript, WorkerPool,
 };
 
 /// A recipe for a random simple graph: node count plus an edge mask.
@@ -35,6 +35,23 @@ fn graph_strategy(connected: bool) -> impl Strategy<Value = GraphRecipe> {
             GraphRecipe { n, edges }
         },
     )
+}
+
+/// Like [`graph_strategy`] but with enough nodes (16..40) to clear the
+/// engine's `nodes >= 2 * threads` floor at 8 workers, so the pool-backed
+/// staged pipeline is genuinely exercised, not silently skipped.
+fn big_graph_strategy() -> impl Strategy<Value = GraphRecipe> {
+    (16usize..40, prop::collection::vec((0usize..40, 0usize..40), 0..140)).prop_map(|(n, raw)| {
+        let mut edges: Vec<(usize, usize)> = raw
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        GraphRecipe { n, edges }
+    })
 }
 
 fn build(recipe: &GraphRecipe) -> Topology {
@@ -116,6 +133,15 @@ impl NodeLogic for Scribe {
 /// Full engine state observable from outside after a run.
 type RunFingerprint = (Transcript, Vec<(u64, Vec<(u32, u32, u64)>, bool)>);
 
+fn fingerprint_with(recipe: &GraphRecipe, config: CongestConfig, rounds: u32) -> RunFingerprint {
+    let nodes: Vec<Scribe> = (0..recipe.n).map(|_| Scribe::new(rounds)).collect();
+    let mut net = Network::with_config(build(recipe), nodes, 11, config).unwrap();
+    net.run(rounds + 2).unwrap();
+    let (nodes, transcript) = net.into_parts();
+    let states = nodes.into_iter().map(|s| (s.state, s.log, s.done)).collect();
+    (transcript, states)
+}
+
 fn fingerprint(
     recipe: &GraphRecipe,
     threads: Option<usize>,
@@ -124,7 +150,6 @@ fn fingerprint(
     crashes: &[(NodeId, u32)],
     rounds: u32,
 ) -> RunFingerprint {
-    let nodes: Vec<Scribe> = (0..recipe.n).map(|_| Scribe::new(rounds)).collect();
     let config = CongestConfig {
         threads,
         force_shards,
@@ -132,11 +157,7 @@ fn fingerprint(
         crashes: crashes.to_vec(),
         ..CongestConfig::default()
     };
-    let mut net = Network::with_config(build(recipe), nodes, 11, config).unwrap();
-    net.run(rounds + 2).unwrap();
-    let (nodes, transcript) = net.into_parts();
-    let states = nodes.into_iter().map(|s| (s.state, s.log, s.done)).collect();
-    (transcript, states)
+    fingerprint_with(recipe, config, rounds)
 }
 
 proptest! {
@@ -175,6 +196,51 @@ proptest! {
                 prop_assert_eq!(
                     &serial.1, &parallel.1,
                     "node state diverged at {} threads / {:?} shards", threads, shards
+                );
+            }
+        }
+    }
+
+    /// Satellite of the worker-pool migration: pool-backed staged
+    /// execution (explicit pools of 1/2/4/8 workers, volume gate zeroed so
+    /// every round fans out, with and without forced shard counts) must be
+    /// bit-identical to the fused serial path — transcripts, per-round
+    /// inbox logs, and final node states — under message-drop faults and
+    /// crash-stop schedules. Independent of the host's core count: the
+    /// pools spawn real OS threads regardless.
+    #[test]
+    fn pool_backed_execution_matches_fused_serial(
+        recipe in big_graph_strategy(),
+        drop_p in 0.0f64..1.0,
+        fault_seed in 0u64..1000,
+        crash_raw in prop::collection::vec((0usize..40, 0u32..6), 0..4),
+        rounds in 1u32..6,
+    ) {
+        let crashes: Vec<(NodeId, u32)> = crash_raw
+            .iter()
+            .map(|&(node, round)| (NodeId::new((node % recipe.n) as u32), round))
+            .collect();
+        let fault = Some(FaultPlan::drop_with_probability(drop_p, fault_seed));
+        let serial = fingerprint(&recipe, None, None, fault, &crashes, rounds);
+        for workers in [1usize, 2, 4, 8] {
+            for shards in [None, Some(workers), Some(3)] {
+                let config = CongestConfig {
+                    threads: Some(workers),
+                    force_shards: shards,
+                    pool: Some(WorkerPool::shared(workers)),
+                    parallel_min_volume: Some(0),
+                    fault,
+                    crashes: crashes.clone(),
+                    ..CongestConfig::default()
+                };
+                let pooled = fingerprint_with(&recipe, config, rounds);
+                prop_assert_eq!(
+                    &serial.0, &pooled.0,
+                    "transcript diverged at {} pool workers / {:?} shards", workers, shards
+                );
+                prop_assert_eq!(
+                    &serial.1, &pooled.1,
+                    "node state diverged at {} pool workers / {:?} shards", workers, shards
                 );
             }
         }

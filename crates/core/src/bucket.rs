@@ -89,6 +89,29 @@ impl Payload for BucketMsg {
             _ => 8,
         }
     }
+
+    /// Canonical wire encoding: one tag byte, plus the big-endian scalar
+    /// for the variants that carry one — exactly the
+    /// [`BucketMsg::size_bits`] budget. Used by the wire-format test to
+    /// keep the declared sizes honest.
+    fn encode(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut b = bytes::BytesMut::with_capacity(9);
+        match self {
+            BucketMsg::Announce(v) => {
+                b.put_u8(0);
+                b.put_f64(*v);
+            }
+            BucketMsg::Serve(v) => {
+                b.put_u8(1);
+                b.put_f64(*v);
+            }
+            BucketMsg::Accept => b.put_u8(2),
+            BucketMsg::Served => b.put_u8(3),
+            BucketMsg::Force => b.put_u8(4),
+        }
+        b.freeze()
+    }
 }
 
 /// One GreedyBucket node.
@@ -448,6 +471,33 @@ mod tests {
         AdversarialGreedy, Euclidean, GridNetwork, InstanceGenerator, UniformRandom,
     };
     use distfl_lp::exact;
+
+    #[test]
+    fn wire_encoding_fits_the_declared_budget_and_is_distinct() {
+        let msgs = [
+            BucketMsg::Announce(1.5),
+            BucketMsg::Serve(1.5),
+            BucketMsg::Accept,
+            BucketMsg::Served,
+            BucketMsg::Force,
+        ];
+        let mut encodings = Vec::new();
+        for m in msgs {
+            let enc = m.encode();
+            assert!(
+                (enc.len() as u64) * 8 <= m.size_bits(),
+                "{m:?} encodes to {} bits but declares {}",
+                enc.len() * 8,
+                m.size_bits()
+            );
+            encodings.push(enc);
+        }
+        // Same payload value, different tags: encodings must differ.
+        assert_eq!(encodings.iter().collect::<std::collections::HashSet<_>>().len(), 5);
+        // The scalar round-trips through the big-endian bytes.
+        let enc = BucketMsg::Serve(42.25).encode();
+        assert_eq!(f64::from_be_bytes(enc[1..9].try_into().unwrap()), 42.25);
+    }
 
     fn run(instance: &Instance, outer: u32, inner: u32, seed: u64) -> Outcome {
         GreedyBucket::new(BucketParams::new(outer, inner)).run(instance, seed).unwrap()

@@ -80,6 +80,24 @@ impl Payload for RoundMsg {
             _ => 8,
         }
     }
+
+    /// Canonical wire encoding: one tag byte, plus the big-endian opening
+    /// cost for `Announce` — exactly the [`RoundMsg::size_bits`] budget.
+    /// Used by the wire-format test to keep the declared sizes honest.
+    fn encode(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut b = bytes::BytesMut::with_capacity(9);
+        match self {
+            RoundMsg::Announce(v) => {
+                b.put_u8(0);
+                b.put_f64(*v);
+            }
+            RoundMsg::Open => b.put_u8(1),
+            RoundMsg::Connect => b.put_u8(2),
+            RoundMsg::Force => b.put_u8(3),
+        }
+        b.freeze()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -386,6 +404,27 @@ mod tests {
         // Most clients served in the first few trials.
         let early = out.served_in_trial.iter().filter(|t| t.is_some_and(|v| v < 5)).count();
         assert!(early >= 25, "only {early}/30 served early");
+    }
+
+    #[test]
+    fn wire_encoding_fits_the_declared_budget_and_is_distinct() {
+        let msgs = [RoundMsg::Announce(1.5), RoundMsg::Open, RoundMsg::Connect, RoundMsg::Force];
+        let mut encodings = Vec::new();
+        for m in msgs {
+            let enc = m.encode();
+            assert!(
+                (enc.len() as u64) * 8 <= m.size_bits(),
+                "{m:?} encodes to {} bits but declares {}",
+                enc.len() * 8,
+                m.size_bits()
+            );
+            encodings.push(enc);
+        }
+        // Four variants: encodings must be pairwise distinct.
+        assert_eq!(encodings.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+        // The announced cost round-trips through the big-endian bytes.
+        let enc = RoundMsg::Announce(42.25).encode();
+        assert_eq!(f64::from_be_bytes(enc[1..9].try_into().unwrap()), 42.25);
     }
 
     #[test]

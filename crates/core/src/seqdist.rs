@@ -94,6 +94,49 @@ impl Payload for SeqMsg {
             SeqMsg::Up { .. } | SeqMsg::Down { .. } | SeqMsg::DownOffer { .. } => 136,
         }
     }
+
+    /// Canonical wire encoding: one tag byte, then the variant's fields in
+    /// declaration order, big-endian, booleans as one byte — within the
+    /// [`SeqMsg::size_bits`] budget (the 136-bit class is sized for its
+    /// largest member, `Up`; `Down`/`DownOffer` encode smaller). Used by
+    /// the wire-format test to keep the declared sizes honest.
+    fn encode(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut b = bytes::BytesMut::with_capacity(17);
+        match self {
+            SeqMsg::Grow => b.put_u8(0),
+            SeqMsg::ChildOf => b.put_u8(1),
+            SeqMsg::Up { cycle, ratio, fid } => {
+                b.put_u8(2);
+                b.put_u32(*cycle);
+                b.put_f64(*ratio);
+                b.put_u32(*fid);
+            }
+            SeqMsg::Down { cycle, fid, stop } => {
+                b.put_u8(3);
+                b.put_u32(*cycle);
+                b.put_u32(*fid);
+                b.put_u8(u8::from(*stop));
+            }
+            SeqMsg::Offer { cycle, serve } => {
+                b.put_u8(4);
+                b.put_u32(*cycle);
+                b.put_u8(u8::from(*serve));
+            }
+            SeqMsg::DownOffer { cycle, fid, serve } => {
+                b.put_u8(5);
+                b.put_u32(*cycle);
+                b.put_u32(*fid);
+                b.put_u8(u8::from(*serve));
+            }
+            SeqMsg::Status { cycle, served } => {
+                b.put_u8(6);
+                b.put_u32(*cycle);
+                b.put_u8(u8::from(*served));
+            }
+        }
+        b.freeze()
+    }
 }
 
 /// Shared tree/wave state of both roles.
@@ -587,6 +630,36 @@ mod tests {
     use distfl_instance::generators::{
         AdversarialGreedy, Euclidean, InstanceGenerator, UniformRandom,
     };
+
+    #[test]
+    fn wire_encoding_fits_the_declared_budget_and_is_distinct() {
+        let msgs = [
+            SeqMsg::Grow,
+            SeqMsg::ChildOf,
+            SeqMsg::Up { cycle: 3, ratio: 1.5, fid: 7 },
+            SeqMsg::Down { cycle: 3, fid: 7, stop: false },
+            SeqMsg::Offer { cycle: 3, serve: true },
+            SeqMsg::DownOffer { cycle: 3, fid: 7, serve: true },
+            SeqMsg::Status { cycle: 3, served: true },
+        ];
+        let mut encodings = Vec::new();
+        for m in msgs {
+            let enc = m.encode();
+            assert!(
+                (enc.len() as u64) * 8 <= m.size_bits(),
+                "{m:?} encodes to {} bits but declares {}",
+                enc.len() * 8,
+                m.size_bits()
+            );
+            encodings.push(enc);
+        }
+        // Same field values, different tags: encodings must differ.
+        assert_eq!(encodings.iter().collect::<std::collections::HashSet<_>>().len(), 7);
+        // The ratio round-trips through the big-endian bytes after the
+        // tag byte and the 32-bit cycle.
+        let enc = SeqMsg::Up { cycle: 1, ratio: 42.25, fid: 2 }.encode();
+        assert_eq!(f64::from_be_bytes(enc[5..13].try_into().unwrap()), 42.25);
+    }
 
     #[test]
     fn matches_sequential_greedy_exactly() {
