@@ -38,6 +38,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let drop_cells: Vec<(f64, u64)> =
         drops.iter().flat_map(|&p| (0..seeds).map(move |s| (p, s))).collect();
     let drop_trials: Vec<(f64, f64, f64)> = pool.map_indexed(drop_cells.len(), |c| {
+        let _cell = distfl_obs::span_arg("exp", "e10.drop_cell", c as u64);
         let (p, s) = drop_cells[c];
         let fault = (p > 0.0).then(|| FaultPlan::drop_with_probability(p, 2000 + s));
         let params = PayDualParams { fault, ..PayDualParams::with_phases(10) };
@@ -75,6 +76,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let crash_cells: Vec<(usize, u64)> =
         crash_counts.iter().flat_map(|&k| (0..seeds).map(move |s| (k, s))).collect();
     let crash_ratios: Vec<f64> = pool.map_indexed(crash_cells.len(), |c| {
+        let _cell = distfl_obs::span_arg("exp", "e10.crash_cell", c as u64);
         let (k, s) = crash_cells[c];
         run_with_crashes(&inst, k, s) / lb
     });

@@ -48,6 +48,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let inst = &workloads[w].1;
         (0..seeds)
             .map(|s| {
+                let _trial = distfl_obs::span_arg("exp", "e1.trial", s);
                 PayDual::new(PayDualParams::with_phases(phases))
                     .run(inst, s)
                     .expect("paydual run")

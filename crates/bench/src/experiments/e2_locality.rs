@@ -15,7 +15,7 @@ use distfl_core::FlAlgorithm;
 use distfl_instance::generators::{GridNetwork, InstanceGenerator, LineCity, UniformRandom};
 use distfl_instance::Instance;
 
-use crate::table::num;
+use crate::table::{num, MISSING};
 use crate::Table;
 
 use super::lower_bound_for;
@@ -88,9 +88,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         let real = if inst.num_clients() <= 400 {
             seqdist::run_protocol(inst)
                 .map(|(_, t)| t.num_rounds().to_string())
-                .unwrap_or_else(|_| "-".to_owned())
+                .unwrap_or_else(|_| MISSING.to_owned())
         } else {
-            "-".to_owned()
+            MISSING.to_owned()
         };
         vec![
             family.to_owned(),
@@ -105,44 +105,47 @@ pub fn run(quick: bool) -> Vec<Table> {
     };
 
     let pool = crate::sweep_pool();
-    let rows: Vec<Vec<String>> = pool.map_indexed(specs.len(), |i| match specs[i] {
-        Spec::Uniform { m, n } => {
-            let inst = UniformRandom::new(m, n).unwrap().generate(200).unwrap();
-            metric_row("uniform", &inst)
-        }
-        Spec::Grid { side, m, n } => {
-            let inst = GridNetwork::new(side, side, m, n).unwrap().generate(200).unwrap();
-            metric_row("grid", &inst)
-        }
-        // Line rows: same protocol, exact DP denominator.
-        Spec::Line { m, n } => {
-            let gen = LineCity::new(m, n).unwrap();
-            let layout = gen.layout(200);
-            let inst = gen.generate(200).unwrap();
-            let out = PayDual::new(PayDualParams::with_phases(phases))
-                .run(&inst, 1)
-                .expect("paydual run");
-            let t = out.transcript.expect("distributed run");
-            let strawman = SimulatedSeqGreedy::new()
-                .run(&inst, 1)
-                .expect("strawman run")
-                .modeled_rounds
-                .expect("strawman models rounds");
-            let opt = distfl_lp::line::solve_line(
-                &layout.facility_pos,
-                &layout.opening,
-                &layout.client_pos,
-            );
-            vec![
-                "line (exact)".to_owned(),
-                m.to_string(),
-                n.to_string(),
-                t.num_rounds().to_string(),
-                t.total_messages().to_string(),
-                strawman.to_string(),
-                "-".to_owned(),
-                num(out.solution.cost(&inst).value() / opt.cost, 3),
-            ]
+    let rows: Vec<Vec<String>> = pool.map_indexed(specs.len(), |i| {
+        let _cell = distfl_obs::span_arg("exp", "e2.cell", i as u64);
+        match specs[i] {
+            Spec::Uniform { m, n } => {
+                let inst = UniformRandom::new(m, n).unwrap().generate(200).unwrap();
+                metric_row("uniform", &inst)
+            }
+            Spec::Grid { side, m, n } => {
+                let inst = GridNetwork::new(side, side, m, n).unwrap().generate(200).unwrap();
+                metric_row("grid", &inst)
+            }
+            // Line rows: same protocol, exact DP denominator.
+            Spec::Line { m, n } => {
+                let gen = LineCity::new(m, n).unwrap();
+                let layout = gen.layout(200);
+                let inst = gen.generate(200).unwrap();
+                let out = PayDual::new(PayDualParams::with_phases(phases))
+                    .run(&inst, 1)
+                    .expect("paydual run");
+                let t = out.transcript.expect("distributed run");
+                let strawman = SimulatedSeqGreedy::new()
+                    .run(&inst, 1)
+                    .expect("strawman run")
+                    .modeled_rounds
+                    .expect("strawman models rounds");
+                let opt = distfl_lp::line::solve_line(
+                    &layout.facility_pos,
+                    &layout.opening,
+                    &layout.client_pos,
+                );
+                vec![
+                    "line (exact)".to_owned(),
+                    m.to_string(),
+                    n.to_string(),
+                    t.num_rounds().to_string(),
+                    t.total_messages().to_string(),
+                    strawman.to_string(),
+                    MISSING.to_owned(),
+                    num(out.solution.cost(&inst).value() / opt.cost, 3),
+                ]
+            }
         }
     });
     for row in rows {

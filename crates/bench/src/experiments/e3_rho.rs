@@ -37,6 +37,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     // lower bound across the budget sweep); rows come back in ρ order.
     let pool = crate::sweep_pool();
     let rho_rows: Vec<Vec<Vec<String>>> = pool.map_indexed(rhos.len(), |r| {
+        let _cell = distfl_obs::span_arg("exp", "e3.cell", r as u64);
         let rho = rhos[r];
         let inst = PowerLaw::new(m, n, rho).unwrap().generate(300).unwrap();
         let lb = lower_bound_for(&inst);

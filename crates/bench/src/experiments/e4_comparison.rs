@@ -23,7 +23,7 @@ use distfl_instance::generators::{
 };
 use distfl_instance::Instance;
 
-use crate::table::num;
+use crate::table::{num, MISSING};
 use crate::{mean, Table};
 
 use super::lower_bound_for;
@@ -74,13 +74,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let cells: Vec<(usize, usize)> =
         (0..families.len()).flat_map(|f| (0..algorithms.len()).map(move |a| (f, a))).collect();
     let rows: Vec<Vec<String>> = pool.map_indexed(cells.len(), |c| {
+        let _cell = distfl_obs::span_arg("exp", "e4.cell", c as u64);
         let (f, a) = cells[c];
         let (family, inst) = &families[f];
         let lb = lbs[f];
         let algo = algorithms[a]();
         let mut ratios = Vec::new();
-        let mut rounds_cell = "-".to_owned();
-        let mut msgs_cell = "-".to_owned();
+        let mut rounds_cell = MISSING.to_owned();
+        let mut msgs_cell = MISSING.to_owned();
         let mut applicable = true;
         for s in 0..seeds {
             match algo.run(inst, s) {
@@ -106,8 +107,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             (*family).to_owned(),
             algo.name(),
             ratio_cell,
-            if applicable { rounds_cell } else { "-".to_owned() },
-            if applicable { msgs_cell } else { "-".to_owned() },
+            if applicable { rounds_cell } else { MISSING.to_owned() },
+            if applicable { msgs_cell } else { MISSING.to_owned() },
         ]
     });
     for row in rows {

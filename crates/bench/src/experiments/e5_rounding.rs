@@ -40,6 +40,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let cells: Vec<(u32, u64)> =
         trials_grid.iter().flat_map(|&trials| (0..seeds).map(move |s| (trials, s))).collect();
     let triples: Vec<(f64, f64, f64)> = pool.map_indexed(cells.len(), |c| {
+        let _cell = distfl_obs::span_arg("exp", "e5.cell", c as u64);
         let (trials, s) = cells[c];
         let params = DistRoundParams { boost: 2.0, trials, threads: None, fault: None };
         let out = distributed_round(&inst, &frac, params, s).expect("rounding run");

@@ -68,14 +68,17 @@ pub fn run(quick: bool) -> Vec<Table> {
         ]
     };
     let pool = crate::sweep_pool();
-    let rows: Vec<Vec<String>> = pool.map_indexed(specs.len(), |i| match specs[i] {
-        Spec::Dense { m, n } => {
-            let inst = UniformRandom::new(m, n).unwrap().generate(600).unwrap();
-            row_for("dense", &inst)
-        }
-        Spec::Grid { side, m, n } => {
-            let inst = GridNetwork::new(side, side, m, n).unwrap().generate(600).unwrap();
-            row_for("grid", &inst)
+    let rows: Vec<Vec<String>> = pool.map_indexed(specs.len(), |i| {
+        let _cell = distfl_obs::span_arg("exp", "e6.cell", i as u64);
+        match specs[i] {
+            Spec::Dense { m, n } => {
+                let inst = UniformRandom::new(m, n).unwrap().generate(600).unwrap();
+                row_for("dense", &inst)
+            }
+            Spec::Grid { side, m, n } => {
+                let inst = GridNetwork::new(side, side, m, n).unwrap().generate(600).unwrap();
+                row_for("grid", &inst)
+            }
         }
     });
     for row in rows {

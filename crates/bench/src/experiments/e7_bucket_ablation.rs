@@ -36,6 +36,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let cells: Vec<(u32, u32)> =
         grid.iter().flat_map(|&outer| grid.iter().map(move |&inner| (outer, inner))).collect();
     let rows: Vec<Vec<String>> = pool.map_indexed(cells.len(), |c| {
+        let _cell = distfl_obs::span_arg("exp", "e7.cell", c as u64);
         let (outer, inner) = cells[c];
         let params = BucketParams::new(outer, inner);
         let ratios: Vec<f64> = (0..seeds)

@@ -46,6 +46,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let cells: Vec<(usize, u32)> =
         (0..families.len()).flat_map(|f| budgets.iter().map(move |&phases| (f, phases))).collect();
     let rows: Vec<Vec<String>> = pool.map_indexed(cells.len(), |c| {
+        let _cell = distfl_obs::span_arg("exp", "e8.cell", c as u64);
         let (f, phases) = cells[c];
         let (family, inst) = &families[f];
         let lb = lbs[f];

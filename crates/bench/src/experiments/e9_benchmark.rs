@@ -52,6 +52,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let pool = crate::sweep_pool();
     let trials: Vec<(f64, f64, f64, f64)> = pool.map_indexed(cells.len(), |c| {
         let (sh, f, s) = cells[c];
+        let _trial = distfl_obs::span_arg("exp", "e9.trial", s);
         let (m, n, _) = shapes[sh];
         let inst = make(m, n, families[f], 900 + s);
         let (g, _) = distfl_core::greedy::solve(&inst);

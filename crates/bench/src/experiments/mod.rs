@@ -40,20 +40,28 @@ pub fn lower_bound_for(instance: &Instance) -> f64 {
 /// keeps the table sequence (and thus every CSV and figure) identical to
 /// a serial run.
 pub fn run_all(quick: bool) -> Vec<crate::Table> {
-    let exps: &[fn(bool) -> Vec<crate::Table>] = &[
-        e1_tradeoff::run,
-        e2_locality::run,
-        e3_rho::run,
-        e4_comparison::run,
-        e5_rounding::run,
-        e6_congestion::run,
-        e7_bucket_ablation::run,
-        e8_paydual_ablation::run,
-        e9_benchmark::run,
-        e10_faults::run,
+    type ExperimentFn = fn(bool) -> Vec<crate::Table>;
+    let exps: &[(&'static str, ExperimentFn)] = &[
+        ("e1_tradeoff", e1_tradeoff::run),
+        ("e2_locality", e2_locality::run),
+        ("e3_rho", e3_rho::run),
+        ("e4_comparison", e4_comparison::run),
+        ("e5_rounding", e5_rounding::run),
+        ("e6_congestion", e6_congestion::run),
+        ("e7_bucket_ablation", e7_bucket_ablation::run),
+        ("e8_paydual_ablation", e8_paydual_ablation::run),
+        ("e9_benchmark", e9_benchmark::run),
+        ("e10_faults", e10_faults::run),
     ];
     let pool = crate::sweep_pool();
-    pool.map_indexed(exps.len(), |i| exps[i](quick)).into_iter().flatten().collect()
+    pool.map_indexed(exps.len(), |i| {
+        let (name, run) = exps[i];
+        let _span = distfl_obs::span("exp", name);
+        run(quick)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

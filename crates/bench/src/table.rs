@@ -118,9 +118,24 @@ impl Table {
     }
 }
 
+/// The canonical marker for a missing or not-applicable cell.
+///
+/// Every table writes this single marker — never a raw `NaN`/`inf` from
+/// float formatting — so downstream CSV consumers need exactly one rule.
+/// The figure renderer parses it back to `NaN` and drops the point.
+pub const MISSING: &str = "-";
+
 /// Formats a float with a fixed number of decimals (experiment cells).
+///
+/// Non-finite values render as [`MISSING`]: a `NaN` ratio (for example a
+/// `0/0` against a degenerate lower bound) is a missing measurement, and
+/// leaking `"NaN"` into a CSV would fork the missing-value encoding.
 pub fn num(value: f64, decimals: usize) -> String {
-    format!("{value:.decimals$}")
+    if value.is_finite() {
+        format!("{value:.decimals$}")
+    } else {
+        MISSING.to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +180,29 @@ mod tests {
     fn num_formats() {
         assert_eq!(num(1.23456, 2), "1.23");
         assert_eq!(num(10.0, 0), "10");
+    }
+
+    #[test]
+    fn non_finite_cells_use_the_canonical_missing_marker() {
+        assert_eq!(num(f64::NAN, 3), MISSING);
+        assert_eq!(num(f64::INFINITY, 3), MISSING);
+        assert_eq!(num(f64::NEG_INFINITY, 1), MISSING);
+    }
+
+    #[test]
+    fn missing_cells_round_trip_through_csv() {
+        let mut t = Table::new("t3", "Missing", &["x", "y"]);
+        t.push(vec!["1".into(), num(f64::NAN, 3)]);
+        t.push(vec!["2".into(), num(4.5, 3)]);
+        let csv = t.to_csv();
+        // The marker survives rendering verbatim — no NaN/inf text leaks.
+        assert!(csv.contains(&format!("1,{MISSING}\n")), "{csv}");
+        assert!(!csv.to_lowercase().contains("nan"), "{csv}");
+        assert!(!csv.contains("inf"), "{csv}");
+        // Reading the CSV back, the marker parses as non-numeric (NaN) the
+        // way the figure renderer consumes it, and real cells stay exact.
+        let rows: Vec<Vec<&str>> = csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
+        assert!(rows[0][1].parse::<f64>().is_err(), "marker must not parse as a float");
+        assert_eq!(rows[1][1].parse::<f64>().unwrap(), 4.5);
     }
 }

@@ -280,8 +280,12 @@ pub fn aggregate(
     // 4 * n rounds is a generous bound; disconnected graphs hit it.
     let limit = 4 * topology.num_nodes() as u32 + 8;
     net.run(limit)?;
-    let result =
-        net.nodes()[root.index()].result().expect("root learns the aggregate before terminating");
+    // On a fault-free network the root always learns the aggregate before
+    // terminating, but a missing result is recoverable (the transcript is
+    // still coherent), so it is reported as an error rather than a panic.
+    let result = net.nodes()[root.index()]
+        .result()
+        .ok_or(CongestError::ProtocolIncomplete { what: "bfs aggregate root result" })?;
     Ok((result, net.into_transcript()))
 }
 

@@ -468,6 +468,10 @@ impl<L: NodeLogic> Network<L> {
         let round = self.round;
         let workers = self.worker_count();
         let shards = self.config.force_shards.unwrap_or(workers).max(1);
+        // One relaxed atomic load per round is the entire disabled-tracing
+        // cost; the span emission below reuses the stage timings the
+        // profile measures anyway and never touches algorithm state.
+        let round_started = distfl_obs::enabled().then(Instant::now);
 
         let stats = if workers <= 1 && shards <= 1 {
             let started = Instant::now();
@@ -503,7 +507,44 @@ impl<L: NodeLogic> Network<L> {
         self.prev_messages = stats.messages + stats.dropped;
         self.transcript.push(stats);
         self.round += 1;
+        if let Some(started) = round_started {
+            self.record_round_span(round, started, &stats);
+        }
         Ok(stats)
+    }
+
+    /// Emits the round's trace spans and bumps the engine counters from
+    /// the stage timings already collected in the profile. Only called
+    /// when tracing was enabled at the top of the round; kept out of
+    /// `step`'s instruction stream so the disabled path stays lean.
+    #[cold]
+    #[inline(never)]
+    fn record_round_span(&self, round: u32, started: Instant, stats: &RoundStats) {
+        let counters = engine_counters();
+        counters.rounds.incr();
+        counters.messages.add(stats.messages);
+        counters.dropped.add(stats.dropped);
+        let arg = Some(u64::from(round));
+        distfl_obs::complete("engine", "round", started, started.elapsed().as_nanos() as u64, arg);
+        if let Some(t) = self.profile.rounds().last().filter(|t| t.round == round) {
+            counters.pool_tasks.add(t.pool_tasks);
+            counters.stolen_tasks.add(t.stolen_tasks);
+            if t.fused {
+                distfl_obs::complete("engine", "stage.fused", started, t.step_nanos, arg);
+            } else {
+                distfl_obs::complete("engine", "stage.step", started, t.step_nanos, arg);
+                let deliver_started = started
+                    .checked_add(std::time::Duration::from_nanos(t.step_nanos))
+                    .unwrap_or(started);
+                distfl_obs::complete(
+                    "engine",
+                    "stage.deliver",
+                    deliver_started,
+                    t.deliver_nanos,
+                    arg,
+                );
+            }
+        }
     }
 
     /// The staged pipeline: step every node, surface the first step error
@@ -821,6 +862,27 @@ fn fused_round<L: NodeLogic>(
     Ok(stats)
 }
 
+/// Cached handles into the obs metrics registry; looked up once per
+/// process so the per-round cost is a handful of relaxed adds.
+struct EngineCounters {
+    rounds: distfl_obs::Counter,
+    messages: distfl_obs::Counter,
+    dropped: distfl_obs::Counter,
+    pool_tasks: distfl_obs::Counter,
+    stolen_tasks: distfl_obs::Counter,
+}
+
+fn engine_counters() -> &'static EngineCounters {
+    static COUNTERS: std::sync::OnceLock<EngineCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| EngineCounters {
+        rounds: distfl_obs::counter("engine.rounds"),
+        messages: distfl_obs::counter("engine.messages"),
+        dropped: distfl_obs::counter("engine.dropped_messages"),
+        pool_tasks: distfl_obs::counter("engine.pool_tasks"),
+        stolen_tasks: distfl_obs::counter("engine.stolen_tasks"),
+    })
+}
+
 /// Steps one node into its pooled outbox, leaving the outbox sorted by
 /// destination. Crashed and done nodes produce an empty outbox.
 #[allow(clippy::too_many_arguments)]
@@ -1018,6 +1080,29 @@ mod tests {
             let right = ((i + 1) % 6) as u64 + 1;
             assert_eq!(node.heard, 2 * (left + right), "node {i}");
         }
+    }
+
+    /// Tracing must be a pure observer: same seed, same transcript, with
+    /// the round/stage spans showing up in the obs snapshot.
+    #[test]
+    fn tracing_observes_rounds_without_perturbing_the_transcript() {
+        let mut plain = flood_net(6, 2, None);
+        plain.run(10).unwrap();
+        let was_enabled = distfl_obs::enabled();
+        distfl_obs::set_enabled(true);
+        let mut traced = flood_net(6, 2, None);
+        traced.run(10).unwrap();
+        distfl_obs::set_enabled(was_enabled);
+        assert_eq!(plain.transcript(), traced.transcript());
+        let snap = distfl_obs::snapshot();
+        let rounds: Vec<_> =
+            snap.events.iter().filter(|e| e.cat == "engine" && e.name == "round").collect();
+        assert!(rounds.len() >= 3, "expected >= 3 round spans, got {}", rounds.len());
+        assert!(rounds.iter().any(|e| e.arg == Some(0)));
+        assert!(
+            snap.events.iter().any(|e| e.name == "stage.fused" || e.name == "stage.step"),
+            "stage spans missing"
+        );
     }
 
     #[test]

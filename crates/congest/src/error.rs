@@ -76,6 +76,13 @@ pub enum CongestError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A protocol run terminated without producing the result it exists to
+    /// compute (for example an aggregate whose root never learned the
+    /// value — reachable under message drops or crash-stop schedules).
+    ProtocolIncomplete {
+        /// Which protocol result was missing.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -115,6 +122,9 @@ impl fmt::Display for CongestError {
             CongestError::InvalidTopology { reason } => {
                 write!(f, "invalid topology: {reason}")
             }
+            CongestError::ProtocolIncomplete { what } => {
+                write!(f, "protocol terminated without its result: {what}")
+            }
         }
     }
 }
@@ -142,6 +152,7 @@ mod tests {
             CongestError::RoundLimit { limit: 10, pending: 4 },
             CongestError::NodeCountMismatch { topology: 5, logics: 4 },
             CongestError::InvalidTopology { reason: "empty".into() },
+            CongestError::ProtocolIncomplete { what: "bfs aggregate" },
         ];
         for e in errs {
             let s = e.to_string();

@@ -178,6 +178,7 @@ fn eval_star(sorted: &[(f64, ClientId)], residual: f64, served: &[bool]) -> Opti
 
 /// Runs star greedy with full diagnostics (lazy-evaluation heap).
 pub fn solve_detailed(instance: &Instance) -> GreedyRun {
+    let _span = distfl_obs::span("solver", "greedy");
     let n = instance.num_clients();
     let m = instance.num_facilities();
     let stars = SortedStars::build(instance);
@@ -240,6 +241,7 @@ pub fn solve_detailed(instance: &Instance) -> GreedyRun {
 
     let solution = Solution::from_assignment(instance, assignment)
         .expect("greedy assigns over existing links");
+    distfl_obs::counter("solver.greedy.iterations").add(iterations as u64);
     GreedyRun { solution, ratios, iterations }
 }
 

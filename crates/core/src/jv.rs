@@ -122,6 +122,7 @@ fn exact_paid(
 /// wins — and every `α_j`, `frozen` update, and opening decision — is the
 /// exact value the reference computes.
 pub fn dual_ascent(instance: &Instance) -> DualAscent {
+    let _span = distfl_obs::span("solver", "jv.dual_ascent");
     let n = instance.num_clients();
     let m = instance.num_facilities();
     let mut alpha = vec![0.0f64; n];

@@ -174,6 +174,7 @@ fn cached_candidate_cost(
 ///
 /// Panics if `start` is infeasible for `instance`.
 pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalSearchRun {
+    let _span = distfl_obs::span("solver", "localsearch");
     start.check_feasible(instance).expect("local search needs a feasible start");
     let n = instance.num_clients();
     let m = instance.num_facilities();
@@ -246,6 +247,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
         }
     }
 
+    distfl_obs::counter("solver.localsearch.moves").add(u64::from(moves));
     finish(instance, open, initial_cost, moves, converged)
 }
 

@@ -137,6 +137,7 @@ impl FlAlgorithm for PayDual {
     }
 
     fn run(&self, instance: &Instance, seed: u64) -> Result<Outcome, CoreError> {
+        let _span = distfl_obs::span_arg("solver", "paydual", u64::from(self.params.phases));
         if self.params.phases == 0 {
             return Err(CoreError::InvalidParams {
                 reason: "paydual needs at least one phase".to_owned(),
@@ -151,7 +152,11 @@ impl FlAlgorithm for PayDual {
         };
         let mut net = Network::with_config(topo, nodes, seed, config)?;
         let total_rounds = crate::theory::paydual_rounds(self.params.phases);
-        net.run(total_rounds)?;
+        if distfl_obs::enabled() {
+            run_traced(&mut net, total_rounds)?;
+        } else {
+            net.run(total_rounds)?;
+        }
         debug_assert_eq!(net.transcript().num_rounds(), total_rounds);
 
         let m = instance.num_facilities();
@@ -186,6 +191,41 @@ impl FlAlgorithm for PayDual {
             modeled_rounds: None,
         })
     }
+}
+
+/// [`Network::run`] with a trace span around each PayDual phase: rounds
+/// 0–1 are bootstrap/init, then three rounds (offer, open, connect) per
+/// phase. Step-for-step identical to `net.run(max_rounds)` — the spans
+/// only observe, they never change when or whether a round executes.
+fn run_traced(
+    net: &mut Network<PayDualNode>,
+    max_rounds: u32,
+) -> Result<(), distfl_congest::CongestError> {
+    use distfl_congest::NodeLogic;
+    let mut phase_span = distfl_obs::Span::disabled();
+    let mut current_phase = u32::MAX;
+    while !net.all_done() {
+        if net.round() >= max_rounds {
+            let pending = net.nodes().iter().filter(|l| !l.is_done()).count();
+            return Err(distfl_congest::CongestError::RoundLimit { limit: max_rounds, pending });
+        }
+        let round = net.round();
+        let phase = if round < 2 { 0 } else { (round - 2) / 3 + 1 };
+        if phase != current_phase {
+            current_phase = phase;
+            // Close the previous phase's span before opening the next so
+            // the intervals do not overlap in the trace.
+            drop(std::mem::replace(&mut phase_span, distfl_obs::Span::disabled()));
+            phase_span = if phase == 0 {
+                distfl_obs::span("solver", "paydual.bootstrap")
+            } else {
+                distfl_obs::span_arg("solver", "paydual.phase", u64::from(phase))
+            };
+        }
+        net.step()?;
+    }
+    drop(phase_span);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -43,12 +43,15 @@ pub struct DistRoundParams {
 }
 
 impl DistRoundParams {
-    /// The standard configuration: `λ = 2`, `T = ⌈log₂(n+m)⌉ + 2`.
+    /// The standard configuration: `λ = 2`, `T = ⌈log₂(n+m)⌉ + 2`,
+    /// computed safely for degenerate totals by
+    /// [`distfl_lp::rounding::standard_trials`].
     pub fn for_instance(instance: &Instance) -> Self {
-        let total = (instance.num_clients() + instance.num_facilities()) as f64;
         DistRoundParams {
             boost: 2.0,
-            trials: total.log2().ceil() as u32 + 2,
+            trials: distfl_lp::rounding::standard_trials(
+                instance.num_clients() + instance.num_facilities(),
+            ),
             threads: None,
             fault: None,
         }
@@ -282,6 +285,7 @@ pub fn distributed_round(
     params: DistRoundParams,
     seed: u64,
 ) -> Result<DistRoundOutcome, CoreError> {
+    let _span = distfl_obs::span_arg("solver", "distround", u64::from(params.trials));
     if !(params.boost.is_finite() && params.boost > 0.0) {
         return Err(CoreError::InvalidParams {
             reason: format!("boost must be positive, got {}", params.boost),
@@ -443,6 +447,28 @@ mod tests {
         let a = distributed_round(&inst, &frac, params, 9).unwrap();
         let b = distributed_round(&inst, &frac, params, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_trials_always_cover_the_smallest_instances() {
+        // Regression for the float-cast collapse on tiny totals: the
+        // smallest legal instance (1 facility, 1 client) must get at least
+        // as many trials as the degenerate-helper floor, and growing the
+        // instance never shrinks the budget.
+        let tiny = inst_1x1();
+        let p = DistRoundParams::for_instance(&tiny);
+        assert_eq!(p.trials, 3);
+        assert!(p.trials >= distfl_lp::rounding::standard_trials(0));
+        let bigger = UniformRandom::new(6, 20).unwrap().generate(0).unwrap();
+        assert!(DistRoundParams::for_instance(&bigger).trials >= p.trials);
+    }
+
+    fn inst_1x1() -> Instance {
+        let mut b = distfl_instance::InstanceBuilder::new();
+        let f = b.add_facility(distfl_instance::Cost::new(2.0).unwrap());
+        let c = b.add_client();
+        b.link(c, f, distfl_instance::Cost::new(1.0).unwrap()).unwrap();
+        b.build().unwrap()
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property tests: fault injection never breaks PayDual's safety.
+//!
+//! The paper's guarantees assume a fault-free synchronous network; the
+//! library's stronger operational claim (E10) is that *feasibility* is
+//! unconditional — under arbitrary message-drop plans and crash-stop
+//! schedules the recovered assignment still serves every client over
+//! existing links, and the `audit` convergecasts agree with the offline
+//! evaluation of that solution. These properties fuzz both fault models
+//! (and their combination) across instance shapes and seeds.
+
+use proptest::prelude::*;
+
+use distfl_congest::{CongestConfig, FaultPlan, Network, NodeId};
+use distfl_core::paydual::{node as pd, PayDual, PayDualParams};
+use distfl_core::{audit, node_role, theory, topology_of, FlAlgorithm, Role};
+use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+use distfl_instance::{FacilityId, Instance, Solution};
+
+/// A dense bipartite instance: `m` facilities, `n` clients.
+fn any_instance() -> impl Strategy<Value = Instance> {
+    (2usize..7, 5usize..25, 0u64..500)
+        .prop_map(|(m, n, seed)| UniformRandom::new(m, n).unwrap().generate(seed).unwrap())
+}
+
+/// Audits `solution` distributively (when the graph is connected) and
+/// checks the convergecast agrees with the offline cost.
+fn audit_matches(inst: &Instance, solution: &Solution) -> Result<(), TestCaseError> {
+    let topology = topology_of(inst).expect("topology");
+    if !topology.is_connected() {
+        return Ok(());
+    }
+    let (cost, _) = audit::distributed_cost(inst, solution).expect("audit runs");
+    prop_assert!(
+        (cost - solution.cost(inst).value()).abs() < 1e-9,
+        "audited cost {cost} disagrees with offline evaluation"
+    );
+    let (open, _) = audit::distributed_open_count(inst, solution).expect("audit runs");
+    prop_assert!((open - solution.num_open() as f64).abs() < 1e-9);
+    Ok(())
+}
+
+/// Runs PayDual with `k` facilities crashed at `crash_round` plus an
+/// optional drop plan, and recovers the clients' assignment the way a
+/// deployment would (connected facility, else local fallback).
+fn run_with_faults(
+    inst: &Instance,
+    phases: u32,
+    seed: u64,
+    k: usize,
+    crash_round: u32,
+    fault: Option<FaultPlan>,
+) -> Solution {
+    let topo = topology_of(inst).expect("topology");
+    let nodes = pd::build_nodes(inst, phases, Default::default());
+    let config = CongestConfig {
+        crashes: (0..k).map(|i| (NodeId::new(i as u32), crash_round)).collect(),
+        fault,
+        ..CongestConfig::default()
+    };
+    let mut net = Network::with_config(topo, nodes, seed, config).expect("network");
+    net.run(theory::paydual_rounds(phases)).expect("run");
+    let m = inst.num_facilities();
+    let assignment: Vec<FacilityId> = net
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(index, node)| match (node_role(m, NodeId::new(index as u32)), node) {
+            (Role::Client(_), pd::PayDualNode::Client(c)) => Some(
+                c.connected_facility()
+                    .or_else(|| c.fallback_facility())
+                    .expect("clients always have a recovery target"),
+            ),
+            _ => None,
+        })
+        .collect();
+    Solution::from_assignment(inst, assignment).expect("recovered assignment is feasible")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn message_drops_never_break_feasibility(
+        inst in any_instance(),
+        drop_prob in 0.0f64..0.95,
+        phases in 1u32..6,
+        seed in 0u64..100,
+        fault_seed in 0u64..100,
+    ) {
+        let fault = (drop_prob > 0.0)
+            .then(|| FaultPlan::drop_with_probability(drop_prob, fault_seed));
+        let params = PayDualParams { fault, ..PayDualParams::with_phases(phases) };
+        let out = PayDual::new(params).run(&inst, seed).expect("paydual run");
+        prop_assert!(out.solution.check_feasible(&inst).is_ok());
+        audit_matches(&inst, &out.solution)?;
+    }
+
+    #[test]
+    fn crash_stop_schedules_never_break_feasibility(
+        inst in any_instance(),
+        phases in 1u32..6,
+        seed in 0u64..100,
+        crash_frac in 0.0f64..1.0,
+        crash_round in 0u32..6,
+    ) {
+        // Crash facility nodes only, always leaving at least one alive so
+        // clients retain a recovery target; clients themselves never crash
+        // (a crashed client has no assignment to audit).
+        let m = inst.num_facilities();
+        let k = ((m as f64 * crash_frac) as usize).min(m - 1);
+        let solution = run_with_faults(&inst, phases, seed, k, crash_round, None);
+        prop_assert!(solution.check_feasible(&inst).is_ok());
+        audit_matches(&inst, &solution)?;
+    }
+
+    #[test]
+    fn combined_drops_and_crashes_never_break_feasibility(
+        inst in any_instance(),
+        drop_prob in 0.0f64..0.8,
+        phases in 1u32..5,
+        seed in 0u64..50,
+        crash_frac in 0.0f64..1.0,
+        crash_round in 0u32..4,
+    ) {
+        let m = inst.num_facilities();
+        let k = ((m as f64 * crash_frac) as usize).min(m - 1);
+        let fault = (drop_prob > 0.0)
+            .then(|| FaultPlan::drop_with_probability(drop_prob, seed.wrapping_add(7)));
+        let solution = run_with_faults(&inst, phases, seed, k, crash_round, fault);
+        prop_assert!(solution.check_feasible(&inst).is_ok());
+        audit_matches(&inst, &solution)?;
+    }
+}

@@ -44,7 +44,13 @@ pub fn termination_bound(instance: &Instance) -> f64 {
     4.0 * coefficient_spread(instance)
 }
 
-/// The per-phase raise factor `γ = B^{1/s}` for `s` phases.
+/// The smallest per-phase factor [`phase_factor`] ever reports: below this,
+/// extra phases cannot lower the factor further, so phase counts derived
+/// from a target factor are capped where the clamp takes over.
+pub const PHASE_FACTOR_FLOOR: f64 = 1.0 + 1e-9;
+
+/// The per-phase raise factor `γ = B^{1/s}` for `s` phases, clamped at
+/// [`PHASE_FACTOR_FLOOR`].
 ///
 /// # Panics
 ///
@@ -52,7 +58,7 @@ pub fn termination_bound(instance: &Instance) -> f64 {
 pub fn phase_factor(instance: &Instance, phases: u32) -> f64 {
     assert!(phases > 0, "need at least one phase");
     let b = termination_bound(instance);
-    b.powf(1.0 / f64::from(phases)).max(1.0 + 1e-9)
+    b.powf(1.0 / f64::from(phases)).max(PHASE_FACTOR_FLOOR)
 }
 
 /// Number of phases needed so that the per-phase factor is at most `gamma`.
@@ -60,13 +66,31 @@ pub fn phase_factor(instance: &Instance, phases: u32) -> f64 {
 /// Inverse of [`phase_factor`]; useful for "give me the round budget for a
 /// target approximation" queries.
 ///
+/// Degenerate inputs resolve explicitly instead of flowing through the
+/// float division `ln B / ln γ`:
+///
+/// * `γ ≥ B` returns 1 phase — one phase already sweeps the whole dual
+///   range. In particular every uniform-cost instance (spread `ρ = 1`,
+///   `B = 4`) lands here for any `γ ≥ 4` without touching the logs.
+/// * `γ` below [`PHASE_FACTOR_FLOOR`] clamps to the floor: the raw ratio
+///   would explode toward `+inf` as `ln γ → 0` and the `as u32` cast then
+///   saturates to `u32::MAX`, a phase count whose round budget
+///   (`3(s+1)+2`) silently overflows `u32`. With the clamp the result is
+///   the largest phase count that still lowers the factor.
+///
 /// # Panics
 ///
-/// Panics if `gamma <= 1`.
+/// Panics if `gamma` is NaN or `gamma <= 1`.
 pub fn phases_for_factor(instance: &Instance, gamma: f64) -> u32 {
     assert!(gamma > 1.0, "factor must exceed 1");
     let b = termination_bound(instance);
-    (b.ln() / gamma.ln()).ceil().max(1.0) as u32
+    if gamma >= b {
+        return 1;
+    }
+    let per_phase = gamma.max(PHASE_FACTOR_FLOOR).ln();
+    let raw = (b.ln() / per_phase).ceil();
+    debug_assert!(raw.is_finite(), "B >= 4 and the factor floor keep the ratio finite");
+    raw.clamp(1.0, f64::from(u32::MAX >> 8)) as u32
 }
 
 #[cfg(test)]
@@ -127,5 +151,45 @@ mod tests {
     fn zero_phases_panics() {
         let i = inst(&[1.0], &[&[1.0]]);
         let _ = phase_factor(&i, 0);
+    }
+
+    #[test]
+    fn uniform_cost_instances_resolve_to_one_phase() {
+        // Regression: with spread rho = 1 (every coefficient equal) the
+        // termination bound is exactly 4; any target factor covering it
+        // must return 1 phase explicitly, not go through the log ratio.
+        let i = inst(&[5.0], &[&[5.0], &[5.0]]);
+        assert_eq!(coefficient_spread(&i), 1.0);
+        for gamma in [4.0, 4.5, 10.0, 1e12] {
+            assert_eq!(phases_for_factor(&i, gamma), 1, "gamma {gamma}");
+        }
+    }
+
+    #[test]
+    fn near_one_factors_stay_within_the_round_budget() {
+        // Regression: for gamma -> 1+ the raw ratio ln(B)/ln(gamma) blows
+        // up and the old cast saturated to u32::MAX — a phase count whose
+        // PayDual round budget 3(s+1)+2 overflows u32. The clamped count
+        // must keep that arithmetic in range.
+        let uniform = inst(&[5.0], &[&[5.0]]);
+        let spreadful = inst(&[1000.0], &[&[1.0]]);
+        for i in [&uniform, &spreadful] {
+            let s = phases_for_factor(i, 1.0 + f64::EPSILON);
+            assert!(s >= 1);
+            assert!(s < (u32::MAX - 5) / 3, "phase count {s} overflows the 3(s+1)+2 round budget");
+            // More phases than the factor floor can use are never returned.
+            assert!(phase_factor(i, s) <= PHASE_FACTOR_FLOOR * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must exceed 1")]
+    fn factor_of_one_panics() {
+        let i = inst(&[5.0], &[&[5.0]]);
+        // A uniform-cost instance has spread exactly 1; feeding that spread
+        // back in as the target factor is a caller error, reported loudly
+        // rather than dividing by ln(1) = 0.
+        let rho = coefficient_spread(&i);
+        let _ = phases_for_factor(&i, rho);
     }
 }

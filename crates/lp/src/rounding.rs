@@ -33,11 +33,28 @@ pub struct RoundingConfig {
 
 impl RoundingConfig {
     /// The standard configuration for an instance: `λ = 2`,
-    /// `T = ⌈log₂(n+m)⌉ + 2` trials.
+    /// `T = ⌈log₂(n+m)⌉ + 2` trials (see [`standard_trials`]).
     pub fn for_instance(instance: &Instance) -> Self {
-        let total = (instance.num_clients() + instance.num_facilities()) as f64;
-        RoundingConfig { boost: 2.0, trials: total.log2().ceil() as u32 + 2 }
+        RoundingConfig {
+            boost: 2.0,
+            trials: standard_trials(instance.num_clients() + instance.num_facilities()),
+        }
     }
+}
+
+/// The standard trial count `T = ⌈log₂(max(total, 2))⌉ + 2` for a network
+/// of `total` nodes, in integer arithmetic.
+///
+/// Totals below 2 clamp to 2, so the count is always at least 3 and
+/// monotone in `total`. (The earlier float formula
+/// `total.log2().ceil() as u32 + 2` collapsed on degenerate totals:
+/// `log2(0.0) = -inf` and `log2(1.0) = 0.0` both cast to 0, silently
+/// yielding a smaller trial budget for the tiniest inputs than for every
+/// real instance.)
+pub fn standard_trials(total: usize) -> u32 {
+    let total = total.max(2);
+    // ceil(log2(t)) for t >= 2, without going through floats.
+    (usize::BITS - (total - 1).leading_zeros()) + 2
 }
 
 /// Outcome of a rounding run, with diagnostics used by experiment E5.
@@ -218,5 +235,29 @@ mod tests {
                 / 20.0;
         let envelope = lp * (cfg.boost * cfg.trials as f64 + 2.0);
         assert!(avg <= envelope, "avg rounded {avg} vs envelope {envelope}");
+    }
+
+    #[test]
+    fn trial_count_survives_degenerate_totals() {
+        // Regression: the float formula `total.log2().ceil() as u32 + 2`
+        // produced 2 for both an empty and a single-node network (via the
+        // -inf and 0.0 casts) — below the floor any real instance gets.
+        assert_eq!(standard_trials(0), 3);
+        assert_eq!(standard_trials(1), 3);
+        assert_eq!(standard_trials(2), 3);
+        assert!(standard_trials(0) >= 3 && standard_trials(1) >= 3);
+    }
+
+    #[test]
+    fn trial_count_matches_the_log_formula_for_real_sizes() {
+        for (total, expected) in [(3, 4), (4, 4), (5, 5), (26, 7), (1024, 12), (1025, 13)] {
+            assert_eq!(standard_trials(total), expected, "total {total}");
+            // Agrees with the float formula wherever that one was sound.
+            assert_eq!(standard_trials(total), (total as f64).log2().ceil() as u32 + 2);
+        }
+        // Monotone in the network size.
+        for t in 2..200usize {
+            assert!(standard_trials(t + 1) >= standard_trials(t));
+        }
     }
 }

@@ -1,0 +1,434 @@
+//! Trace exporters: Chrome `trace_event` JSON and flat CSV.
+//!
+//! Both render a [`Snapshot`] — the merged drain of every thread's ring
+//! buffer plus the metric values at drain time. The JSON form is the
+//! object-wrapped `trace_event` flavor (`{"traceEvents": [...]}`): spans
+//! become `"ph": "X"` complete events and each counter/gauge becomes one
+//! trailing `"ph": "C"` counter sample, so Perfetto and `chrome://tracing`
+//! render a track per thread plus one per metric.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::metrics::MetricValue;
+use crate::TraceEvent;
+
+/// A drained trace: events (oldest first) plus the metric values observed
+/// at drain time. Produced by [`crate::snapshot`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All recorded spans, sorted by start timestamp.
+    pub events: Vec<TraceEvent>,
+    /// Registered metrics, name-sorted.
+    pub metrics: Vec<(&'static str, MetricValue)>,
+    /// Events lost to ring-buffer overwrites since the previous drain.
+    pub dropped: u64,
+}
+
+impl Snapshot {
+    /// Events lost to ring-buffer overwrites since the previous drain.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The value of the metric named `name`, if registered.
+    pub fn metric(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// Renders the snapshot as Chrome `trace_event` JSON.
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for ev in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n{\"name\":");
+            push_json_string(&mut out, ev.name);
+            out.push_str(",\"cat\":");
+            push_json_string(&mut out, ev.cat);
+            out.push_str(&format!(
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                ev.ts_micros, ev.dur_micros, ev.tid
+            ));
+            if let Some(arg) = ev.arg {
+                out.push_str(&format!(",\"args\":{{\"arg\":{arg}}}"));
+            }
+            out.push('}');
+        }
+        // One counter sample per metric at the end of the captured window
+        // gives the viewers a value track without a time series.
+        let last_ts = self.events.iter().map(|e| e.ts_micros + e.dur_micros).max().unwrap_or(0);
+        for (name, value) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n{\"name\":");
+            push_json_string(&mut out, name);
+            let rendered = match value {
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge(v) => json_f64(*v),
+            };
+            out.push_str(&format!(
+                ",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{rendered}}}"
+            ));
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":\"{}\"}}}}",
+            self.dropped
+        ));
+        out
+    }
+
+    /// Renders the snapshot as a flat CSV: one row per span, then one row
+    /// per metric, with blank cells where a column does not apply.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("kind,cat,name,ts_micros,dur_micros,tid,value\n");
+        for ev in &self.events {
+            out.push_str(&format!(
+                "span,{},{},{},{},{},{}\n",
+                ev.cat,
+                ev.name,
+                ev.ts_micros,
+                ev.dur_micros,
+                ev.tid,
+                ev.arg.map(|a| a.to_string()).unwrap_or_default()
+            ));
+        }
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("counter,,{name},,,,{v}\n")),
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("gauge,,{name},,,,{}\n", json_f64(*v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes [`Snapshot::chrome_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_chrome_trace(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.chrome_json().as_bytes())
+    }
+
+    /// Writes [`Snapshot::csv`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.csv().as_bytes())
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders an `f64` as a JSON number (JSON has no NaN/inf tokens).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Checks that `s` is a single well-formed JSON value.
+///
+/// A minimal recursive-descent validator (the workspace deliberately has
+/// no JSON dependency); used by the exporter tests and the `exp_all`
+/// trace smoke to ensure the written trace parses.
+///
+/// # Errors
+///
+/// Returns the byte offset and a short description of the first syntax
+/// error.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("expected a value at byte {}", *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {}", *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control char at byte {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_serial as serial;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            events: vec![
+                TraceEvent {
+                    name: "round",
+                    cat: "engine",
+                    ts_micros: 10,
+                    dur_micros: 5,
+                    tid: 1,
+                    arg: Some(7),
+                },
+                TraceEvent {
+                    name: "stage.deliver",
+                    cat: "engine",
+                    ts_micros: 12,
+                    dur_micros: 2,
+                    tid: 2,
+                    arg: None,
+                },
+            ],
+            metrics: vec![
+                ("engine.messages", MetricValue::Counter(123)),
+                ("pool.utilization", MetricValue::Gauge(0.75)),
+            ],
+            dropped: 1,
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_complete() {
+        let json = sample().chrome_json();
+        validate_json(&json).expect("trace JSON parses");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"round\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"arg\":7}"));
+        assert!(json.contains("\"value\":123"));
+        assert!(json.contains("\"dropped_events\":\"1\""));
+    }
+
+    #[test]
+    fn csv_round_trips_rows_and_blanks() {
+        let csv = sample().csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,cat,name,ts_micros,dur_micros,tid,value");
+        assert_eq!(lines[1], "span,engine,round,10,5,1,7");
+        assert_eq!(lines[2], "span,engine,stage.deliver,12,2,2,");
+        assert_eq!(lines[3], "counter,,engine.messages,,,,123");
+        assert_eq!(lines[4], "gauge,,pool.utilization,,,,0.75");
+        // Every row has the full column count (blank cells, never missing).
+        for line in &lines {
+            assert_eq!(line.matches(',').count(), 6, "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_still_exports() {
+        let snap = Snapshot { events: Vec::new(), metrics: Vec::new(), dropped: 0 };
+        validate_json(&snap.chrome_json()).expect("empty trace parses");
+        assert_eq!(snap.csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn end_to_end_snapshot_exports() {
+        let _g = serial();
+        crate::set_enabled(true);
+        {
+            let _s = crate::span_arg("engine", "round", 1);
+        }
+        crate::counter("test.export.msgs").add(9);
+        crate::set_enabled(false);
+        let snap = crate::snapshot();
+        let json = snap.chrome_json();
+        validate_json(&json).expect("trace JSON parses");
+        assert!(json.contains("\"name\":\"round\""));
+        assert!(json.contains("test.export.msgs"));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let mut wrapped = String::from("{\"k\":");
+        wrapped.push_str(&s);
+        wrapped.push('}');
+        validate_json(&wrapped).expect("escaped string parses");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} extra", "\"unterminated", "01x"] {
+            assert!(validate_json(bad).is_err(), "{bad:?} accepted");
+        }
+        for good in ["{}", "[]", "null", "-1.5e-3", "{\"a\":[1,2,{\"b\":null}]}"] {
+            assert!(validate_json(good).is_ok(), "{good:?} rejected");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The typed metrics registry: named cumulative [`Counter`]s and
+//! last-value [`Gauge`]s.
+//!
+//! Handles are cheap `&'static AtomicU64` wrappers looked up (or created)
+//! by name; hot paths should look a handle up once and reuse it. Updates
+//! are gated on [`crate::enabled`] so a disabled build performs no atomic
+//! writes, keeping the registry invisible to benchmarks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Which flavor a registered metric is; determines how its cell's bits
+/// are interpreted on export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Counter,
+    Gauge,
+}
+
+/// A snapshot value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Cumulative counter value.
+    Counter(u64),
+    /// Last value stored in a gauge.
+    Gauge(f64),
+}
+
+fn table() -> &'static Mutex<BTreeMap<&'static str, (Kind, &'static AtomicU64)>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<&'static str, (Kind, &'static AtomicU64)>>> =
+        OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn cell(name: &'static str, kind: Kind) -> &'static AtomicU64 {
+    let mut t = crate::lock(table());
+    let (registered, cell) = t
+        .entry(name)
+        // Leaked cells give handles a 'static address; the set of metric
+        // names is a small fixed vocabulary, so this is bounded.
+        .or_insert_with(|| (kind, Box::leak(Box::new(AtomicU64::new(0)))));
+    assert!(
+        *registered == kind,
+        "metric {name:?} registered as {registered:?}, requested as {kind:?}"
+    );
+    cell
+}
+
+/// A named cumulative counter. Copyable handle; see [`counter`].
+#[derive(Clone, Copy)]
+pub struct Counter {
+    cell: &'static AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter. No-op while tracing is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to the counter. No-op while tracing is disabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-value gauge storing an `f64`. Copyable handle; see
+/// [`gauge`].
+#[derive(Clone, Copy)]
+pub struct Gauge {
+    cell: &'static AtomicU64,
+}
+
+impl Gauge {
+    /// Stores `v`. No-op while tracing is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Looks up (creating on first use) the counter named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a gauge.
+pub fn counter(name: &'static str) -> Counter {
+    Counter { cell: cell(name, Kind::Counter) }
+}
+
+/// Looks up (creating on first use) the gauge named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a counter.
+pub fn gauge(name: &'static str) -> Gauge {
+    Gauge { cell: cell(name, Kind::Gauge) }
+}
+
+/// Zeroes every registered metric (names stay registered).
+pub fn metrics_reset() {
+    for (_, (kind, cell)) in crate::lock(table()).iter() {
+        let zero = match kind {
+            Kind::Counter => 0,
+            Kind::Gauge => 0f64.to_bits(),
+        };
+        cell.store(zero, Ordering::Relaxed);
+    }
+}
+
+/// All registered metrics and their current values, name-sorted.
+pub(crate) fn read_all() -> Vec<(&'static str, MetricValue)> {
+    crate::lock(table())
+        .iter()
+        .map(|(name, (kind, cell))| {
+            let raw = cell.load(Ordering::Relaxed);
+            let value = match kind {
+                Kind::Counter => MetricValue::Counter(raw),
+                Kind::Gauge => MetricValue::Gauge(f64::from_bits(raw)),
+            };
+            (*name, value)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_serial as serial;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = serial();
+        crate::set_enabled(true);
+        let c = counter("test.metrics.hits");
+        let before = c.get();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), before + 4);
+        crate::set_enabled(false);
+        c.add(100);
+        assert_eq!(c.get(), before + 4, "disabled adds must not land");
+        metrics_reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauges_store_last_value() {
+        let _g = serial();
+        crate::set_enabled(true);
+        let g = gauge("test.metrics.level");
+        g.set(2.5);
+        g.set(-1.25);
+        assert_eq!(g.get(), -1.25);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn handles_with_the_same_name_share_a_cell() {
+        let _g = serial();
+        crate::set_enabled(true);
+        let a = counter("test.metrics.shared");
+        let b = counter("test.metrics.shared");
+        let before = a.get();
+        a.incr();
+        b.incr();
+        assert_eq!(a.get(), before + 2);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.metrics.kinded");
+        let _ = gauge("test.metrics.kinded");
+    }
+}

@@ -41,8 +41,20 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+
+/// Locks `m`, recovering from poisoning.
+///
+/// Task bodies run under `catch_unwind` and never while a pool mutex is
+/// held, so a poisoned lock means the pool *itself* panicked mid-update —
+/// and every pool mutex guards plain data (job deques, epoch and pending
+/// counters) that is coherent at every step. Recovering keeps one panicked
+/// worker from cascading `PoisonError` panics into every thread that
+/// touches the pool afterwards.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A task as stored in a worker deque: lifetime-erased, tagged with the
 /// batch it belongs to and the deque it was pushed to.
@@ -81,7 +93,7 @@ impl Batch {
     /// the worker loop, then decrement `pending` and signal if last.
     fn run_job(&self, run: Box<dyn FnOnce() + Send + 'static>, executor: usize, home: usize) {
         if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
-            let mut slot = self.panic.lock().unwrap();
+            let mut slot = relock(&self.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
@@ -90,7 +102,7 @@ impl Batch {
         if executor != home && executor != CALLER {
             self.stolen.fetch_add(1, Ordering::Relaxed);
         }
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = relock(&self.pending);
         *pending -= 1;
         if *pending == 0 {
             self.done.notify_all();
@@ -100,6 +112,13 @@ impl Batch {
 
 /// Executor id used for the thread that opened the scope (not a worker).
 const CALLER: usize = usize::MAX;
+
+/// Cached obs handles for the per-scope task/steal counters.
+fn pool_counters() -> (distfl_obs::Counter, distfl_obs::Counter) {
+    static COUNTERS: OnceLock<(distfl_obs::Counter, distfl_obs::Counter)> = OnceLock::new();
+    *COUNTERS
+        .get_or_init(|| (distfl_obs::counter("pool.tasks"), distfl_obs::counter("pool.stolen")))
+}
 
 /// Shared state between the pool handle and its workers.
 struct Shared {
@@ -118,7 +137,7 @@ struct Shared {
 impl Shared {
     /// Bump the epoch and wake every parked worker.
     fn notify(&self) {
-        let mut epoch = self.epoch.lock().unwrap();
+        let mut epoch = relock(&self.epoch);
         *epoch += 1;
         drop(epoch);
         self.wake.notify_all();
@@ -127,13 +146,13 @@ impl Shared {
     /// Pop a runnable job for `who`: own deque from the back (LIFO),
     /// then every other deque from the front (FIFO steal).
     fn find_job(&self, who: usize) -> Option<Job> {
-        if let Some(job) = self.queues[who].lock().unwrap().pop_back() {
+        if let Some(job) = relock(&self.queues[who]).pop_back() {
             return Some(job);
         }
         let lanes = self.queues.len();
         for offset in 1..lanes {
             let victim = (who + offset) % lanes;
-            if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+            if let Some(job) = relock(&self.queues[victim]).pop_front() {
                 return Some(job);
             }
         }
@@ -145,7 +164,7 @@ impl Shared {
         loop {
             // Read the epoch *before* scanning, so a push that races with
             // the scan bumps the epoch and the park below returns at once.
-            let seen = *self.epoch.lock().unwrap();
+            let seen = *relock(&self.epoch);
             if let Some(job) = self.find_job(who) {
                 job.batch.clone().run_job(job.run, who, job.home);
                 continue;
@@ -153,9 +172,9 @@ impl Shared {
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            let mut epoch = self.epoch.lock().unwrap();
+            let mut epoch = relock(&self.epoch);
             while *epoch == seen && !self.shutdown.load(Ordering::Acquire) {
-                epoch = self.wake.wait(epoch).unwrap();
+                epoch = self.wake.wait(epoch).unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -205,7 +224,7 @@ impl<'pool, 'env> Scope<'pool, 'env> {
 
         let shared = &self.pool.shared;
         let lanes = shared.queues.len();
-        *self.batch.pending.lock().unwrap() += 1;
+        *relock(&self.batch.pending) += 1;
         if lanes == 0 {
             // Inline pool: run on the submitting thread, in spawn order.
             self.batch.run_job(run, CALLER, CALLER);
@@ -213,11 +232,7 @@ impl<'pool, 'env> Scope<'pool, 'env> {
         }
         let home = self.next_lane % lanes;
         self.next_lane = self.next_lane.wrapping_add(1);
-        shared.queues[home].lock().unwrap().push_back(Job {
-            run,
-            batch: Arc::clone(&self.batch),
-            home,
-        });
+        relock(&shared.queues[home]).push_back(Job { run, batch: Arc::clone(&self.batch), home });
         shared.notify();
     }
 }
@@ -297,7 +312,7 @@ impl WorkerPool {
         type Registry = Mutex<Vec<(usize, Arc<WorkerPool>)>>;
         static SHARED: OnceLock<Registry> = OnceLock::new();
         let registry = SHARED.get_or_init(|| Mutex::new(Vec::new()));
-        let mut pools = registry.lock().unwrap();
+        let mut pools = relock(registry);
         if let Some((_, pool)) = pools.iter().find(|(w, _)| *w == workers) {
             return Arc::clone(pool);
         }
@@ -330,7 +345,7 @@ impl WorkerPool {
         // Help: steal back jobs of *this* batch and run them here.
         loop {
             let job = self.shared.queues.iter().find_map(|queue| {
-                let mut queue = queue.lock().unwrap();
+                let mut queue = relock(queue);
                 let pos = queue.iter().position(|job| Arc::ptr_eq(&job.batch, &batch));
                 pos.and_then(|pos| queue.remove(pos))
             });
@@ -340,19 +355,25 @@ impl WorkerPool {
             }
         }
 
-        let mut pending = batch.pending.lock().unwrap();
+        let mut pending = relock(&batch.pending);
         while *pending > 0 {
-            pending = batch.done.wait(pending).unwrap();
+            pending = batch.done.wait(pending).unwrap_or_else(PoisonError::into_inner);
         }
         drop(pending);
 
-        if let Some(payload) = batch.panic.lock().unwrap().take() {
+        if let Some(payload) = relock(&batch.panic).take() {
             resume_unwind(payload);
         }
-        ScopeStats {
+        let stats = ScopeStats {
             tasks: batch.tasks.load(Ordering::Relaxed),
             stolen: batch.stolen.load(Ordering::Relaxed),
+        };
+        if distfl_obs::enabled() {
+            let (tasks, stolen) = pool_counters();
+            tasks.add(stats.tasks);
+            stolen.add(stats.stolen);
         }
+        stats
     }
 
     /// Evaluate `f(0..n)` in parallel and collect results in index order.
@@ -414,7 +435,7 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.notify();
-        for handle in self.handles.lock().unwrap().drain(..) {
+        for handle in relock(&self.handles).drain(..) {
             let _ = handle.join();
         }
     }
