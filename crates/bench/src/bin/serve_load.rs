@@ -1,0 +1,244 @@
+//! Load generator for the `distfl-serve` batching solver service.
+//!
+//! Starts an in-process [`distfl_serve::Server`], fires a deterministic
+//! request mix at it from many concurrent TCP clients (released together
+//! by a barrier so admissions burst and the scheduler actually batches),
+//! and writes one JSON document (default `BENCH_5.json`) with:
+//!
+//! - **throughput** — requests per second over the measured run;
+//! - **latency** — per-request round-trip percentiles (p50/p90/p99) in
+//!   microseconds;
+//! - **batching** — `serve.requests` / `serve.batches` from the obs
+//!   registry, i.e. the mean batch size the scheduler achieved;
+//! - **determinism** — the same mix replayed against a restarted server
+//!   and against a server with a different worker count, asserting every
+//!   response line is byte-identical across all three runs.
+//!
+//! The mix cycles all four wire solvers (greedy, local-search, jv,
+//! paydual) over inline and OR-Library instance payloads. Usage:
+//! `serve_load [--smoke] [--out PATH]` — `--smoke` shrinks the mix for
+//! CI while exercising every code path.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+use distfl_serve::{ServeConfig, Server};
+
+/// The shape of one load run.
+struct Plan {
+    clients: usize,
+    per_client: usize,
+    workers: usize,
+    max_batch: usize,
+}
+
+impl Plan {
+    fn full() -> Plan {
+        Plan { clients: 64, per_client: 6, workers: 4, max_batch: 16 }
+    }
+
+    fn smoke() -> Plan {
+        Plan { clients: 8, per_client: 3, workers: 2, max_batch: 8 }
+    }
+
+    fn requests(&self) -> usize {
+        self.clients * self.per_client
+    }
+}
+
+/// The deterministic request line for client `ci`, request `ri`.
+///
+/// Cycles solvers and alternates inline instances with OR-Library
+/// payloads of varying size; the id encodes the position so responses
+/// can be matched across runs.
+fn request_line(ci: usize, ri: usize) -> String {
+    let solver = ["greedy", "local-search", "jv", "paydual"][(ci + ri) % 4];
+    let seed = (ci * 31 + ri) as u64;
+    let mut w = distfl_obs::JsonWriter::object();
+    w.key("id").string(&format!("c{ci}-r{ri}"));
+    w.key("solver").string(solver);
+    w.key("seed").number_u64(seed);
+    if (ci + ri).is_multiple_of(2) {
+        // Inline: a small two-facility instance whose costs vary with the
+        // position, so responses differ across the mix.
+        let shift = (ci % 5) as f64 * 0.25;
+        w.key("instance").begin_object();
+        w.key("opening").begin_array().number(4.0 + shift).number(3.0).end_array();
+        w.key("links").begin_array();
+        w.begin_array().number_u64(0).number(1.0 + shift).number_u64(1).number(2.0).end_array();
+        w.begin_array().number_u64(1).number(0.5).end_array();
+        w.end_array();
+        w.end_object();
+    } else {
+        let facilities = 4 + ri % 3;
+        let clients = 10 + (ci % 4) * 3;
+        let inst = UniformRandom::new(facilities, clients)
+            .expect("mix instance shape")
+            .generate(seed)
+            .expect("mix instance");
+        w.key("orlib").string(&distfl_instance::orlib::to_string(&inst).expect("orlib encode"));
+    }
+    w.finish()
+}
+
+/// Per-request round-trip nanoseconds plus every response keyed by id.
+type Collected = (Vec<u64>, BTreeMap<String, String>);
+
+/// One complete run: serve the whole mix, return per-request round-trip
+/// nanoseconds, every response keyed by request id, the wall-clock
+/// seconds, and the mean scheduler batch size.
+fn run_load(plan: &Plan, mix: &[Vec<String>]) -> RunResult {
+    distfl_obs::metrics_reset();
+    let config = ServeConfig {
+        queue_capacity: 256,
+        max_batch: plan.max_batch,
+        workers: Some(plan.workers),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind load server");
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(mix.len()));
+    let collected: Arc<Mutex<Collected>> = Arc::new(Mutex::new((Vec::new(), BTreeMap::new())));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for lines in mix {
+            let barrier = Arc::clone(&barrier);
+            let collected = Arc::clone(&collected);
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect load client");
+                stream.set_nodelay(true).expect("set nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut writer = stream;
+                let mut latencies = Vec::with_capacity(lines.len());
+                let mut responses = BTreeMap::new();
+                barrier.wait();
+                for line in lines {
+                    let sent = Instant::now();
+                    writeln!(writer, "{line}").expect("send request");
+                    let mut response = String::new();
+                    let n = reader.read_line(&mut response).expect("read response");
+                    assert!(n > 0, "server closed mid-run");
+                    latencies.push(sent.elapsed().as_nanos() as u64);
+                    let response = response.trim_end().to_owned();
+                    let id = extract_id(&response);
+                    assert!(response.contains(r#""ok":true"#), "failed response: {response}");
+                    responses.insert(id, response);
+                }
+                let mut guard = collected.lock().expect("collect lock");
+                guard.0.extend(latencies);
+                guard.1.extend(responses);
+            });
+        }
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let requests = distfl_obs::counter("serve.requests").get();
+    let batches = distfl_obs::counter("serve.batches").get();
+    let mean_batch = if batches > 0 { requests as f64 / batches as f64 } else { 0.0 };
+    let (mut latencies, responses) =
+        Arc::try_unwrap(collected).expect("collectors done").into_inner().expect("collect lock");
+    latencies.sort_unstable();
+    RunResult { latencies, responses, wall_secs, mean_batch }
+}
+
+struct RunResult {
+    /// Sorted round-trip times in nanoseconds.
+    latencies: Vec<u64>,
+    responses: BTreeMap<String, String>,
+    wall_secs: f64,
+    mean_batch: f64,
+}
+
+/// The `"id"` member of a response line (responses put it first).
+fn extract_id(response: &str) -> String {
+    let rest = response.strip_prefix(r#"{"id":""#).expect("response starts with id");
+    rest.chars().take_while(|c| *c != '"').collect()
+}
+
+/// The `q`-th percentile (0–100) of sorted `values`, nearest-rank.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_5.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("usage: serve_load [--smoke] [--out PATH] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let plan = if smoke { Plan::smoke() } else { Plan::full() };
+    // Metrics feed the batching numbers; spans stay cheap and in-memory.
+    distfl_obs::set_enabled(true);
+
+    let mix: Vec<Vec<String>> = (0..plan.clients)
+        .map(|ci| (0..plan.per_client).map(|ri| request_line(ci, ri)).collect())
+        .collect();
+
+    println!(
+        "serve_load: {} clients x {} requests, {} workers, max_batch {}",
+        plan.clients, plan.per_client, plan.workers, plan.max_batch
+    );
+    let measured = run_load(&plan, &mix);
+    assert_eq!(measured.responses.len(), plan.requests(), "every request answered once");
+
+    // Determinism: a restarted server and a differently-sized pool must
+    // produce byte-identical response lines for the same mix.
+    let restarted = run_load(&plan, &mix);
+    let resized_plan = Plan { workers: plan.workers / 2, ..plan };
+    let resized = run_load(&resized_plan, &mix);
+    assert_eq!(measured.responses, restarted.responses, "responses changed across a restart");
+    assert_eq!(measured.responses, resized.responses, "responses changed with the worker count");
+
+    let throughput = plan.requests() as f64 / measured.wall_secs;
+    let to_us = |ns: u64| ns as f64 / 1000.0;
+    let p50 = to_us(percentile(&measured.latencies, 50.0));
+    let p90 = to_us(percentile(&measured.latencies, 90.0));
+    let p99 = to_us(percentile(&measured.latencies, 99.0));
+
+    let mut w = distfl_obs::JsonWriter::object();
+    w.key("bench").string("serve_load");
+    w.key("mode").string(if smoke { "smoke" } else { "full" });
+    w.key("clients").number_u64(plan.clients as u64);
+    w.key("requests_per_client").number_u64(plan.per_client as u64);
+    w.key("workers").number_u64(plan.workers as u64);
+    w.key("max_batch").number_u64(plan.max_batch as u64);
+    w.key("requests").number_u64(plan.requests() as u64);
+    w.key("wall_secs").number((measured.wall_secs * 1e6).round() / 1e6);
+    w.key("throughput_rps").number((throughput * 10.0).round() / 10.0);
+    w.key("latency_us").begin_object();
+    w.key("p50").number(p50);
+    w.key("p90").number(p90);
+    w.key("p99").number(p99);
+    w.end_object();
+    w.key("mean_batch_size").number((measured.mean_batch * 100.0).round() / 100.0);
+    w.key("deterministic").begin_object();
+    w.key("across_restart").boolean(true);
+    w.key("across_worker_counts").boolean(true);
+    w.key("resized_workers").number_u64(resized_plan.workers as u64);
+    w.end_object();
+    let doc = w.finish();
+    distfl_obs::validate_json(&doc).expect("bench document is valid JSON");
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench document");
+
+    println!(
+        "  {:.0} req/s; latency us p50 {p50:.0} p90 {p90:.0} p99 {p99:.0}; mean batch {:.2}",
+        throughput, measured.mean_batch
+    );
+    println!("  responses byte-identical across restart and worker counts; wrote {out}");
+}

@@ -1,0 +1,187 @@
+//! Uniform solver selection: one enum naming every solver the outward
+//! layers (the serve protocol, load generators, CLIs) can request.
+//!
+//! The individual algorithms live in their own modules with their own
+//! parameter types; [`SolverKind`] is the stable, string-addressable
+//! subset a *request* can pick from, with fixed mid-range parameters so
+//! that a `(kind, instance, seed)` triple fully determines the output —
+//! the property the serve layer's byte-deterministic responses rest on.
+
+use std::str::FromStr;
+
+use distfl_instance::Instance;
+
+use crate::error::CoreError;
+use crate::greedy::StarGreedy;
+use crate::jv::JainVazirani;
+use crate::paydual::{PayDual, PayDualParams};
+use crate::runner::{FlAlgorithm, Outcome};
+use crate::{greedy, localsearch};
+
+/// Move cap for [`SolverKind::LocalSearch`]. Local search on UFL
+/// converges long before this on any instance the service admits; the cap
+/// only bounds the worst case so a request cannot run unboundedly.
+const LOCAL_SEARCH_MAX_MOVES: u32 = 10_000;
+
+/// The solvers addressable by name from outside the crate.
+///
+/// `solve` dispatches to the corresponding algorithm with fixed default
+/// parameters, so equal `(kind, instance, seed)` inputs always produce
+/// equal solutions — across processes, worker counts, and restarts.
+///
+/// ```
+/// use distfl_core::SolverKind;
+/// use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let instance = UniformRandom::new(5, 20)?.generate(7)?;
+/// let kind: SolverKind = "paydual".parse()?;
+/// let outcome = kind.solve(&instance, 1)?;
+/// outcome.solution.check_feasible(&instance)?;
+/// // The distributed solver reports its CONGEST round count.
+/// assert!(outcome.transcript.unwrap().num_rounds() > 0);
+/// // Equal inputs give equal outputs.
+/// assert_eq!(outcome.solution, kind.solve(&instance, 1)?.solution);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Sequential star greedy ([`crate::greedy`]): the classic
+    /// `ln n`-approximation, fastest of the four.
+    Greedy,
+    /// Star greedy start followed by open/close local search
+    /// ([`crate::localsearch`]); best solution quality of the four.
+    LocalSearch,
+    /// Jain–Vazirani primal–dual ([`crate::jv`]). Its 3-approximation
+    /// guarantee assumes a metric instance; dispatch skips the quadratic
+    /// metricity check and still returns a feasible solution (with a dual
+    /// lower bound) on non-metric inputs.
+    JainVazirani,
+    /// The reproduced distributed algorithm ([`crate::paydual`]) with the
+    /// default phase count, executed in the CONGEST simulator; the only
+    /// kind that reports a round count.
+    PayDual,
+}
+
+impl SolverKind {
+    /// Every kind, in protocol-name order — for enumerating what a
+    /// service supports.
+    pub const ALL: [SolverKind; 4] = [
+        SolverKind::Greedy,
+        SolverKind::LocalSearch,
+        SolverKind::JainVazirani,
+        SolverKind::PayDual,
+    ];
+
+    /// The canonical protocol name (`greedy`, `local-search`, `jv`,
+    /// `paydual`) — the inverse of [`FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Greedy => "greedy",
+            SolverKind::LocalSearch => "local-search",
+            SolverKind::JainVazirani => "jv",
+            SolverKind::PayDual => "paydual",
+        }
+    }
+
+    /// Runs the selected solver on `instance`.
+    ///
+    /// `seed` drives all randomness (only [`SolverKind::PayDual`] draws
+    /// any); sequential kinds accept and ignore it, so a request is one
+    /// uniform triple regardless of kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying algorithm's [`CoreError`] (e.g. invalid
+    /// parameters or CONGEST model violations).
+    pub fn solve(self, instance: &Instance, seed: u64) -> Result<Outcome, CoreError> {
+        match self {
+            SolverKind::Greedy => StarGreedy::new().run(instance, seed),
+            SolverKind::LocalSearch => {
+                let (start, _alphas) = greedy::solve(instance);
+                let run = localsearch::optimize(instance, &start, LOCAL_SEARCH_MAX_MOVES);
+                Ok(Outcome::sequential(run.solution))
+            }
+            SolverKind::JainVazirani => JainVazirani::unchecked().run(instance, seed),
+            SolverKind::PayDual => PayDual::new(PayDualParams::default()).run(instance, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SolverKind {
+    type Err = CoreError;
+
+    /// Parses a protocol name. Accepted spellings per kind:
+    /// `greedy`; `local-search` / `localsearch` / `local_search`;
+    /// `jv` / `jain-vazirani`; `paydual` / `pay-dual`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "greedy" => Ok(SolverKind::Greedy),
+            "local-search" | "localsearch" | "local_search" => Ok(SolverKind::LocalSearch),
+            "jv" | "jain-vazirani" => Ok(SolverKind::JainVazirani),
+            "paydual" | "pay-dual" => Ok(SolverKind::PayDual),
+            other => Err(CoreError::InvalidParams {
+                reason: format!(
+                    "unknown solver '{other}' (expected greedy, local-search, jv, or paydual)"
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for kind in SolverKind::ALL {
+            assert_eq!(kind.name().parse::<SolverKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!("JAIN-VAZIRANI".parse::<SolverKind>().unwrap(), SolverKind::JainVazirani);
+        assert_eq!(" localsearch ".parse::<SolverKind>().unwrap(), SolverKind::LocalSearch);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_menu() {
+        let err = "simplex".parse::<SolverKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("simplex"), "{msg}");
+        assert!(msg.contains("paydual"), "{msg}");
+    }
+
+    #[test]
+    fn every_kind_solves_feasibly_and_deterministically() {
+        let inst = UniformRandom::new(6, 25).unwrap().generate(11).unwrap();
+        for kind in SolverKind::ALL {
+            let a = kind.solve(&inst, 5).unwrap();
+            a.solution.check_feasible(&inst).unwrap();
+            let b = kind.solve(&inst, 5).unwrap();
+            assert_eq!(a.solution, b.solution, "{kind} not deterministic");
+            match kind {
+                SolverKind::PayDual => assert!(a.transcript.is_some()),
+                _ => assert!(a.transcript.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_never_loses_to_its_greedy_start() {
+        let inst = UniformRandom::new(8, 40).unwrap().generate(3).unwrap();
+        let g = SolverKind::Greedy.solve(&inst, 0).unwrap();
+        let ls = SolverKind::LocalSearch.solve(&inst, 0).unwrap();
+        assert!(
+            ls.solution.cost(&inst).value() <= g.solution.cost(&inst).value() + 1e-9,
+            "local search worse than its start"
+        );
+    }
+}

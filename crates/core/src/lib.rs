@@ -54,6 +54,7 @@
 pub mod audit;
 pub mod bucket;
 pub mod capacitated;
+mod dispatch;
 mod error;
 pub mod fraclp;
 pub mod greedy;
@@ -70,6 +71,7 @@ pub mod seqdist;
 pub mod seqsim;
 pub mod theory;
 
+pub use dispatch::SolverKind;
 pub use error::CoreError;
 pub use model::{client_node, facility_node, node_role, topology_of, Role};
 pub use report::RunReport;

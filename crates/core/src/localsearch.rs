@@ -167,7 +167,7 @@ fn cached_candidate_cost(
 
 /// Runs best-improvement local search from `start`, with an iteration cap.
 ///
-/// Evaluates candidates through the per-client [`ServiceCache`]; produces
+/// Evaluates candidates through the per-client `ServiceCache`; produces
 /// the exact move sequence and costs of [`optimize_reference`].
 ///
 /// # Panics

@@ -60,20 +60,24 @@ pub fn to_string(instance: &Instance) -> Result<String, InstanceError> {
 ///
 /// # Errors
 ///
-/// Returns [`InstanceError::Parse`] describing the first problem (the
-/// token index stands in for a line number, since the format wraps lines
-/// freely).
+/// Returns [`InstanceError::Parse`] describing the first problem with the
+/// 1-based line number the offending token sits on (the tokenizer tracks
+/// line numbers even though the format wraps lines freely, so clients of
+/// the serve layer can point at the exact input line). Truncated input
+/// reports the last line of the text.
 pub fn from_str(text: &str) -> Result<Instance, InstanceError> {
-    let mut tokens = text.split_whitespace().enumerate();
+    let last_line = text.lines().count().max(1);
+    let mut tokens = text
+        .lines()
+        .enumerate()
+        .flat_map(|(index, line)| line.split_whitespace().map(move |tok| (index + 1, tok)));
     let mut next_f64 = |what: &str| -> Result<f64, InstanceError> {
-        let (index, tok) = tokens.next().ok_or_else(|| InstanceError::Parse {
-            line: 0,
+        let (line, tok) = tokens.next().ok_or_else(|| InstanceError::Parse {
+            line: last_line,
             reason: format!("unexpected end of input while reading {what}"),
         })?;
-        tok.parse::<f64>().map_err(|_| InstanceError::Parse {
-            line: index + 1,
-            reason: format!("invalid {what}: '{tok}'"),
-        })
+        tok.parse::<f64>()
+            .map_err(|_| InstanceError::Parse { line, reason: format!("invalid {what}: '{tok}'") })
     };
 
     let m = next_f64("facility count")? as usize;
@@ -166,7 +170,13 @@ mod tests {
     #[test]
     fn rejects_truncated_input() {
         let e = from_str("2 2\n0 10\n0 20\n0\n1 2\n0\n3").unwrap_err();
-        assert!(matches!(e, InstanceError::Parse { .. }), "{e}");
+        match e {
+            InstanceError::Parse { line, reason } => {
+                assert_eq!(line, 7, "truncation reported on the last line");
+                assert!(reason.contains("end of input"), "{reason}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 
     #[test]
@@ -174,8 +184,40 @@ mod tests {
         let e = from_str("2 2\n0 ten\n").unwrap_err();
         match e {
             InstanceError::Parse { line, reason } => {
-                assert_eq!(line, 4, "token index of 'ten'");
+                assert_eq!(line, 2, "line number of 'ten'");
                 assert!(reason.contains("ten"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_fixture_errors_carry_the_wrapped_line_number() {
+        // The FIXTURE with one allocation cost corrupted on a *wrapped*
+        // continuation line: the parser must name line 11 ("abc" below),
+        // not a token index and not the logical record start.
+        let malformed = "\
+ 3 4
+0 7500.5
+0 8000
+0 9000
+ 12
+ 100 200
+ 300
+ 7
+ 150 250 350
+ 9
+ 120 abc 320
+ 4
+ 110 210
+ 310
+";
+        let e = from_str(malformed).unwrap_err();
+        match e {
+            InstanceError::Parse { line, reason } => {
+                assert_eq!(line, 11, "error on the wrapped cost line");
+                assert!(reason.contains("abc"), "{reason}");
+                assert!(reason.contains("allocation cost"), "{reason}");
             }
             other => panic!("unexpected error {other}"),
         }

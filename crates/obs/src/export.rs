@@ -10,6 +10,7 @@
 use std::io::Write;
 use std::path::Path;
 
+use crate::json::{json_f64, push_json_string};
 use crate::metrics::MetricValue;
 use crate::TraceEvent;
 
@@ -129,32 +130,6 @@ impl Snapshot {
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.csv().as_bytes())
-    }
-}
-
-/// Appends `s` as a JSON string literal (quotes + escapes).
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Renders an `f64` as a JSON number (JSON has no NaN/inf tokens).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_owned()
     }
 }
 

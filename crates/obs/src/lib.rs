@@ -46,9 +46,11 @@
 #![warn(missing_docs)]
 
 mod export;
+mod json;
 mod metrics;
 
 pub use export::{validate_json, Snapshot};
+pub use json::JsonWriter;
 pub use metrics::{counter, gauge, metrics_reset, Counter, Gauge, MetricValue};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

@@ -1,0 +1,58 @@
+//! The `distfl-serve` binary: run the batching solver service.
+//!
+//! ```text
+//! distfl-serve [ADDR] [--queue-capacity N] [--max-batch N] [--workers N]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:7411`. The process serves until a
+//! client sends `{"cmd":"shutdown"}`, then drains in-flight requests and
+//! exits. Set `DISTFL_TRACE=1` to record request spans and the
+//! `serve.*` metrics in the observability registry.
+
+use distfl_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: distfl-serve [ADDR] [--queue-capacity N] [--max-batch N] [--workers N]\n\
+         \n\
+         ADDR               listen address (default 127.0.0.1:7411)\n\
+         --queue-capacity N admission queue bound (default 256)\n\
+         --max-batch N      max requests per scheduler batch (default 16)\n\
+         --workers N        pool workers (default: process-wide global pool)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    distfl_obs::init_from_env();
+    let mut addr = "127.0.0.1:7411".to_owned();
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut number = |what: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {what} needs a number");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--queue-capacity" => config.queue_capacity = number("--queue-capacity").max(1),
+            "--max-batch" => config.max_batch = number("--max-batch").max(1),
+            "--workers" => config.workers = Some(number("--workers")),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => addr = other.to_owned(),
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::start(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("distfl-serve listening on {}", server.local_addr());
+    server.wait();
+    println!("distfl-serve drained and stopped");
+}

@@ -1,0 +1,51 @@
+//! # distfl-serve
+//!
+//! The outward-facing layer of the `distfl` workspace: a TCP solver
+//! service that accepts **newline-delimited JSON** solve requests,
+//! batches them through a bounded admission queue onto the shared
+//! [`distfl_pool::WorkerPool`], and streams back deterministic responses.
+//!
+//! Pipeline: request line → [`proto`] parse → [`queue::Admission`]
+//! (bounded; full = typed `queue_full` error, never a hang) →
+//! [`scheduler`] batch → pool workers ([`distfl_core::SolverKind`]
+//! dispatch) → response line. Per-request spans and the
+//! `serve.requests` / `serve.queue_depth` / `serve.batch_size` metrics
+//! land in the [`distfl_obs`] registry when tracing is enabled.
+//!
+//! Responses are **byte-deterministic**: for a fixed request line and
+//! seed, the response bytes are identical across server restarts, worker
+//! counts, and batch compositions. Shutdown is a **graceful drain**
+//! (`{"cmd":"shutdown"}` or [`Server::shutdown`]): everything admitted
+//! is answered before the server exits.
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//! use distfl_serve::{ServeConfig, Server};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let server = Server::start("127.0.0.1:0", ServeConfig::default())?;
+//! let mut conn = TcpStream::connect(server.local_addr())?;
+//! writeln!(
+//!     conn,
+//!     r#"{{"id":"r1","solver":"greedy","instance":{{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}}}"#
+//! )?;
+//! let mut response = String::new();
+//! BufReader::new(&conn).read_line(&mut response)?;
+//! assert!(response.contains(r#""id":"r1","ok":true"#), "{response}");
+//! assert!(response.contains(r#""cost":5.5"#), "{response}");
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod scheduler;
+mod server;
+
+pub use server::{BatchHook, ServeConfig, Server};

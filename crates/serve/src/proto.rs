@@ -1,0 +1,411 @@
+//! The serve wire protocol: newline-delimited JSON requests and
+//! responses.
+//!
+//! Every line the client sends is one JSON object; every line the server
+//! sends back is one JSON object. Two request shapes exist:
+//!
+//! **Solve request** — names a solver and carries the instance either
+//! inline or as an OR-Library payload:
+//!
+//! ```json
+//! {"id":"r1","solver":"greedy","seed":7,
+//!  "instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}
+//! {"id":"r2","solver":"paydual","orlib":"2 1\n0 4\n0 3\n0\n1 2\n"}
+//! ```
+//!
+//! `opening` lists the opening cost of each facility; `links[j]` is a
+//! flat `[facility, cost, facility, cost, ...]` pair list for client `j`.
+//! `seed` is optional (default 0) and only affects randomized solvers.
+//!
+//! **Command** — `{"cmd":"ping"}` (liveness probe) or
+//! `{"cmd":"shutdown"}` (the SIGTERM-equivalent: acknowledge, stop
+//! admitting, drain, exit).
+//!
+//! Responses echo the request `id` and are *byte-deterministic*: for a
+//! fixed request and seed the response line is identical across restarts
+//! and worker counts. Success:
+//!
+//! ```json
+//! {"id":"r1","ok":true,"solver":"greedy","seed":7,"cost":5.5,
+//!  "open":[0],"rounds":null,"span":"a93c4f0212d08e11"}
+//! ```
+//!
+//! `rounds` is the CONGEST round count for distributed solvers and
+//! `null` for sequential ones. `span` is the request's span id — the
+//! FNV-1a hash of the request line, which also tags the `serve`-category
+//! span recorded in the `distfl-obs` registry, so a trace of a live
+//! request can be joined to its response. Errors are typed:
+//!
+//! ```json
+//! {"id":"r3","ok":false,"error":{"kind":"queue_full",
+//!  "detail":"admission queue at capacity 256"},"span":"..."}
+//! ```
+//!
+//! with `kind` one of `malformed_request`, `invalid_instance`,
+//! `queue_full`, `solver_failed`, `shutting_down`.
+
+use distfl_core::SolverKind;
+use distfl_instance::{Cost, FacilityId, Instance, InstanceBuilder};
+use distfl_obs::JsonWriter;
+
+use crate::json::Json;
+
+/// Limit on request ids, to keep response lines and span labels bounded.
+const MAX_ID_LEN: usize = 128;
+
+/// How a request supplies its instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceSource {
+    /// Inline `{"opening":[...],"links":[[...]]}` object, already
+    /// validated and built.
+    Inline(Instance),
+    /// An OR-Library text payload, parsed on the worker (so oversized
+    /// payloads do not stall the connection thread).
+    OrLib(String),
+}
+
+/// One admitted solve request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed on the response.
+    pub id: String,
+    /// Which solver to dispatch to.
+    pub solver: SolverKind,
+    /// Seed for randomized solvers (default 0).
+    pub seed: u64,
+    /// The instance payload.
+    pub source: InstanceSource,
+    /// FNV-1a hash of the request line: the span id on the response and
+    /// on the `serve.request` obs span.
+    pub span_id: u64,
+}
+
+/// Control commands, handled on the connection thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Liveness probe; answered with `{"ok":true,"pong":true}`.
+    Ping,
+    /// Graceful drain: acknowledge, then stop admitting and exit once
+    /// in-flight requests have been answered.
+    Shutdown,
+}
+
+/// A successfully parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed {
+    /// A solve request, ready for admission.
+    Request(Box<Request>),
+    /// A control command.
+    Command(Command),
+}
+
+/// Error categories the protocol reports to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line is not valid JSON or misses/mistypes required fields.
+    MalformedRequest,
+    /// The instance payload does not describe a valid instance (parse
+    /// errors carry OR-Library line numbers).
+    InvalidInstance,
+    /// The admission queue is at capacity; retry later.
+    QueueFull,
+    /// The solver rejected the request (e.g. invalid parameters).
+    SolverFailed,
+    /// The server is draining and admits no new work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The wire name of the category.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::MalformedRequest => "malformed_request",
+            ErrorKind::InvalidInstance => "invalid_instance",
+            ErrorKind::QueueFull => "queue_full",
+            ErrorKind::SolverFailed => "solver_failed",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A typed protocol error: category, human detail, and the request id if
+/// one was recovered from the line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// Category reported as `error.kind`.
+    pub kind: ErrorKind,
+    /// Human-readable detail reported as `error.detail`.
+    pub detail: String,
+    /// The request id, when the line was parsed far enough to know it.
+    pub id: Option<String>,
+}
+
+impl ServeError {
+    /// A malformed-request error with no recovered id.
+    fn malformed(detail: impl Into<String>) -> Self {
+        ServeError { kind: ErrorKind::MalformedRequest, detail: detail.into(), id: None }
+    }
+}
+
+/// FNV-1a 64-bit hash of `bytes` — the deterministic span id of a
+/// request line (no RNG, no clock: restarts reproduce it).
+pub fn span_id(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Parses one request line into a solve request or command.
+///
+/// # Errors
+///
+/// Returns a typed [`ServeError`] (always `malformed_request` or
+/// `invalid_instance`) carrying the request id when it was recoverable.
+pub fn parse_line(line: &str) -> Result<Parsed, ServeError> {
+    let value = Json::parse(line)
+        .map_err(|e| ServeError::malformed(format!("request is not valid JSON: {e}")))?;
+    if let Some(cmd) = value.get("cmd") {
+        return match cmd.as_str() {
+            Some("ping") => Ok(Parsed::Command(Command::Ping)),
+            Some("shutdown") => Ok(Parsed::Command(Command::Shutdown)),
+            _ => Err(ServeError::malformed("unknown cmd (expected ping or shutdown)")),
+        };
+    }
+
+    let id = match value.get("id") {
+        Some(Json::Str(s)) if !s.is_empty() && s.len() <= MAX_ID_LEN => s.clone(),
+        Some(Json::Str(_)) => {
+            return Err(ServeError::malformed(format!("id must be 1..={MAX_ID_LEN} characters")))
+        }
+        Some(_) => return Err(ServeError::malformed("id must be a string")),
+        None => return Err(ServeError::malformed("missing field: id")),
+    };
+    let fail = |kind: ErrorKind, detail: String| ServeError { kind, detail, id: Some(id.clone()) };
+
+    let solver = match value.get("solver").and_then(Json::as_str) {
+        Some(name) => name
+            .parse::<SolverKind>()
+            .map_err(|e| fail(ErrorKind::MalformedRequest, e.to_string()))?,
+        None => return Err(fail(ErrorKind::MalformedRequest, "missing field: solver".into())),
+    };
+    let seed = match value.get("seed") {
+        None => 0,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            fail(ErrorKind::MalformedRequest, "seed must be a non-negative integer".into())
+        })?,
+    };
+
+    let source = match (value.get("instance"), value.get("orlib")) {
+        (Some(inline), None) => InstanceSource::Inline(
+            build_inline(inline).map_err(|detail| fail(ErrorKind::InvalidInstance, detail))?,
+        ),
+        (None, Some(Json::Str(payload))) => InstanceSource::OrLib(payload.clone()),
+        (None, Some(_)) => {
+            return Err(fail(ErrorKind::MalformedRequest, "orlib must be a string".into()))
+        }
+        (Some(_), Some(_)) => {
+            return Err(fail(
+                ErrorKind::MalformedRequest,
+                "give either instance or orlib, not both".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(fail(
+                ErrorKind::MalformedRequest,
+                "missing field: instance or orlib".into(),
+            ))
+        }
+    };
+
+    Ok(Parsed::Request(Box::new(Request {
+        id,
+        solver,
+        seed,
+        source,
+        span_id: span_id(line.as_bytes()),
+    })))
+}
+
+/// Builds an [`Instance`] from the inline `{"opening", "links"}` shape.
+fn build_inline(value: &Json) -> Result<Instance, String> {
+    let opening = value
+        .get("opening")
+        .and_then(Json::as_array)
+        .ok_or("instance.opening must be an array of opening costs")?;
+    let links = value
+        .get("links")
+        .and_then(Json::as_array)
+        .ok_or("instance.links must be an array (one pair list per client)")?;
+
+    let mut builder = InstanceBuilder::new();
+    let mut fids = Vec::with_capacity(opening.len());
+    for (index, cost) in opening.iter().enumerate() {
+        let cost = cost.as_f64().ok_or_else(|| format!("opening[{index}] is not a number"))?;
+        let cost = Cost::new(cost).map_err(|e| format!("opening[{index}]: {e}"))?;
+        fids.push(builder.add_facility(cost));
+    }
+    for (j, pairs) in links.iter().enumerate() {
+        let pairs = pairs.as_array().ok_or_else(|| format!("links[{j}] is not a pair array"))?;
+        if pairs.len() % 2 != 0 {
+            return Err(format!("links[{j}] must hold (facility, cost) pairs"));
+        }
+        let client = builder.add_client();
+        for pair in pairs.chunks(2) {
+            let facility = pair[0]
+                .as_u64()
+                .ok_or_else(|| format!("links[{j}]: facility index is not an integer"))?;
+            let facility = usize::try_from(facility).expect("u64 fits usize on 64-bit");
+            if facility >= fids.len() {
+                return Err(format!(
+                    "links[{j}]: facility index {facility} out of range ({} facilities)",
+                    fids.len()
+                ));
+            }
+            let cost =
+                pair[1].as_f64().ok_or_else(|| format!("links[{j}]: cost is not a number"))?;
+            let cost = Cost::new(cost).map_err(|e| format!("links[{j}]: {e}"))?;
+            builder
+                .link(client, FacilityId::new(facility as u32), cost)
+                .map_err(|e| format!("links[{j}]: {e}"))?;
+        }
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Renders `span_id` the way responses carry it: 16 lowercase hex digits.
+pub fn span_hex(span_id: u64) -> String {
+    format!("{span_id:016x}")
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn render_success(request: &Request, cost: f64, open: &[usize], rounds: Option<u32>) -> String {
+    let mut w = JsonWriter::object();
+    w.key("id").string(&request.id);
+    w.key("ok").boolean(true);
+    w.key("solver").string(request.solver.name());
+    w.key("seed").number_u64(request.seed);
+    w.key("cost").number(cost);
+    w.key("open").begin_array();
+    for &i in open {
+        w.number_u64(i as u64);
+    }
+    w.end_array();
+    match rounds {
+        Some(r) => w.key("rounds").number_u64(u64::from(r)),
+        None => w.key("rounds").null(),
+    };
+    w.key("span").string(&span_hex(request.span_id));
+    w.finish()
+}
+
+/// Renders a typed error response line (no trailing newline). `span_id`
+/// is 0 when the line never parsed far enough to hash meaningfully.
+pub fn render_error(error: &ServeError, span_id: u64) -> String {
+    let mut w = JsonWriter::object();
+    match &error.id {
+        Some(id) => w.key("id").string(id),
+        None => w.key("id").null(),
+    };
+    w.key("ok").boolean(false);
+    w.key("error").begin_object();
+    w.key("kind").string(error.kind.as_str());
+    w.key("detail").string(&error.detail);
+    w.end_object();
+    w.key("span").string(&span_hex(span_id));
+    w.finish()
+}
+
+/// Renders the acknowledgement for a [`Command`].
+pub fn render_command_ack(cmd: Command) -> String {
+    let mut w = JsonWriter::object();
+    w.key("ok").boolean(true);
+    match cmd {
+        Command::Ping => w.key("pong").boolean(true),
+        Command::Shutdown => w.key("shutdown").boolean(true),
+    };
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INLINE: &str = r#"{"id":"r1","solver":"greedy","seed":3,"instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}"#;
+
+    #[test]
+    fn parses_an_inline_request() {
+        let parsed = parse_line(INLINE).unwrap();
+        let Parsed::Request(req) = parsed else { panic!("expected a request") };
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.solver, SolverKind::Greedy);
+        assert_eq!(req.seed, 3);
+        let InstanceSource::Inline(inst) = &req.source else { panic!("expected inline") };
+        assert_eq!(inst.num_facilities(), 2);
+        assert_eq!(inst.num_clients(), 2);
+        assert_eq!(req.span_id, span_id(INLINE.as_bytes()));
+    }
+
+    #[test]
+    fn parses_an_orlib_request_lazily() {
+        let line = r#"{"id":"x","solver":"jv","orlib":"2 1\n0 4\n0 3\n0\n1 2\n"}"#;
+        let Parsed::Request(req) = parse_line(line).unwrap() else { panic!() };
+        assert!(matches!(req.source, InstanceSource::OrLib(_)));
+        assert_eq!(req.seed, 0, "seed defaults to 0");
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(parse_line(r#"{"cmd":"ping"}"#).unwrap(), Parsed::Command(Command::Ping));
+        assert_eq!(
+            parse_line(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Parsed::Command(Command::Shutdown)
+        );
+        assert!(parse_line(r#"{"cmd":"reboot"}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_keep_the_id_when_recoverable() {
+        let err = parse_line(r#"{"id":"r9","solver":"simplex","orlib":"x"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::MalformedRequest);
+        assert_eq!(err.id.as_deref(), Some("r9"));
+        let err = parse_line("not json").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::MalformedRequest);
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn inline_validation_is_typed_invalid_instance() {
+        let line =
+            r#"{"id":"r2","solver":"greedy","instance":{"opening":[1.0],"links":[[5,1.0]]}}"#;
+        let err = parse_line(line).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidInstance);
+        assert!(err.detail.contains("out of range"), "{}", err.detail);
+    }
+
+    #[test]
+    fn responses_are_wellformed_json() {
+        let Parsed::Request(req) = parse_line(INLINE).unwrap() else { panic!() };
+        let ok = render_success(&req, 5.5, &[0, 2], Some(17));
+        distfl_obs::validate_json(&ok).unwrap();
+        assert!(ok.contains("\"rounds\":17"), "{ok}");
+        let err = render_error(
+            &ServeError { kind: ErrorKind::QueueFull, detail: "full".into(), id: Some("a".into()) },
+            7,
+        );
+        distfl_obs::validate_json(&err).unwrap();
+        assert!(err.contains("\"kind\":\"queue_full\""), "{err}");
+        assert!(err.contains("\"span\":\"0000000000000007\""), "{err}");
+        distfl_obs::validate_json(&render_command_ack(Command::Ping)).unwrap();
+    }
+
+    #[test]
+    fn span_ids_are_stable() {
+        // FNV-1a is part of the wire contract (byte-deterministic
+        // responses across restarts); pin a reference value.
+        assert_eq!(span_id(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(span_id(INLINE.as_bytes()), span_id(INLINE.as_bytes()));
+    }
+}

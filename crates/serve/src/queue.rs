@@ -1,0 +1,162 @@
+//! The bounded admission queue between connection threads and the
+//! batching scheduler.
+//!
+//! Connection threads `push` (non-blocking: a full queue is an immediate
+//! typed error back to the client, never a hang); the single scheduler
+//! thread `pop_batch`es (blocking). Closing the queue stops admission
+//! while letting the scheduler drain what was already admitted — the
+//! mechanism behind graceful shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue holds `capacity` items; the client should retry later.
+    Full,
+    /// The queue was closed for admission (server draining).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue with a close switch.
+pub struct Admission<T> {
+    state: Mutex<State<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Queue state is a plain VecDeque + flag, coherent at every step.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> Admission<T> {
+    /// An open queue admitting at most `capacity` (≥ 1) queued items.
+    pub fn new(capacity: usize) -> Self {
+        Admission {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy by nature; for metrics and tests).
+    pub fn depth(&self) -> usize {
+        relock(&self.state).items.len()
+    }
+
+    /// Admits `item`, or refuses immediately — never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back together with the reason so the caller can
+    /// answer the client without re-parsing.
+    pub fn push(&self, item: T) -> Result<(), (T, AdmitError)> {
+        let mut state = relock(&self.state);
+        if state.closed {
+            return Err((item, AdmitError::Closed));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((item, AdmitError::Full));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue for admission and wakes the consumer. Items
+    /// already queued remain poppable (drain semantics).
+    pub fn close(&self) {
+        relock(&self.state).closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Blocks until at least one item is available (or the queue is
+    /// closed and empty), then removes and returns up to `max` items in
+    /// admission order. An empty result means: closed and fully drained.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut state = relock(&self.state);
+        while state.items.is_empty() && !state.closed {
+            state = self.nonempty.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        let take = state.items.len().min(max.max(1));
+        state.items.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_refuses_when_full_and_returns_the_item() {
+        let q = Admission::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        let (item, err) = q.push(3).unwrap_err();
+        assert_eq!((item, err), (3, AdmitError::Full));
+        // Popping frees capacity again.
+        assert_eq!(q.pop_batch(10), vec![1, 2]);
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn close_refuses_new_items_but_drains_queued_ones() {
+        let q = Admission::new(4);
+        q.push("a").unwrap();
+        q.close();
+        let (_, err) = q.push("b").unwrap_err();
+        assert_eq!(err, AdmitError::Closed);
+        assert_eq!(q.pop_batch(10), vec!["a"]);
+        assert!(q.pop_batch(10).is_empty(), "closed + drained pops empty");
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_order() {
+        let q = Admission::new(10);
+        for i in 0..7 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(3), vec![3, 4, 5]);
+        assert_eq!(q.pop_batch(3), vec![6]);
+    }
+
+    #[test]
+    fn pop_batch_blocks_until_a_push_arrives() {
+        let q = Arc::new(Admission::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(8))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_consumer() {
+        let q: Arc<Admission<u32>> = Arc::new(Admission::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(8))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(consumer.join().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! The batching scheduler: drains the admission queue in batches and
+//! fans each batch out over the worker pool.
+//!
+//! One scheduler thread per server. It blocks on the queue, takes up to
+//! `max_batch` requests at once, and executes the whole batch with
+//! [`WorkerPool::map_indexed`] — so concurrent requests from independent
+//! connections share one fork/join instead of fighting for threads. Each
+//! response is rendered on the worker and handed back to its
+//! connection's writer through the per-request channel; batch membership
+//! never leaks into response bytes, which is what keeps responses
+//! deterministic regardless of batching and worker count.
+
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+use distfl_instance::Instance;
+use distfl_pool::WorkerPool;
+
+use crate::proto::{self, ErrorKind, InstanceSource, Request, ServeError};
+use crate::queue::Admission;
+
+/// One admitted request together with the way back to its client.
+#[derive(Debug)]
+pub struct Job {
+    /// The parsed request.
+    pub request: Request,
+    /// The connection's response channel (unbounded; sends never block).
+    pub reply: Sender<String>,
+}
+
+/// Obs handles for the scheduler-side metrics.
+struct Metrics {
+    batches: distfl_obs::Counter,
+    batch_size: distfl_obs::Gauge,
+    queue_depth: distfl_obs::Gauge,
+}
+
+/// Runs the scheduler loop until the queue is closed and drained,
+/// executing up to `max_batch` requests per fork/join.
+///
+/// `batch_hook`, when present, observes each popped batch's size before
+/// it executes (see [`crate::ServeConfig::batch_hook`]).
+///
+/// Every popped job is answered exactly once — the drain contract the
+/// server's graceful shutdown relies on.
+pub fn run(
+    queue: &Admission<Job>,
+    pool: &Arc<WorkerPool>,
+    max_batch: usize,
+    batch_hook: Option<&(dyn Fn(usize) + Send + Sync)>,
+) {
+    let metrics = Metrics {
+        batches: distfl_obs::counter("serve.batches"),
+        batch_size: distfl_obs::gauge("serve.batch_size"),
+        queue_depth: distfl_obs::gauge("serve.queue_depth"),
+    };
+    loop {
+        let batch = queue.pop_batch(max_batch);
+        if batch.is_empty() {
+            return;
+        }
+        metrics.batches.incr();
+        metrics.batch_size.set(batch.len() as f64);
+        metrics.queue_depth.set(queue.depth() as f64);
+        if let Some(hook) = batch_hook {
+            hook(batch.len());
+        }
+        let responses = pool.map_indexed(batch.len(), |index| execute(&batch[index].request));
+        for (job, response) in batch.iter().zip(responses) {
+            // A send only fails if the connection died; the response is
+            // then undeliverable by definition, not "dropped".
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+/// Executes one request on a worker: build the instance, dispatch the
+/// solver, render the response line.
+fn execute(request: &Request) -> String {
+    let _span = distfl_obs::span_arg("serve", "request", request.span_id);
+    let fail = |kind: ErrorKind, detail: String| {
+        let error = ServeError { kind, detail, id: Some(request.id.clone()) };
+        proto::render_error(&error, request.span_id)
+    };
+    let instance: Instance = match &request.source {
+        InstanceSource::Inline(instance) => instance.clone(),
+        InstanceSource::OrLib(payload) => match distfl_instance::orlib::from_str(payload) {
+            Ok(instance) => instance,
+            Err(e) => return fail(ErrorKind::InvalidInstance, e.to_string()),
+        },
+    };
+    match request.solver.solve(&instance, request.seed) {
+        Ok(outcome) => {
+            let cost = outcome.solution.cost(&instance).value();
+            let open: Vec<usize> = outcome.solution.open_facilities().map(|i| i.index()).collect();
+            let rounds =
+                outcome.transcript.as_ref().map(|t| t.num_rounds()).or(outcome.modeled_rounds);
+            proto::render_success(request, cost, &open, rounds)
+        }
+        Err(e) => fail(ErrorKind::SolverFailed, e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{parse_line, Parsed};
+    use std::sync::mpsc::channel;
+
+    fn request(line: &str) -> Request {
+        match parse_line(line).unwrap() {
+            Parsed::Request(req) => *req,
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_is_deterministic_across_pool_sizes() {
+        let line = r#"{"id":"d","solver":"paydual","seed":9,"orlib":"2 3\n0 4\n0 6\n0\n1 5\n0\n2 2\n0\n9 1\n"}"#;
+        let req = request(line);
+        let direct = execute(&req);
+        distfl_obs::validate_json(&direct).unwrap();
+        for workers in [0, 2] {
+            let pool = Arc::new(WorkerPool::new(workers));
+            let queue = Admission::new(8);
+            let (tx, rx) = channel();
+            for _ in 0..3 {
+                queue.push(Job { request: req.clone(), reply: tx.clone() }).unwrap();
+            }
+            queue.close();
+            run(&queue, &pool, 4, None);
+            drop(tx);
+            let responses: Vec<String> = rx.into_iter().collect();
+            assert_eq!(responses.len(), 3);
+            for r in responses {
+                assert_eq!(r, direct, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn orlib_parse_failures_surface_line_numbers() {
+        let req = request(r#"{"id":"bad","solver":"greedy","orlib":"1 1\n0 x\n0\n1\n"}"#);
+        let response = execute(&req);
+        distfl_obs::validate_json(&response).unwrap();
+        assert!(response.contains("\"kind\":\"invalid_instance\""), "{response}");
+        assert!(response.contains("line 2"), "{response}");
+    }
+
+    #[test]
+    fn run_answers_every_job_before_returning() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let queue = Admission::new(64);
+        let (tx, rx) = channel();
+        let line = r#"{"id":"n","solver":"greedy","instance":{"opening":[1.0],"links":[[0,1.0]]}}"#;
+        for _ in 0..40 {
+            queue.push(Job { request: request(line), reply: tx.clone() }).unwrap();
+        }
+        queue.close();
+        run(&queue, &pool, 16, None);
+        drop(tx);
+        assert_eq!(rx.into_iter().count(), 40, "every admitted job answered");
+    }
+}

@@ -1,0 +1,314 @@
+//! The TCP server: listener, thread-per-connection I/O, and graceful
+//! drain.
+//!
+//! Data flow: a connection thread reads one NDJSON line, parses it, and
+//! pushes the request into the bounded [`Admission`] queue (a full or
+//! closed queue is an immediate typed error — admission never blocks a
+//! client). The single scheduler thread pops batches and fans them out
+//! on the worker pool; responses travel back through a per-connection
+//! unbounded channel drained by a dedicated writer thread, so slow
+//! clients never stall workers.
+//!
+//! Shutdown (the `{"cmd":"shutdown"}` SIGTERM-equivalent, or
+//! [`Server::shutdown`]) drains rather than aborts: stop accepting
+//! connections, close the queue for admission, let the scheduler answer
+//! everything already admitted, then release the connection readers and
+//! let the writers flush. No admitted request loses its response.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use distfl_pool::WorkerPool;
+
+use crate::proto::{self, Command, ErrorKind, Parsed, ServeError};
+use crate::queue::{Admission, AdmitError};
+use crate::scheduler::{self, Job};
+
+/// Instrumentation hook invoked with each batch's size after it is
+/// popped and before it executes (see [`ServeConfig::batch_hook`]).
+pub type BatchHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Server tuning knobs. `Default` suits tests and small deployments.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bound on requests admitted but not yet executing. Admission
+    /// beyond it returns a `queue_full` error immediately.
+    pub queue_capacity: usize,
+    /// Most requests one scheduler fork/join executes together.
+    pub max_batch: usize,
+    /// Worker threads: `Some(n)` takes the process-wide shared pool of
+    /// that size ([`WorkerPool::shared`]), `None` the global pool
+    /// ([`WorkerPool::global`]) — either way the pool outlives the
+    /// server and is reused by later servers and sweeps in-process.
+    pub workers: Option<usize>,
+    /// Called on the scheduler thread with each popped batch's size,
+    /// before the batch executes. A logging/telemetry point; tests use a
+    /// blocking hook to pin the scheduler at a known position.
+    pub batch_hook: Option<BatchHook>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_batch", &self.max_batch)
+            .field("workers", &self.workers)
+            .field("batch_hook", &self.batch_hook.as_ref().map(|_| "Fn"))
+            .finish()
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { queue_capacity: 256, max_batch: 16, workers: None, batch_hook: None }
+    }
+}
+
+/// State shared by the listener, connections, and the shutdown path.
+struct Inner {
+    queue: Admission<Job>,
+    requests: distfl_obs::Counter,
+    queue_depth: distfl_obs::Gauge,
+    draining: AtomicBool,
+    addr: SocketAddr,
+    /// Read-half clones of live connections, for releasing blocked
+    /// readers at drain time.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Connection thread handles (each joins its own writer).
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Inner {
+    /// Flips the server into draining mode (idempotent): close admission
+    /// and unblock the accept loop.
+    fn begin_shutdown(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // The accept loop blocks in accept(); a throwaway connection to
+        // ourselves wakes it so it can observe `draining` and exit.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running solver service bound to a local address.
+///
+/// Dropping a `Server` without calling [`Server::shutdown`] detaches the
+/// background threads (they keep serving); shut down explicitly to drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the listener and scheduler threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let pool = match config.workers {
+            Some(workers) => WorkerPool::shared(workers),
+            None => WorkerPool::global(),
+        };
+        let inner = Arc::new(Inner {
+            queue: Admission::new(config.queue_capacity),
+            requests: distfl_obs::counter("serve.requests"),
+            queue_depth: distfl_obs::gauge("serve.queue_depth"),
+            draining: AtomicBool::new(false),
+            addr: local,
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+
+        let scheduler_thread = {
+            let inner = Arc::clone(&inner);
+            let max_batch = config.max_batch.max(1);
+            let hook = config.batch_hook.clone();
+            std::thread::Builder::new()
+                .name("distfl-serve-sched".to_owned())
+                .spawn(move || scheduler::run(&inner.queue, &pool, max_batch, hook.as_deref()))
+                .expect("spawn scheduler thread")
+        };
+
+        let accept_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("distfl-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &inner))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            inner,
+            accept_thread: Some(accept_thread),
+            scheduler_thread: Some(scheduler_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Requests admitted but not yet handed to the scheduler (for tests
+    /// and monitoring; the same value feeds the `serve.queue_depth`
+    /// gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// Whether a drain has been initiated (by [`Server::shutdown`] or a
+    /// client `shutdown` command).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Initiates a graceful drain and blocks until it completes; every
+    /// admitted request is answered before this returns.
+    pub fn shutdown(mut self) {
+        self.inner.begin_shutdown();
+        self.join_all();
+    }
+
+    /// Blocks until a drain is initiated elsewhere (a client `shutdown`
+    /// command) and completes — the run loop of the `distfl-serve`
+    /// binary.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Joins accept → scheduler → connection threads, releasing blocked
+    /// connection readers in between. Idempotent.
+    fn join_all(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.scheduler_thread.take() {
+            let _ = handle.join();
+        }
+        // All responses are now in the per-connection channels. Release
+        // the readers (shut down the read half only — writers must still
+        // flush) and join the connection threads.
+        for conn in relock(&self.inner.conns).drain(..) {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<JoinHandle<()>> = relock(&self.inner.conn_threads).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts connections until a drain begins.
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are single small lines; Nagle-delaying them costs tens
+        // of milliseconds of latency for nothing.
+        let _ = stream.set_nodelay(true);
+        if let Ok(read_half) = stream.try_clone() {
+            relock(&inner.conns).push(read_half);
+        }
+        let inner_conn = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("distfl-serve-conn".to_owned())
+            .spawn(move || handle_connection(stream, &inner_conn))
+            .expect("spawn connection thread");
+        relock(&inner.conn_threads).push(handle);
+    }
+}
+
+/// Reads request lines until EOF (or drain release), replying through a
+/// dedicated writer thread so responses can stream back out of order
+/// while the reader keeps admitting.
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("distfl-serve-write".to_owned())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            while let Ok(line) = rx.recv() {
+                // Flush per response: clients speak sync request/response.
+                if out.write_all(line.as_bytes()).is_err()
+                    || out.write_all(b"\n").is_err()
+                    || out.flush().is_err()
+                {
+                    return;
+                }
+            }
+        })
+        .expect("spawn writer thread");
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        inner.requests.incr();
+        let send = |response: String| {
+            let _ = tx.send(response);
+        };
+        match proto::parse_line(trimmed) {
+            Ok(Parsed::Command(cmd)) => {
+                send(proto::render_command_ack(cmd));
+                if cmd == Command::Shutdown {
+                    inner.begin_shutdown();
+                }
+            }
+            Ok(Parsed::Request(request)) => {
+                let span_id = request.span_id;
+                let id = request.id.clone();
+                match inner.queue.push(Job { request: *request, reply: tx.clone() }) {
+                    Ok(()) => inner.queue_depth.set(inner.queue.depth() as f64),
+                    Err((_, reason)) => {
+                        let (kind, detail) = match reason {
+                            AdmitError::Full => (
+                                ErrorKind::QueueFull,
+                                format!("admission queue at capacity {}", inner.queue.capacity()),
+                            ),
+                            AdmitError::Closed => (
+                                ErrorKind::ShuttingDown,
+                                "server is draining and admits no new work".to_owned(),
+                            ),
+                        };
+                        let error = ServeError { kind, detail, id: Some(id) };
+                        send(proto::render_error(&error, span_id));
+                    }
+                }
+            }
+            Err(error) => {
+                let span_id = proto::span_id(trimmed.as_bytes());
+                send(proto::render_error(&error, span_id));
+            }
+        }
+    }
+    // Reader done: drop our sender so the writer exits once every
+    // in-flight job (each holding a sender clone) has replied.
+    drop(tx);
+    let _ = writer.join();
+}

@@ -1,0 +1,262 @@
+//! End-to-end tests of the serve layer over real TCP connections.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use distfl_serve::{ServeConfig, Server};
+
+/// A blocking NDJSON client: one connection, sync request/response.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { reader, writer: stream }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "connection closed while awaiting a response");
+        line.trim_end().to_owned()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+const GREEDY_INLINE: &str = r#"{"id":"g1","solver":"greedy","instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}"#;
+
+/// A paydual request over a uniform-random instance serialized to
+/// OR-Library text; `seed` feeds the solver, `size` scales the work.
+fn paydual_orlib_request(id: &str, seed: u64, facilities: usize, clients: usize) -> String {
+    use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+    let inst = UniformRandom::new(facilities, clients).unwrap().generate(seed).unwrap();
+    let text = distfl_instance::orlib::to_string(&inst).unwrap();
+    let mut w = distfl_obs::JsonWriter::object();
+    w.key("id").string(id);
+    w.key("solver").string("paydual");
+    w.key("seed").number_u64(seed);
+    w.key("orlib").string(&text);
+    w.finish()
+}
+
+#[test]
+fn solve_roundtrip_matches_direct_dispatch() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip(GREEDY_INLINE);
+    distfl_obs::validate_json(&response).unwrap();
+    assert!(response.contains(r#""id":"g1","ok":true,"solver":"greedy""#), "{response}");
+    assert!(response.contains(r#""cost":5.5"#), "{response}");
+    assert!(response.contains(r#""open":[1]"#), "{response}");
+    assert!(response.contains(r#""rounds":null"#), "{response}");
+
+    // The distributed solver reports rounds and matches an in-process run.
+    let request = paydual_orlib_request("p1", 7, 4, 12);
+    let response = client.roundtrip(&request);
+    assert!(response.contains(r#""ok":true"#), "{response}");
+    assert!(!response.contains(r#""rounds":null"#), "distributed solver reports rounds");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_typed_errors() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server);
+
+    let response = client.roundtrip("this is not json");
+    assert!(response.contains(r#""ok":false"#), "{response}");
+    assert!(response.contains(r#""kind":"malformed_request""#), "{response}");
+
+    let response = client.roundtrip(r#"{"id":"m2","solver":"simplex","orlib":"x"}"#);
+    assert!(response.contains(r#""id":"m2""#), "{response}");
+    assert!(response.contains(r#""kind":"malformed_request""#), "{response}");
+    assert!(response.contains("simplex"), "{response}");
+
+    // OR-Library parse errors surface their line number to the client.
+    let response = client.roundtrip(r#"{"id":"m3","solver":"greedy","orlib":"1 1\n0 x\n0\n1\n"}"#);
+    assert!(response.contains(r#""kind":"invalid_instance""#), "{response}");
+    assert!(response.contains("line 2"), "{response}");
+
+    // The connection stays usable after every error.
+    let response = client.roundtrip(GREEDY_INLINE);
+    assert!(response.contains(r#""ok":true"#), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_is_an_immediate_typed_error() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    // A batch hook that holds the scheduler after it pops a batch, so the
+    // test can fill the (capacity-1) queue at a known position.
+    let popped = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let hook: distfl_serve::BatchHook = {
+        let popped = Arc::clone(&popped);
+        let gate = Arc::clone(&gate);
+        Arc::new(move |_size| {
+            popped.fetch_add(1, Ordering::SeqCst);
+            let (lock, cv) = &*gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+    };
+    let config =
+        ServeConfig { queue_capacity: 1, max_batch: 1, workers: Some(0), batch_hook: Some(hook) };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(&server);
+
+    // Occupy the scheduler: it pops "slow" (queue empty again) and then
+    // blocks in the hook.
+    client.send(r#"{"id":"slow","solver":"greedy","instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}"#);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while popped.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "scheduler never picked up the slow request");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // One request fits the queue; the next one must be refused at once —
+    // the reader handles lines in order, so "over" is only examined after
+    // "g1" has been admitted.
+    client.send(GREEDY_INLINE);
+    let started = Instant::now();
+    let response = client.roundtrip(
+        r#"{"id":"over","solver":"greedy","instance":{"opening":[1.0],"links":[[0,1.0]]}}"#,
+    );
+    assert!(response.contains(r#""id":"over""#), "{response}");
+    assert!(response.contains(r#""kind":"queue_full""#), "{response}");
+    assert!(response.contains("capacity 1"), "{response}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "queue_full reply must not wait for the solver"
+    );
+
+    // Release the scheduler; the held and queued requests complete in
+    // admission order.
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    assert!(client.recv().contains(r#""id":"slow""#));
+    assert!(client.recv().contains(r#""id":"g1""#));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_requests() {
+    let config = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        workers: Some(2),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(&server);
+    for i in 0..10 {
+        client.send(&paydual_orlib_request(&format!("d{i}"), i as u64, 5, 15));
+    }
+    // The reader admits lines in order, so the pong proves all ten
+    // requests were admitted (capacity 64 — none refused) before the
+    // drain begins.
+    client.send(r#"{"cmd":"ping"}"#);
+    let mut seen = Vec::new();
+    loop {
+        let response = client.recv();
+        if response.contains(r#""pong":true"#) {
+            break;
+        }
+        seen.push(response);
+    }
+    let addr = server.local_addr();
+    server.shutdown();
+    // Every admitted request was answered before shutdown returned.
+    while seen.len() < 10 {
+        seen.push(client.recv());
+    }
+    for response in &seen {
+        assert!(response.contains(r#""ok":true"#), "{response}");
+    }
+    // The listener is gone.
+    assert!(TcpStream::connect(addr).is_err(), "server still accepting after shutdown");
+}
+
+#[test]
+fn shutdown_command_drains_like_a_signal() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server);
+    assert!(client.roundtrip(r#"{"cmd":"ping"}"#).contains(r#""pong":true"#));
+    client.send(GREEDY_INLINE);
+    let ack_or_result = client.roundtrip(r#"{"cmd":"shutdown"}"#);
+    // The solve response and the shutdown ack may arrive in either
+    // order; collect both.
+    let second = client.recv();
+    let both = format!("{ack_or_result}\n{second}");
+    assert!(both.contains(r#""shutdown":true"#), "{both}");
+    assert!(both.contains(r#""id":"g1","ok":true"#), "{both}");
+    server.wait();
+}
+
+#[test]
+fn requests_after_drain_get_shutting_down_errors() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server);
+    // Trigger the drain from a second connection, then race a request in
+    // on the first; it must get a typed shutting_down (or, if the reader
+    // already closed, EOF — but never a hang).
+    let mut other = Client::connect(&server);
+    assert!(other.roundtrip(r#"{"cmd":"shutdown"}"#).contains(r#""shutdown":true"#));
+    client.send(GREEDY_INLINE);
+    let mut line = String::new();
+    let n = client.reader.read_line(&mut line).unwrap_or(0);
+    if n > 0 {
+        assert!(line.contains(r#""kind":"shutting_down""#), "{line}");
+    }
+    server.wait();
+}
+
+#[test]
+fn responses_are_byte_identical_across_restarts_and_worker_counts() {
+    let mix: Vec<String> = (0..6)
+        .flat_map(|i| {
+            vec![
+                paydual_orlib_request(&format!("mix{i}"), i as u64, 4, 10 + i),
+                format!(
+                    r#"{{"id":"inl{i}","solver":"local-search","seed":{i},"instance":{{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}}}"#
+                ),
+            ]
+        })
+        .collect();
+    let mut runs: Vec<Vec<String>> = Vec::new();
+    for workers in [0, 1, 3] {
+        let config = ServeConfig {
+            queue_capacity: 64,
+            max_batch: 5,
+            workers: Some(workers),
+            ..ServeConfig::default()
+        };
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let mut client = Client::connect(&server);
+        let responses: Vec<String> = mix.iter().map(|r| client.roundtrip(r)).collect();
+        server.shutdown();
+        runs.push(responses);
+    }
+    assert_eq!(runs[0], runs[1], "workers 0 vs 1 diverge");
+    assert_eq!(runs[0], runs[2], "workers 0 vs 3 diverge");
+}
