@@ -1,48 +1,257 @@
-//! Load generator for the `distfl-serve` batching solver service.
+//! Load generator for the `distfl-serve` solver service.
 //!
-//! Starts an in-process [`distfl_serve::Server`], fires a deterministic
-//! request mix at it from many concurrent TCP clients (released together
-//! by a barrier so admissions burst and the scheduler actually batches),
-//! and writes one JSON document (default `BENCH_5.json`) with:
+//! Starts an in-process [`distfl_serve::Server`] and measures it three
+//! ways, writing one JSON document (default `BENCH_6.json`):
 //!
-//! - **throughput** — requests per second over the measured run;
-//! - **latency** — per-request round-trip percentiles (p50/p90/p99) in
-//!   microseconds;
-//! - **batching** — `serve.requests` / `serve.batches` from the obs
-//!   registry, i.e. the mean batch size the scheduler achieved;
-//! - **determinism** — the same mix replayed against a restarted server
-//!   and against a server with a different worker count, asserting every
-//!   response line is byte-identical across all three runs.
+//! - **Open-loop throughput/latency curve** — a single-threaded
+//!   multiplexed client (reusing the serve crate's public
+//!   [`distfl_serve::reactor::Poller`]) holds ~1000 concurrent
+//!   connections and offers requests at a fixed schedule, sweeping the
+//!   offered rate. Latency is measured from each request's *scheduled*
+//!   send time (no coordinated omission: a client that falls behind
+//!   still charges the queueing delay to the server). Each sweep point
+//!   records offered vs achieved rps, queue_full rejections, and
+//!   p50/p90/p99 latency. The peak achieved rate is the headline number.
+//! - **Heavy closed-loop mix** — the BENCH_5-comparable run: 64 blocking
+//!   clients × 6 solver-bound requests cycling all four wire solvers
+//!   over inline and OR-Library payloads. Reports throughput, latency
+//!   percentiles, the **true mean scheduler batch size**
+//!   (`serve.requests / serve.batches` — the configured cap is reported
+//!   separately as `max_batch`), and pipelining/byte counters.
+//! - **Determinism replay** — the same mix against a restarted server, a
+//!   different worker count, and different shard counts; every response
+//!   line must be byte-identical.
 //!
-//! The mix cycles all four wire solvers (greedy, local-search, jv,
-//! paydual) over inline and OR-Library instance payloads. Usage:
-//! `serve_load [--smoke] [--out PATH]` — `--smoke` shrinks the mix for
-//! CI while exercising every code path.
+//! Usage: `serve_load [--smoke] [--out PATH]` — `--smoke` shrinks
+//! everything for CI while still exercising the pipelined framing path
+//! (asserted via the `serve.pipelined_requests` counter).
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+use distfl_serve::frame::{Framed, LineFramer};
+use distfl_serve::reactor::{self, Event, Interest, Poller, ReactorKind};
 use distfl_serve::{ServeConfig, Server};
 
-/// The shape of one load run.
+// ---------------------------------------------------------------------------
+// Open-loop multiplexed client
+// ---------------------------------------------------------------------------
+
+/// One sweep point: offer `rate` requests/second for `duration`.
+#[derive(Clone, Copy)]
+struct SweepPoint {
+    rate: f64,
+    duration: Duration,
+}
+
+/// What one sweep point measured.
+struct PointResult {
+    offered_rps: f64,
+    achieved_rps: f64,
+    ok: usize,
+    rejected: usize,
+    unanswered: usize,
+    /// Sorted scheduled-send→response latencies (ns) of ok responses.
+    latencies: Vec<u64>,
+}
+
+/// One multiplexed load connection.
+struct LoadConn {
+    stream: TcpStream,
+    framer: LineFramer,
+    out: Vec<u8>,
+    out_pos: usize,
+    interest: Interest,
+}
+
+impl LoadConn {
+    /// Writes pending outbound bytes until the socket pushes back.
+    /// Returns false if the connection failed.
+    fn flush(&mut self) -> bool {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        true
+    }
+}
+
+/// The fixed request line for open-loop request `i` (id = the index, so
+/// a response can be matched to its scheduled send time).
+fn open_loop_line(i: usize) -> String {
+    format!(
+        r#"{{"id":"{i}","solver":"greedy","instance":{{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}}}"#
+    )
+}
+
+/// Runs one open-loop sweep point against `addr` from `connections`
+/// multiplexed sockets. Requests are assigned round-robin and their send
+/// times follow a uniform schedule at `point.rate`.
+fn run_open_loop_point(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    point: SweepPoint,
+) -> PointResult {
+    let total = (point.rate * point.duration.as_secs_f64()).round().max(1.0) as usize;
+    let interval = Duration::from_secs_f64(1.0 / point.rate);
+
+    let mut poller = Poller::new(ReactorKind::Auto).expect("client poller");
+    let mut conns: Vec<LoadConn> = (0..connections)
+        .map(|token| {
+            let stream = TcpStream::connect(addr).expect("connect load conn");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(reactor::source_id(&stream), token as u64, Interest::READ)
+                .expect("register load conn");
+            LoadConn {
+                stream,
+                framer: LineFramer::new(1 << 20),
+                out: Vec::new(),
+                out_pos: 0,
+                interest: Interest::READ,
+            }
+        })
+        .collect();
+
+    let start = Instant::now();
+    let deadline = start + point.duration * 4 + Duration::from_secs(10);
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut rejected = 0usize;
+    let mut answered = 0usize;
+    let mut next_send = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut dirty: Vec<usize> = Vec::new();
+
+    while answered < total && Instant::now() < deadline {
+        // Enqueue every request whose scheduled time has come.
+        let now = Instant::now();
+        while next_send < total && start + interval.mul_f64(next_send as f64) <= now {
+            let conn = &mut conns[next_send % connections];
+            if conn.out.is_empty() {
+                dirty.push(next_send % connections);
+            }
+            conn.out.extend_from_slice(open_loop_line(next_send).as_bytes());
+            conn.out.push(b'\n');
+            next_send += 1;
+        }
+        // Flush the connections touched this tick; re-arm write interest
+        // on the ones the kernel pushed back on.
+        for &index in &dirty {
+            let conn = &mut conns[index];
+            assert!(conn.flush(), "load connection {index} failed");
+            let want = Interest { read: true, write: !conn.out.is_empty() };
+            if want != conn.interest {
+                conn.interest = want;
+                poller
+                    .set_interest(reactor::source_id(&conn.stream), index as u64, want)
+                    .expect("set interest");
+            }
+        }
+        dirty.clear();
+
+        let timeout = if next_send < total {
+            let due = start + interval.mul_f64(next_send as f64);
+            due.saturating_duration_since(Instant::now())
+        } else {
+            Duration::from_millis(5)
+        };
+        poller.wait(&mut events, Some(timeout)).expect("client poll");
+        for &event in &events {
+            let index = event.token as usize;
+            if index >= conns.len() {
+                continue;
+            }
+            if event.writable {
+                dirty.push(index);
+            }
+            if !event.readable {
+                continue;
+            }
+            loop {
+                let conn = &mut conns[index];
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => panic!("server closed load connection {index} mid-run"),
+                    Ok(n) => {
+                        let received = Instant::now();
+                        let chunk = &scratch[..n];
+                        conns[index].framer.feed(chunk, &mut |framed| {
+                            let Framed::Line(line) = framed else {
+                                panic!("oversized response line")
+                            };
+                            let text = std::str::from_utf8(line).expect("UTF-8 response");
+                            let id: usize =
+                                extract_id(text).parse().expect("open-loop ids are indices");
+                            answered += 1;
+                            if text.contains(r#""ok":true"#) {
+                                let scheduled = start + interval.mul_f64(id as f64);
+                                latencies
+                                    .push(received.saturating_duration_since(scheduled).as_nanos()
+                                        as u64);
+                            } else {
+                                assert!(
+                                    text.contains(r#""kind":"queue_full""#),
+                                    "unexpected failure: {text}"
+                                );
+                                rejected += 1;
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => panic!("load connection {index} read error: {e}"),
+                }
+            }
+        }
+    }
+
+    let wall = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    PointResult {
+        offered_rps: point.rate,
+        achieved_rps: latencies.len() as f64 / wall,
+        ok: latencies.len(),
+        rejected,
+        unanswered: total - answered,
+        latencies,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heavy closed-loop mix (BENCH_5-comparable)
+// ---------------------------------------------------------------------------
+
+/// The shape of one closed-loop run.
+#[derive(Clone)]
 struct Plan {
     clients: usize,
     per_client: usize,
     workers: usize,
     max_batch: usize,
+    shards: usize,
 }
 
 impl Plan {
-    fn full() -> Plan {
-        Plan { clients: 64, per_client: 6, workers: 4, max_batch: 16 }
-    }
-
-    fn smoke() -> Plan {
-        Plan { clients: 8, per_client: 3, workers: 2, max_batch: 8 }
+    fn heavy(smoke: bool) -> Plan {
+        if smoke {
+            Plan { clients: 8, per_client: 3, workers: 2, max_batch: 8, shards: 0 }
+        } else {
+            Plan { clients: 64, per_client: 6, workers: 4, max_batch: 16, shards: 0 }
+        }
     }
 
     fn requests(&self) -> usize {
@@ -50,12 +259,9 @@ impl Plan {
     }
 }
 
-/// The deterministic request line for client `ci`, request `ri`.
-///
-/// Cycles solvers and alternates inline instances with OR-Library
-/// payloads of varying size; the id encodes the position so responses
-/// can be matched across runs.
-fn request_line(ci: usize, ri: usize) -> String {
+/// The deterministic heavy request line for client `ci`, request `ri`:
+/// cycles all four wire solvers over inline and OR-Library payloads.
+fn heavy_request_line(ci: usize, ri: usize) -> String {
     let solver = ["greedy", "local-search", "jv", "paydual"][(ci + ri) % 4];
     let seed = (ci * 31 + ri) as u64;
     let mut w = distfl_obs::JsonWriter::object();
@@ -63,8 +269,6 @@ fn request_line(ci: usize, ri: usize) -> String {
     w.key("solver").string(solver);
     w.key("seed").number_u64(seed);
     if (ci + ri).is_multiple_of(2) {
-        // Inline: a small two-facility instance whose costs vary with the
-        // position, so responses differ across the mix.
         let shift = (ci % 5) as f64 * 0.25;
         w.key("instance").begin_object();
         w.key("opening").begin_array().number(4.0 + shift).number(3.0).end_array();
@@ -85,23 +289,31 @@ fn request_line(ci: usize, ri: usize) -> String {
     w.finish()
 }
 
-/// Per-request round-trip nanoseconds plus every response keyed by id.
-type Collected = (Vec<u64>, BTreeMap<String, String>);
+struct RunResult {
+    /// Sorted round-trip times in nanoseconds.
+    latencies: Vec<u64>,
+    responses: BTreeMap<String, String>,
+    wall_secs: f64,
+    /// `serve.requests / serve.batches` — the batch size the scheduler
+    /// actually achieved (NOT the configured cap).
+    mean_batch: f64,
+}
 
-/// One complete run: serve the whole mix, return per-request round-trip
-/// nanoseconds, every response keyed by request id, the wall-clock
-/// seconds, and the mean scheduler batch size.
-fn run_load(plan: &Plan, mix: &[Vec<String>]) -> RunResult {
+/// One closed-loop run: blocking clients released together by a barrier
+/// so admissions burst and the schedulers actually batch.
+fn run_closed_loop(plan: &Plan, mix: &[Vec<String>]) -> RunResult {
     distfl_obs::metrics_reset();
     let config = ServeConfig {
         queue_capacity: 256,
         max_batch: plan.max_batch,
         workers: Some(plan.workers),
+        shards: plan.shards,
         ..ServeConfig::default()
     };
     let server = Server::start("127.0.0.1:0", config).expect("bind load server");
     let addr = server.local_addr();
 
+    type Collected = (Vec<u64>, BTreeMap<String, String>);
     let barrier = Arc::new(Barrier::new(mix.len()));
     let collected: Arc<Mutex<Collected>> = Arc::new(Mutex::new((Vec::new(), BTreeMap::new())));
     let started = Instant::now();
@@ -125,7 +337,7 @@ fn run_load(plan: &Plan, mix: &[Vec<String>]) -> RunResult {
                     assert!(n > 0, "server closed mid-run");
                     latencies.push(sent.elapsed().as_nanos() as u64);
                     let response = response.trim_end().to_owned();
-                    let id = extract_id(&response);
+                    let id = extract_id(&response).to_owned();
                     assert!(response.contains(r#""ok":true"#), "failed response: {response}");
                     responses.insert(id, response);
                 }
@@ -147,30 +359,32 @@ fn run_load(plan: &Plan, mix: &[Vec<String>]) -> RunResult {
     RunResult { latencies, responses, wall_secs, mean_batch }
 }
 
-struct RunResult {
-    /// Sorted round-trip times in nanoseconds.
-    latencies: Vec<u64>,
-    responses: BTreeMap<String, String>,
-    wall_secs: f64,
-    mean_batch: f64,
-}
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
 
 /// The `"id"` member of a response line (responses put it first).
-fn extract_id(response: &str) -> String {
+fn extract_id(response: &str) -> &str {
     let rest = response.strip_prefix(r#"{"id":""#).expect("response starts with id");
-    rest.chars().take_while(|c| *c != '"').collect()
+    &rest[..rest.find('"').expect("id is terminated")]
 }
 
 /// The `q`-th percentile (0–100) of sorted `values`, nearest-rank.
 fn percentile(sorted: &[u64], q: f64) -> u64 {
-    assert!(!sorted.is_empty());
+    if sorted.is_empty() {
+        return 0;
+    }
     let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
     sorted[rank.min(sorted.len()) - 1]
 }
 
+fn us(ns: u64) -> f64 {
+    (ns as f64 / 100.0).round() / 10.0
+}
+
 fn main() {
     let mut smoke = false;
-    let mut out = "BENCH_5.json".to_owned();
+    let mut out = "BENCH_6.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -182,63 +396,155 @@ fn main() {
             }
         }
     }
-    let plan = if smoke { Plan::smoke() } else { Plan::full() };
-    // Metrics feed the batching numbers; spans stay cheap and in-memory.
+    // Metrics feed the batching/pipelining numbers; spans stay cheap and
+    // in-memory.
     distfl_obs::set_enabled(true);
 
-    let mix: Vec<Vec<String>> = (0..plan.clients)
-        .map(|ci| (0..plan.per_client).map(|ri| request_line(ci, ri)).collect())
-        .collect();
+    // --- Open-loop sweep -------------------------------------------------
+    let connections = if smoke { 32 } else { 1000 };
+    let sweep: Vec<SweepPoint> = if smoke {
+        vec![SweepPoint { rate: 2_000.0, duration: Duration::from_millis(300) }]
+    } else {
+        [4_000.0, 8_000.0, 16_000.0, 24_000.0, 32_000.0, 48_000.0]
+            .into_iter()
+            .map(|rate| SweepPoint { rate, duration: Duration::from_secs(2) })
+            .collect()
+    };
+    // One shard and an inline pool: on a single-core host extra threads
+    // only add context switches to the hot path.
+    distfl_obs::metrics_reset();
+    let curve_config = ServeConfig {
+        queue_capacity: 4096,
+        max_batch: 64,
+        workers: Some(0),
+        shards: 1,
+        ..ServeConfig::default()
+    };
+    let curve_server = Server::start("127.0.0.1:0", curve_config).expect("bind curve server");
+    let curve_addr = curve_server.local_addr();
+    println!("serve_load: open-loop sweep, {connections} connections");
+    let mut curve: Vec<PointResult> = Vec::new();
+    for point in &sweep {
+        let result = run_open_loop_point(curve_addr, connections, *point);
+        println!(
+            "  offered {:>6.0} rps -> achieved {:>6.0} rps, ok {} rejected {} unanswered {}, \
+             p50 {:.0}us p99 {:.0}us",
+            result.offered_rps,
+            result.achieved_rps,
+            result.ok,
+            result.rejected,
+            result.unanswered,
+            us(percentile(&result.latencies, 50.0)),
+            us(percentile(&result.latencies, 99.0)),
+        );
+        curve.push(result);
+    }
+    // Deterministic pipelined burst: 50 requests in one write() syscall,
+    // so the framing/group-admission path is exercised even when the
+    // sweep's rate never makes sends coalesce.
+    {
+        let mut stream = TcpStream::connect(curve_addr).expect("connect burst conn");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut burst = String::new();
+        for i in 0..50 {
+            burst.push_str(&open_loop_line(1_000_000 + i));
+            burst.push('\n');
+        }
+        stream.write_all(burst.as_bytes()).expect("write burst");
+        let mut reader = BufReader::new(stream);
+        for _ in 0..50 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read burst response") > 0);
+            assert!(line.contains(r#""ok":true"#), "{line}");
+        }
+    }
+    let pipelined = distfl_obs::counter("serve.pipelined_requests").get();
+    let wakeups = distfl_obs::counter("serve.reactor_wakeups").get();
+    let bytes_read = distfl_obs::counter("serve.bytes_read").get();
+    let bytes_written = distfl_obs::counter("serve.bytes_written").get();
+    curve_server.shutdown();
+    assert!(pipelined > 0, "the pipelined framing path must be exercised");
+    let peak = curve.iter().map(|p| p.achieved_rps).fold(0.0f64, f64::max);
 
+    // --- Heavy closed-loop mix -------------------------------------------
+    let plan = Plan::heavy(smoke);
+    let mix: Vec<Vec<String>> = (0..plan.clients)
+        .map(|ci| (0..plan.per_client).map(|ri| heavy_request_line(ci, ri)).collect())
+        .collect();
     println!(
-        "serve_load: {} clients x {} requests, {} workers, max_batch {}",
+        "serve_load: heavy mix, {} clients x {} requests, {} workers, max_batch {}",
         plan.clients, plan.per_client, plan.workers, plan.max_batch
     );
-    let measured = run_load(&plan, &mix);
-    assert_eq!(measured.responses.len(), plan.requests(), "every request answered once");
+    let heavy = run_closed_loop(&plan, &mix);
+    assert_eq!(heavy.responses.len(), plan.requests(), "every request answered once");
+    let heavy_rps = plan.requests() as f64 / heavy.wall_secs;
 
-    // Determinism: a restarted server and a differently-sized pool must
-    // produce byte-identical response lines for the same mix.
-    let restarted = run_load(&plan, &mix);
-    let resized_plan = Plan { workers: plan.workers / 2, ..plan };
-    let resized = run_load(&resized_plan, &mix);
-    assert_eq!(measured.responses, restarted.responses, "responses changed across a restart");
-    assert_eq!(measured.responses, resized.responses, "responses changed with the worker count");
+    // --- Determinism replays ----------------------------------------------
+    let restarted = run_closed_loop(&plan, &mix);
+    let resized = run_closed_loop(&Plan { workers: plan.workers / 2, ..plan.clone() }, &mix);
+    let one_shard = run_closed_loop(&Plan { shards: 1, ..plan.clone() }, &mix);
+    let four_shards = run_closed_loop(&Plan { shards: 4, ..plan.clone() }, &mix);
+    assert_eq!(heavy.responses, restarted.responses, "responses changed across a restart");
+    assert_eq!(heavy.responses, resized.responses, "responses changed with the worker count");
+    assert_eq!(heavy.responses, one_shard.responses, "responses changed with 1 shard");
+    assert_eq!(heavy.responses, four_shards.responses, "responses changed with 4 shards");
 
-    let throughput = plan.requests() as f64 / measured.wall_secs;
-    let to_us = |ns: u64| ns as f64 / 1000.0;
-    let p50 = to_us(percentile(&measured.latencies, 50.0));
-    let p90 = to_us(percentile(&measured.latencies, 90.0));
-    let p99 = to_us(percentile(&measured.latencies, 99.0));
-
+    // --- Report -----------------------------------------------------------
     let mut w = distfl_obs::JsonWriter::object();
     w.key("bench").string("serve_load");
     w.key("mode").string(if smoke { "smoke" } else { "full" });
+    w.key("open_loop").begin_object();
+    w.key("connections").number_u64(connections as u64);
+    w.key("point_duration_secs").number(sweep[0].duration.as_secs_f64());
+    w.key("peak_achieved_rps").number((peak * 10.0).round() / 10.0);
+    w.key("pipelined_requests").number_u64(pipelined);
+    w.key("reactor_wakeups").number_u64(wakeups);
+    w.key("bytes_read").number_u64(bytes_read);
+    w.key("bytes_written").number_u64(bytes_written);
+    w.key("curve").begin_array();
+    for point in &curve {
+        w.begin_object();
+        w.key("offered_rps").number(point.offered_rps);
+        w.key("achieved_rps").number((point.achieved_rps * 10.0).round() / 10.0);
+        w.key("ok").number_u64(point.ok as u64);
+        w.key("rejected").number_u64(point.rejected as u64);
+        w.key("unanswered").number_u64(point.unanswered as u64);
+        w.key("latency_us").begin_object();
+        w.key("p50").number(us(percentile(&point.latencies, 50.0)));
+        w.key("p90").number(us(percentile(&point.latencies, 90.0)));
+        w.key("p99").number(us(percentile(&point.latencies, 99.0)));
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("heavy_mix").begin_object();
     w.key("clients").number_u64(plan.clients as u64);
     w.key("requests_per_client").number_u64(plan.per_client as u64);
     w.key("workers").number_u64(plan.workers as u64);
-    w.key("max_batch").number_u64(plan.max_batch as u64);
     w.key("requests").number_u64(plan.requests() as u64);
-    w.key("wall_secs").number((measured.wall_secs * 1e6).round() / 1e6);
-    w.key("throughput_rps").number((throughput * 10.0).round() / 10.0);
+    w.key("wall_secs").number((heavy.wall_secs * 1e6).round() / 1e6);
+    w.key("throughput_rps").number((heavy_rps * 10.0).round() / 10.0);
     w.key("latency_us").begin_object();
-    w.key("p50").number(p50);
-    w.key("p90").number(p90);
-    w.key("p99").number(p99);
+    w.key("p50").number(us(percentile(&heavy.latencies, 50.0)));
+    w.key("p90").number(us(percentile(&heavy.latencies, 90.0)));
+    w.key("p99").number(us(percentile(&heavy.latencies, 99.0)));
     w.end_object();
-    w.key("mean_batch_size").number((measured.mean_batch * 100.0).round() / 100.0);
+    w.key("mean_batch_size").number((heavy.mean_batch * 100.0).round() / 100.0);
+    w.key("max_batch").number_u64(plan.max_batch as u64);
+    w.end_object();
     w.key("deterministic").begin_object();
     w.key("across_restart").boolean(true);
     w.key("across_worker_counts").boolean(true);
-    w.key("resized_workers").number_u64(resized_plan.workers as u64);
+    w.key("across_shard_counts").boolean(true);
     w.end_object();
     let doc = w.finish();
     distfl_obs::validate_json(&doc).expect("bench document is valid JSON");
     std::fs::write(&out, format!("{doc}\n")).expect("write bench document");
 
     println!(
-        "  {:.0} req/s; latency us p50 {p50:.0} p90 {p90:.0} p99 {p99:.0}; mean batch {:.2}",
-        throughput, measured.mean_batch
+        "  open-loop peak {:.0} rps; heavy mix {:.0} rps, mean batch {:.2} (cap {})",
+        peak, heavy_rps, heavy.mean_batch, plan.max_batch
     );
-    println!("  responses byte-identical across restart and worker counts; wrote {out}");
+    println!("  responses byte-identical across restart, worker, and shard counts; wrote {out}");
 }

@@ -5,12 +5,21 @@
 //! batches them through a bounded admission queue onto the shared
 //! [`distfl_pool::WorkerPool`], and streams back deterministic responses.
 //!
-//! Pipeline: request line → [`proto`] parse → [`queue::Admission`]
-//! (bounded; full = typed `queue_full` error, never a hang) →
+//! Pipeline: a readiness-driven **reactor** ([`reactor`]: epoll on
+//! Linux, poll elsewhere on Unix) owns every socket nonblocking →
+//! pipelined NDJSON framing ([`frame`]) slices complete lines out of
+//! each read burst → [`proto`] parse → per-core **sharded admission**
+//! (the burst enters one of N [`queue::Admission`] queues as a single
+//! group; full = typed `queue_full` error, never a hang) →
 //! [`scheduler`] batch → pool workers ([`distfl_core::SolverKind`]
-//! dispatch) → response line. Per-request spans and the
-//! `serve.requests` / `serve.queue_depth` / `serve.batch_size` metrics
-//! land in the [`distfl_obs`] registry when tracing is enabled.
+//! dispatch) → bounded per-connection write buffer (overflow = the
+//! client is shed with a typed `slow_reader` error, never unbounded
+//! memory). Per-request spans and the `serve.requests` /
+//! `serve.bytes_read` / `serve.bytes_written` /
+//! `serve.pipelined_requests` / `serve.reactor_wakeups` /
+//! `serve.open_connections` / `serve.queue_depth` /
+//! `serve.batch_size` metrics land in the [`distfl_obs`] registry when
+//! tracing is enabled.
 //!
 //! Responses are **byte-deterministic**: for a fixed request line and
 //! seed, the response bytes are identical across server restarts, worker
@@ -39,12 +48,18 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the raw syscall
+// shim in `reactor::sys` (epoll/poll/setsockopt FFI), which opts back in
+// locally with `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod conn;
+pub mod frame;
 pub mod json;
 pub mod proto;
 pub mod queue;
+pub mod reactor;
 pub mod scheduler;
 mod server;
 

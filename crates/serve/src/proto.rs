@@ -42,7 +42,9 @@
 //! ```
 //!
 //! with `kind` one of `malformed_request`, `invalid_instance`,
-//! `queue_full`, `solver_failed`, `shutting_down`.
+//! `queue_full`, `solver_failed`, `shutting_down`, `slow_reader` (the
+//! connection's bounded write buffer overflowed and the connection is
+//! being shed).
 
 use distfl_core::SolverKind;
 use distfl_instance::{Cost, FacilityId, Instance, InstanceBuilder};
@@ -113,6 +115,9 @@ pub enum ErrorKind {
     SolverFailed,
     /// The server is draining and admits no new work.
     ShuttingDown,
+    /// The connection's bounded write buffer overflowed because the
+    /// client stopped draining its socket; the connection is shed.
+    SlowReader,
 }
 
 impl ErrorKind {
@@ -124,6 +129,7 @@ impl ErrorKind {
             ErrorKind::QueueFull => "queue_full",
             ErrorKind::SolverFailed => "solver_failed",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::SlowReader => "slow_reader",
         }
     }
 }

@@ -1,8 +1,9 @@
-//! The bounded admission queue between connection threads and the
+//! The bounded admission queue between the reactor and one shard's
 //! batching scheduler.
 //!
-//! Connection threads `push` (non-blocking: a full queue is an immediate
-//! typed error back to the client, never a hang); the single scheduler
+//! The reactor `push`es (non-blocking: a full queue is an immediate typed
+//! error back to the client, never a hang) — or [`Admission::push_group`]s
+//! a whole pipelined burst under one lock — and the shard's scheduler
 //! thread `pop_batch`es (blocking). Closing the queue stops admission
 //! while letting the scheduler drain what was already admitted — the
 //! mechanism behind graceful shutdown.
@@ -76,6 +77,33 @@ impl<T> Admission<T> {
         Ok(())
     }
 
+    /// Admits every item of `group` that fits under **one** lock
+    /// acquisition (the pipelined fast path: a burst of requests already
+    /// sitting on a socket becomes one queue transaction, not one per
+    /// request), returning the refused items with their reasons, in
+    /// order. The consumer is notified once when anything was admitted.
+    pub fn push_group(&self, group: Vec<T>) -> Vec<(T, AdmitError)> {
+        let mut rejected = Vec::new();
+        let mut admitted = false;
+        {
+            let mut state = relock(&self.state);
+            for item in group {
+                if state.closed {
+                    rejected.push((item, AdmitError::Closed));
+                } else if state.items.len() >= self.capacity {
+                    rejected.push((item, AdmitError::Full));
+                } else {
+                    state.items.push_back(item);
+                    admitted = true;
+                }
+            }
+        }
+        if admitted {
+            self.nonempty.notify_one();
+        }
+        rejected
+    }
+
     /// Closes the queue for admission and wakes the consumer. Items
     /// already queued remain poppable (drain semantics).
     pub fn close(&self) {
@@ -123,6 +151,18 @@ mod tests {
         assert_eq!(err, AdmitError::Closed);
         assert_eq!(q.pop_batch(10), vec!["a"]);
         assert!(q.pop_batch(10).is_empty(), "closed + drained pops empty");
+    }
+
+    #[test]
+    fn push_group_admits_what_fits_and_returns_the_rest() {
+        let q = Admission::new(3);
+        q.push(0).unwrap();
+        let rejected = q.push_group(vec![1, 2, 3, 4]);
+        assert_eq!(rejected, vec![(3, AdmitError::Full), (4, AdmitError::Full)]);
+        assert_eq!(q.pop_batch(10), vec![0, 1, 2]);
+        q.close();
+        let rejected = q.push_group(vec![9]);
+        assert_eq!(rejected, vec![(9, AdmitError::Closed)]);
     }
 
     #[test]

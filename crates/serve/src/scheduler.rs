@@ -1,16 +1,17 @@
-//! The batching scheduler: drains the admission queue in batches and
-//! fans each batch out over the worker pool.
+//! The per-shard batching scheduler: drains one shard's admission queue
+//! in batches and fans each batch out over the shared worker pool.
 //!
-//! One scheduler thread per server. It blocks on the queue, takes up to
-//! `max_batch` requests at once, and executes the whole batch with
+//! One scheduler thread per shard. Each blocks on its own queue, takes up
+//! to `max_batch` requests at once, and executes the whole batch with
 //! [`WorkerPool::map_indexed`] — so concurrent requests from independent
-//! connections share one fork/join instead of fighting for threads. Each
-//! response is rendered on the worker and handed back to its
-//! connection's writer through the per-request channel; batch membership
-//! never leaks into response bytes, which is what keeps responses
-//! deterministic regardless of batching and worker count.
+//! connections share one fork/join instead of fighting for threads. The
+//! rendered responses go back to the reactor through the batch sink
+//! (which appends them to per-connection write buffers and wakes the
+//! event loop). Batch membership, shard assignment, and reactor timing
+//! never leak into response bytes: [`execute`] is a pure function of the
+//! request, which is what keeps responses byte-deterministic regardless
+//! of batching, worker count, and shard count.
 
-use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
 use distfl_instance::Instance;
@@ -24,9 +25,15 @@ use crate::queue::Admission;
 pub struct Job {
     /// The parsed request.
     pub request: Request,
-    /// The connection's response channel (unbounded; sends never block).
-    pub reply: Sender<String>,
+    /// Token of the connection that sent it (opaque to the scheduler;
+    /// the reactor resolves it back to a live connection, if any).
+    pub conn: u64,
 }
+
+/// Where a shard delivers its rendered batches: a callback that hands
+/// `(connection token, response line)` pairs — in admission order — back
+/// to the reactor and wakes it.
+pub type BatchSink = dyn Fn(Vec<(u64, String)>) + Send + Sync;
 
 /// Obs handles for the scheduler-side metrics.
 struct Metrics {
@@ -35,19 +42,20 @@ struct Metrics {
     queue_depth: distfl_obs::Gauge,
 }
 
-/// Runs the scheduler loop until the queue is closed and drained,
+/// Runs one shard's scheduler loop until its queue is closed and drained,
 /// executing up to `max_batch` requests per fork/join.
 ///
 /// `batch_hook`, when present, observes each popped batch's size before
 /// it executes (see [`crate::ServeConfig::batch_hook`]).
 ///
-/// Every popped job is answered exactly once — the drain contract the
-/// server's graceful shutdown relies on.
-pub fn run(
+/// Every popped job is answered exactly once through `sink` — the drain
+/// contract the server's graceful shutdown relies on.
+pub fn run_shard(
     queue: &Admission<Job>,
     pool: &Arc<WorkerPool>,
     max_batch: usize,
     batch_hook: Option<&(dyn Fn(usize) + Send + Sync)>,
+    sink: &BatchSink,
 ) {
     let metrics = Metrics {
         batches: distfl_obs::counter("serve.batches"),
@@ -66,17 +74,15 @@ pub fn run(
             hook(batch.len());
         }
         let responses = pool.map_indexed(batch.len(), |index| execute(&batch[index].request));
-        for (job, response) in batch.iter().zip(responses) {
-            // A send only fails if the connection died; the response is
-            // then undeliverable by definition, not "dropped".
-            let _ = job.reply.send(response);
-        }
+        sink(batch.iter().zip(responses).map(|(job, response)| (job.conn, response)).collect());
     }
 }
 
 /// Executes one request on a worker: build the instance, dispatch the
-/// solver, render the response line.
-fn execute(request: &Request) -> String {
+/// solver, render the response line. Pure in the request — two calls with
+/// the same request bytes render identical responses, on any thread, in
+/// any batch, on any shard.
+pub fn execute(request: &Request) -> String {
     let _span = distfl_obs::span_arg("serve", "request", request.span_id);
     let fail = |kind: ErrorKind, detail: String| {
         let error = ServeError { kind, detail, id: Some(request.id.clone()) };
@@ -105,13 +111,27 @@ fn execute(request: &Request) -> String {
 mod tests {
     use super::*;
     use crate::proto::{parse_line, Parsed};
-    use std::sync::mpsc::channel;
+    use std::sync::Mutex;
 
     fn request(line: &str) -> Request {
         match parse_line(line).unwrap() {
             Parsed::Request(req) => *req,
             other => panic!("expected request, got {other:?}"),
         }
+    }
+
+    type Collected = Arc<Mutex<Vec<(u64, String)>>>;
+
+    /// A sink collecting every delivered (conn, response) pair in order.
+    fn collecting_sink() -> (Collected, Box<BatchSink>) {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let collected = Arc::clone(&collected);
+            Box::new(move |batch: Vec<(u64, String)>| {
+                collected.lock().unwrap().extend(batch);
+            })
+        };
+        (collected, sink)
     }
 
     #[test]
@@ -123,17 +143,16 @@ mod tests {
         for workers in [0, 2] {
             let pool = Arc::new(WorkerPool::new(workers));
             let queue = Admission::new(8);
-            let (tx, rx) = channel();
             for _ in 0..3 {
-                queue.push(Job { request: req.clone(), reply: tx.clone() }).unwrap();
+                queue.push(Job { request: req.clone(), conn: 1 }).unwrap();
             }
             queue.close();
-            run(&queue, &pool, 4, None);
-            drop(tx);
-            let responses: Vec<String> = rx.into_iter().collect();
+            let (collected, sink) = collecting_sink();
+            run_shard(&queue, &pool, 4, None, &*sink);
+            let responses = collected.lock().unwrap();
             assert_eq!(responses.len(), 3);
-            for r in responses {
-                assert_eq!(r, direct, "workers={workers}");
+            for (_, r) in responses.iter() {
+                assert_eq!(r, &direct, "workers={workers}");
             }
         }
     }
@@ -148,17 +167,21 @@ mod tests {
     }
 
     #[test]
-    fn run_answers_every_job_before_returning() {
+    fn run_shard_answers_every_job_in_admission_order() {
         let pool = Arc::new(WorkerPool::new(2));
         let queue = Admission::new(64);
-        let (tx, rx) = channel();
-        let line = r#"{"id":"n","solver":"greedy","instance":{"opening":[1.0],"links":[[0,1.0]]}}"#;
-        for _ in 0..40 {
-            queue.push(Job { request: request(line), reply: tx.clone() }).unwrap();
+        for i in 0..40u64 {
+            let line = format!(
+                r#"{{"id":"n{i}","solver":"greedy","instance":{{"opening":[1.0],"links":[[0,1.0]]}}}}"#
+            );
+            queue.push(Job { request: request(&line), conn: i }).unwrap();
         }
         queue.close();
-        run(&queue, &pool, 16, None);
-        drop(tx);
-        assert_eq!(rx.into_iter().count(), 40, "every admitted job answered");
+        let (collected, sink) = collecting_sink();
+        run_shard(&queue, &pool, 16, None, &*sink);
+        let responses = collected.lock().unwrap();
+        assert_eq!(responses.len(), 40, "every admitted job answered");
+        let conns: Vec<u64> = responses.iter().map(|(c, _)| *c).collect();
+        assert_eq!(conns, (0..40).collect::<Vec<u64>>(), "admission order preserved");
     }
 }

@@ -1,0 +1,147 @@
+//! Property tests pinning the pipelined-framing invariant: how the
+//! kernel happens to split a byte stream into `read()` chunks must never
+//! change which request lines the server sees — nor, therefore, a single
+//! response byte.
+//!
+//! Splits are adversarial on purpose: one byte at a time, mid-JSON-escape
+//! (between the `\` and the `n` of `\n` inside a string), and mid-UTF-8
+//! (between the bytes of a multi-byte scalar). Framing is byte-defined
+//! (everything up to `\n`), so none of these may desynchronize it.
+
+use proptest::prelude::*;
+
+use distfl_serve::frame::{Framed, LineFramer};
+use distfl_serve::proto::{self, Parsed};
+use distfl_serve::scheduler;
+
+/// Feeds `buffer` to a fresh framer in chunks of the given sizes (cycled
+/// until the buffer is consumed) and returns the framed lines in order.
+fn frame_with_chunks(buffer: &[u8], sizes: &[usize]) -> Vec<Vec<u8>> {
+    let mut framer = LineFramer::new(1 << 20);
+    let mut lines = Vec::new();
+    let mut rest = buffer;
+    let mut cursor = 0usize;
+    while !rest.is_empty() {
+        let take = sizes[cursor % sizes.len()].clamp(1, rest.len());
+        cursor += 1;
+        let (chunk, after) = rest.split_at(take);
+        framer.feed(chunk, &mut |framed| match framed {
+            Framed::Line(line) => lines.push(line.to_vec()),
+            Framed::Oversized { .. } => panic!("no oversized lines in this test"),
+        });
+        rest = after;
+    }
+    lines
+}
+
+/// Runs the framed lines through the real parse/execute pipeline and
+/// renders the full response transcript (requests execute, commands ack,
+/// errors render — exactly the server's per-line behavior).
+fn respond(lines: &[Vec<u8>]) -> Vec<String> {
+    lines
+        .iter()
+        .filter_map(|raw| {
+            let text = std::str::from_utf8(raw).expect("test lines are UTF-8");
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
+                return None;
+            }
+            Some(match proto::parse_line(trimmed) {
+                Ok(Parsed::Request(request)) => scheduler::execute(&request),
+                Ok(Parsed::Command(cmd)) => proto::render_command_ack(cmd),
+                Err(error) => proto::render_error(&error, proto::span_id(trimmed.as_bytes())),
+            })
+        })
+        .collect()
+}
+
+/// One request line with a hostile id: multi-byte UTF-8 (é is 2 bytes,
+/// 界 is 3, 𝄞 is 4) and JSON escapes (`\n`, `\"`) that a chunk boundary
+/// can land inside.
+fn request_line(pick: usize, seed: u64, opening: u32) -> String {
+    let id = match pick % 5 {
+        0 => format!("plain{seed}"),
+        1 => "café-界-𝄞".to_owned(),
+        2 => r"piped\nid".to_owned(),
+        3 => r#"quo\"ted"#.to_owned(),
+        _ => r"escéé".to_owned(),
+    };
+    format!(
+        r#"{{"id":"{id}","solver":"greedy","seed":{seed},"instance":{{"opening":[{opening}.0],"links":[[0,1.0]]}}}}"#
+    )
+}
+
+/// A full wire buffer: several lines — requests with hostile ids, blanks,
+/// malformed junk, commands (the error and ack paths must be
+/// split-invariant too) — newline-joined.
+fn buffer_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec((0usize..7, 0u64..1000, 1u32..50), 1..10).prop_map(|items| {
+        let mut buffer = Vec::new();
+        for (pick, seed, opening) in items {
+            let line = match pick {
+                0..=3 => request_line(pick + seed as usize, seed, opening),
+                4 => String::new(),
+                5 => "this is not json".to_owned(),
+                _ => r#"{"cmd":"ping"}"#.to_owned(),
+            };
+            buffer.extend_from_slice(line.as_bytes());
+            buffer.push(b'\n');
+        }
+        buffer
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn framing_is_invariant_under_arbitrary_chunk_splits(
+        buffer in buffer_strategy(),
+        sizes in prop::collection::vec(1usize..17, 1..32),
+    ) {
+        let whole = frame_with_chunks(&buffer, &[buffer.len()]);
+        let split = frame_with_chunks(&buffer, &sizes);
+        prop_assert_eq!(&whole, &split, "chunking changed the framed line sequence");
+    }
+
+    #[test]
+    fn responses_are_byte_identical_under_chunk_splits(
+        buffer in buffer_strategy(),
+        sizes in prop::collection::vec(1usize..9, 1..16),
+    ) {
+        let whole = respond(&frame_with_chunks(&buffer, &[buffer.len()]));
+        let split = respond(&frame_with_chunks(&buffer, &sizes));
+        prop_assert_eq!(&whole, &split, "chunking changed response bytes");
+    }
+}
+
+#[test]
+fn one_byte_chunks_split_every_escape_and_utf8_scalar() {
+    let buffer = "{\"id\":\"caf\u{e9}-\u{754c}-\u{1d11e}-esc\\n\\\"\",\"solver\":\"greedy\",\
+         \"instance\":{\"opening\":[1.0],\"links\":[[0,1.0]]}}\n"
+        .as_bytes()
+        .to_vec();
+    let whole = frame_with_chunks(&buffer, &[buffer.len()]);
+    let bytewise = frame_with_chunks(&buffer, &[1]);
+    assert_eq!(whole, bytewise);
+    assert_eq!(respond(&whole), respond(&bytewise));
+    assert_eq!(respond(&whole).len(), 1);
+    assert!(respond(&whole)[0].contains(r#""ok":true"#), "{}", respond(&whole)[0]);
+}
+
+#[test]
+fn invalid_utf8_is_framed_bytewise_and_rejected_per_line() {
+    // A line that is not UTF-8 at all must still frame identically under
+    // any split (framing is byte-level; validation happens per line).
+    let mut buffer = Vec::new();
+    buffer.extend_from_slice(&[0xff, 0xfe, 0x80]);
+    buffer.push(b'\n');
+    buffer.extend_from_slice(br#"{"cmd":"ping"}"#);
+    buffer.push(b'\n');
+    let whole = frame_with_chunks(&buffer, &[buffer.len()]);
+    let bytewise = frame_with_chunks(&buffer, &[1]);
+    assert_eq!(whole, bytewise);
+    assert_eq!(whole.len(), 2);
+    assert!(std::str::from_utf8(&whole[0]).is_err());
+    assert_eq!(whole[1], br#"{"cmd":"ping"}"#);
+}

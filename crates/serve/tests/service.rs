@@ -117,8 +117,14 @@ fn queue_full_is_an_immediate_typed_error() {
             }
         })
     };
-    let config =
-        ServeConfig { queue_capacity: 1, max_batch: 1, workers: Some(0), batch_hook: Some(hook) };
+    let config = ServeConfig {
+        queue_capacity: 1,
+        max_batch: 1,
+        workers: Some(0),
+        shards: 1, // one queue, so its capacity is the test's only capacity
+        batch_hook: Some(hook),
+        ..ServeConfig::default()
+    };
     let server = Server::start("127.0.0.1:0", config).unwrap();
     let mut client = Client::connect(&server);
 
@@ -218,11 +224,12 @@ fn requests_after_drain_get_shutting_down_errors() {
     let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
     let mut client = Client::connect(&server);
     // Trigger the drain from a second connection, then race a request in
-    // on the first; it must get a typed shutting_down (or, if the reader
-    // already closed, EOF — but never a hang).
+    // on the first; it must get a typed shutting_down (or, if the server
+    // already closed the connection, a failed send / EOF — but never a
+    // hang and never a solved response).
     let mut other = Client::connect(&server);
     assert!(other.roundtrip(r#"{"cmd":"shutdown"}"#).contains(r#""shutdown":true"#));
-    client.send(GREEDY_INLINE);
+    let _ = writeln!(client.writer, "{GREEDY_INLINE}");
     let mut line = String::new();
     let n = client.reader.read_line(&mut line).unwrap_or(0);
     if n > 0 {
@@ -259,4 +266,139 @@ fn responses_are_byte_identical_across_restarts_and_worker_counts() {
     }
     assert_eq!(runs[0], runs[1], "workers 0 vs 1 diverge");
     assert_eq!(runs[0], runs[2], "workers 0 vs 3 diverge");
+}
+
+#[test]
+fn responses_are_byte_identical_across_shard_counts_and_reactors() {
+    use distfl_serve::reactor::ReactorKind;
+
+    // Four concurrent connections (so multiple shards actually engage),
+    // each with its own request mix, replayed against different shard
+    // counts and reactor backends. Per-connection transcripts must match
+    // byte for byte.
+    let mixes: Vec<Vec<String>> = (0..4)
+        .map(|c| {
+            (0..5)
+                .map(|i| match (c + i) % 3 {
+                    0 => paydual_orlib_request(&format!("c{c}r{i}"), (c * 31 + i) as u64, 4, 9),
+                    1 => format!(
+                        r#"{{"id":"c{c}r{i}","solver":"greedy","instance":{{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}}}"#
+                    ),
+                    _ => format!(
+                        r#"{{"id":"c{c}r{i}","solver":"local-search","seed":{i},"instance":{{"opening":[2.0,2.0],"links":[[0,1.5,1,0.5],[1,1.0]]}}}}"#
+                    ),
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut runs: Vec<Vec<Vec<String>>> = Vec::new();
+    for (shards, reactor) in
+        [(1, ReactorKind::Auto), (4, ReactorKind::Auto), (4, ReactorKind::Sweep)]
+    {
+        let config = ServeConfig {
+            queue_capacity: 64,
+            max_batch: 4,
+            workers: Some(2),
+            shards,
+            reactor,
+            ..ServeConfig::default()
+        };
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        assert_eq!(server.shards(), shards);
+        let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(&server)).collect();
+        let transcripts: Vec<Vec<String>> = clients
+            .iter_mut()
+            .zip(&mixes)
+            .map(|(client, mix)| mix.iter().map(|r| client.roundtrip(r)).collect())
+            .collect();
+        server.shutdown();
+        runs.push(transcripts);
+    }
+    assert_eq!(runs[0], runs[1], "1 shard vs 4 shards diverge");
+    assert_eq!(runs[0], runs[2], "epoll/poll vs sweep reactor diverge");
+}
+
+#[test]
+fn pipelined_requests_in_one_write_are_answered_in_order() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+
+    // Reference: sequential roundtrips.
+    let requests: Vec<String> = (0..20)
+        .map(|i| {
+            format!(
+                r#"{{"id":"p{i}","solver":"greedy","seed":{i},"instance":{{"opening":[{}.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}}}"#,
+                3 + (i % 4)
+            )
+        })
+        .collect();
+    let mut reference = Client::connect(&server);
+    let expected: Vec<String> = requests.iter().map(|r| reference.roundtrip(r)).collect();
+
+    // Pipelined: all 20 requests in a single write() syscall, so the
+    // reactor frames the whole burst out of one read and admits it as one
+    // group.
+    let mut pipelined = Client::connect(&server);
+    let mut burst = String::new();
+    for request in &requests {
+        burst.push_str(request);
+        burst.push('\n');
+    }
+    pipelined.writer.write_all(burst.as_bytes()).expect("burst write");
+    let got: Vec<String> = (0..requests.len()).map(|_| pipelined.recv()).collect();
+    assert_eq!(got, expected, "pipelining changed response bytes or order");
+    server.shutdown();
+}
+
+#[test]
+fn slow_reader_is_shed_with_a_typed_error_and_others_keep_working() {
+    let config = ServeConfig {
+        queue_capacity: 1024,
+        write_buffer_cap: 1024,    // the minimum: overflow fast
+        sock_send_buffer: Some(1), // clamp the kernel's help to its floor
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+
+    // The hog sends a flood of requests whose responses (padded ids make
+    // each ~1 KiB) vastly exceed everything the kernel and the 1 KiB
+    // write buffer can hold — and never reads.
+    let mut hog = Client::connect(&server);
+    let padding = "x".repeat(1024);
+    for i in 0..600 {
+        hog.send(&format!(
+            r#"{{"id":"hog{i}-{padding}","solver":"greedy","instance":{{"opening":[1.0],"links":[[0,1.0]]}}}}"#
+        ));
+    }
+
+    // A well-behaved connection keeps getting answers while the hog sits
+    // unshed or shed — it must never be stalled by the hog.
+    let mut polite = Client::connect(&server);
+    for _ in 0..5 {
+        let response = polite.roundtrip(GREEDY_INLINE);
+        assert!(response.contains(r#""ok":true"#), "{response}");
+    }
+
+    // Now drain the hog's socket: some complete responses, then the typed
+    // slow_reader error, then EOF. Every line must be intact JSON —
+    // shedding never tears a response mid-line.
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = hog.reader.read_line(&mut line).expect("read hog responses");
+        if n == 0 {
+            break;
+        }
+        lines.push(line.trim_end().to_owned());
+    }
+    let last = lines.last().expect("the shed error line must be delivered");
+    assert!(last.contains(r#""kind":"slow_reader""#), "{last}");
+    assert!(lines.len() < 600, "shedding must drop undelivered responses, got {}", lines.len());
+    for line in &lines {
+        distfl_obs::validate_json(line).expect("every delivered line is intact JSON");
+    }
+
+    // The polite connection survived the shed.
+    assert!(polite.roundtrip(GREEDY_INLINE).contains(r#""ok":true"#));
+    server.shutdown();
 }
