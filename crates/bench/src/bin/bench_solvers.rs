@@ -10,11 +10,13 @@
 //! speedup on the *same* answer. Emits a single JSON document so CI and
 //! EXPERIMENTS.md baselines can diff runs mechanically.
 //!
-//! The document records `greedy_allocs_per_iter_budget`: the ceiling on
-//! amortized heap allocations per greedy iteration. `--smoke` re-measures
-//! on small instances and exits non-zero if the budget (read back from
-//! BENCH_2.json when present) is exceeded — the allocation regression
-//! gate CI runs on every push.
+//! The document records allocation budgets for all three hot paths:
+//! `greedy_allocs_per_iter_budget` (amortized heap allocations per greedy
+//! iteration), `ls_allocs_per_move_budget` (per local-search move), and
+//! `jv_allocs_per_client_budget` (per client of the JV dual ascent).
+//! `--smoke` re-measures on small instances and exits non-zero if any
+//! budget (read back from BENCH_2.json when present) is exceeded — the
+//! allocation regression gate CI runs on every push.
 //!
 //! Usage: `bench_solvers [--quick] [--smoke] [--out PATH]`
 //! (default `BENCH_2.json`).
@@ -64,6 +66,18 @@ fn allocations() -> u64 {
 /// CSR/heap setup is included). The committed BENCH_2.json records this
 /// value and `--smoke` enforces it.
 const GREEDY_ALLOCS_PER_ITER_BUDGET: f64 = 16.0;
+
+/// Amortized allocations per accepted local-search move (whole-call
+/// allocations divided by moves, so the once-per-call cache and candidate
+/// buffers are included). Guards the hoisted-pricing rework: a per-round
+/// or per-candidate allocation sneaking back in blows this immediately.
+const LS_ALLOCS_PER_MOVE_BUDGET: f64 = 32.0;
+
+/// Amortized allocations per client for one JV dual ascent (whole-call
+/// allocations divided by clients). The event loop reuses its sorted
+/// lanes, linear forms, and candidate buffers, so the per-client share of
+/// the setup is small and must stay that way.
+const JV_ALLOCS_PER_CLIENT_BUDGET: f64 = 4.0;
 
 /// Local-search move cap: both implementations run under the same cap, so
 /// the comparison stays apples-to-apples even on instances whose descent
@@ -115,31 +129,45 @@ fn bench_greedy(inst: &Instance, reps: usize) -> (Timing, u32, f64) {
     (timing, run.iterations, allocs_per_iter)
 }
 
-/// Local-search comparison from the greedy solution, verified identical.
-fn bench_local_search(inst: &Instance, reps: usize) -> (Timing, u32) {
+/// Local-search comparison from the greedy solution, verified identical,
+/// with the fast path's allocations per accepted move.
+fn bench_local_search(inst: &Instance, reps: usize) -> (Timing, u32, f64) {
     let (start, _) = greedy::solve(inst);
     let fast = localsearch::optimize(inst, &start, LS_MOVES);
     let slow = localsearch::optimize_reference(inst, &start, LS_MOVES);
     assert_eq!(fast, slow, "cached local search diverged from reference");
 
+    let before = allocations();
+    let run = localsearch::optimize(inst, &start, LS_MOVES);
+    let allocs = allocations() - before;
+    let allocs_per_move = allocs as f64 / f64::from(run.moves.max(1));
+
     let timing = Timing {
         fast_ms: time_best(reps, || localsearch::optimize(inst, &start, LS_MOVES)),
         reference_ms: time_best(reps, || localsearch::optimize_reference(inst, &start, LS_MOVES)),
     };
-    (timing, fast.moves)
+    (timing, fast.moves, allocs_per_move)
 }
 
-/// Jain–Vazirani phase-1 comparison, verified identical.
-fn bench_jv(inst: &Instance, reps: usize) -> Timing {
+/// Jain–Vazirani phase-1 comparison, verified identical, with the fast
+/// path's allocations per client.
+fn bench_jv(inst: &Instance, reps: usize) -> (Timing, f64) {
     let fast = jv::dual_ascent(inst);
     let slow = jv::dual_ascent_reference(inst);
     assert_eq!(fast.alpha, slow.alpha, "event-driven ascent diverged from reference");
     assert_eq!(fast.temp_open, slow.temp_open, "ascent opening order diverged");
 
-    Timing {
+    let before = allocations();
+    let run = jv::dual_ascent(inst);
+    let allocs = allocations() - before;
+    let allocs_per_client = allocs as f64 / inst.num_clients().max(1) as f64;
+    drop(run);
+
+    let timing = Timing {
         fast_ms: time_best(reps, || jv::dual_ascent(inst)),
         reference_ms: time_best(reps, || jv::dual_ascent_reference(inst)),
-    }
+    };
+    (timing, allocs_per_client)
 }
 
 fn json_timing(t: &Timing) -> String {
@@ -151,13 +179,13 @@ fn json_timing(t: &Timing) -> String {
     )
 }
 
-/// Pulls the committed allocation budget back out of a BENCH_2.json
-/// document (no JSON dependency in-tree; the key is written by this same
-/// binary, so a flat scan is reliable).
-fn read_budget(path: &str) -> Option<f64> {
+/// Pulls one committed allocation budget back out of a BENCH_2.json
+/// document (no JSON dependency in-tree; the keys are written by this
+/// same binary, so a flat scan is reliable).
+fn read_key(path: &str, key: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"greedy_allocs_per_iter_budget\":";
-    let at = text.find(key)? + key.len();
+    let key = format!("\"{key}\":");
+    let at = text.find(&key)? + key.len();
     let rest = text[at..].trim_start();
     let end =
         rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
@@ -221,25 +249,37 @@ fn main() {
         std::process::exit(2);
     }
 
-    // The smoke gate compares against the committed baseline's budget when
-    // it is available, so tightening BENCH_2.json tightens CI with it.
-    let budget = if smoke {
-        read_budget("BENCH_2.json").unwrap_or(GREEDY_ALLOCS_PER_ITER_BUDGET)
+    // The smoke gate compares against the committed baseline's budgets
+    // when available, so tightening BENCH_2.json tightens CI with it.
+    let (g_budget, ls_budget, jv_budget) = if smoke {
+        (
+            read_key("BENCH_2.json", "greedy_allocs_per_iter_budget")
+                .unwrap_or(GREEDY_ALLOCS_PER_ITER_BUDGET),
+            read_key("BENCH_2.json", "ls_allocs_per_move_budget")
+                .unwrap_or(LS_ALLOCS_PER_MOVE_BUDGET),
+            read_key("BENCH_2.json", "jv_allocs_per_client_budget")
+                .unwrap_or(JV_ALLOCS_PER_CLIENT_BUDGET),
+        )
     } else {
-        GREEDY_ALLOCS_PER_ITER_BUDGET
+        (GREEDY_ALLOCS_PER_ITER_BUDGET, LS_ALLOCS_PER_MOVE_BUDGET, JV_ALLOCS_PER_CLIENT_BUDGET)
     };
 
     let reps = if quick { 2usize } else { 3 };
     let mut entries = Vec::new();
-    let mut worst_allocs = 0.0f64;
+    let mut worst_greedy = 0.0f64;
+    let mut worst_ls = 0.0f64;
+    let mut worst_jv = 0.0f64;
     for (name, inst) in instances(quick) {
         let (g_timing, iterations, allocs_per_iter) = bench_greedy(&inst, reps);
-        let (ls_timing, moves) = bench_local_search(&inst, reps);
-        let jv_timing = bench_jv(&inst, reps);
-        worst_allocs = worst_allocs.max(allocs_per_iter);
+        let (ls_timing, moves, allocs_per_move) = bench_local_search(&inst, reps);
+        let (jv_timing, allocs_per_client) = bench_jv(&inst, reps);
+        worst_greedy = worst_greedy.max(allocs_per_iter);
+        worst_ls = worst_ls.max(allocs_per_move);
+        worst_jv = worst_jv.max(allocs_per_client);
         eprintln!(
             "{name:<24} greedy {:>7.2}x ({} iters, {allocs_per_iter:.1} allocs/iter)  \
-             local-search {:>7.2}x ({moves} moves)  jv-ascent {:>7.2}x",
+             local-search {:>7.2}x ({moves} moves, {allocs_per_move:.1} allocs/move)  \
+             jv-ascent {:>7.2}x ({allocs_per_client:.2} allocs/client)",
             g_timing.speedup(),
             iterations,
             ls_timing.speedup(),
@@ -250,7 +290,9 @@ fn main() {
              \"links\": {},\n     \"greedy\": {},\n     \
              \"greedy_iterations\": {iterations}, \"greedy_allocs_per_iter\": \
              {allocs_per_iter:.2},\n     \"local_search\": {},\n     \
-             \"local_search_moves\": {moves},\n     \"jv_dual_ascent\": {}}}",
+             \"local_search_moves\": {moves}, \"local_search_allocs_per_move\": \
+             {allocs_per_move:.2},\n     \"jv_dual_ascent\": {},\n     \
+             \"jv_allocs_per_client\": {allocs_per_client:.2}}}",
             inst.num_facilities(),
             inst.num_clients(),
             inst.num_links(),
@@ -266,6 +308,8 @@ fn main() {
          full-repricing local search (both capped at {LS_MOVES} moves), \
          per-round link-scan JV dual ascent\",\n  \
          \"greedy_allocs_per_iter_budget\": {GREEDY_ALLOCS_PER_ITER_BUDGET},\n  \
+         \"ls_allocs_per_move_budget\": {LS_ALLOCS_PER_MOVE_BUDGET},\n  \
+         \"jv_allocs_per_client_budget\": {JV_ALLOCS_PER_CLIENT_BUDGET},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         if smoke {
             "smoke"
@@ -283,11 +327,20 @@ fn main() {
     println!("{json}");
     eprintln!("wrote {out_path}");
 
-    if smoke && worst_allocs > budget {
-        eprintln!(
-            "error: greedy allocations per iteration {worst_allocs:.2} exceed the \
-             budget {budget} recorded in BENCH_2.json"
-        );
-        std::process::exit(1);
+    if smoke {
+        let mut failed = false;
+        for (what, worst, budget) in [
+            ("greedy allocations per iteration", worst_greedy, g_budget),
+            ("local-search allocations per move", worst_ls, ls_budget),
+            ("jv allocations per client", worst_jv, jv_budget),
+        ] {
+            if worst > budget {
+                eprintln!("error: {what} {worst:.2} exceed the budget {budget}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -25,7 +25,7 @@
 //! Rounds: `2·s_out·s_in + 5`, independent of the input size.
 
 use distfl_congest::{CongestConfig, Network, NodeId, NodeLogic, Payload, StepCtx};
-use distfl_instance::{FacilityId, Instance, Solution};
+use distfl_instance::{ClientId, FacilityId, Instance, Solution};
 use distfl_lp::DualSolution;
 
 use crate::error::CoreError;
@@ -245,7 +245,7 @@ impl FacilityState {
 /// The best possible star ratio of facility `i` with all clients available
 /// (used to anchor the shared threshold grid).
 fn initial_best_ratio(instance: &Instance, i: FacilityId) -> f64 {
-    let mut costs: Vec<f64> = instance.facility_links(i).iter().map(|(_, c)| c.value()).collect();
+    let mut costs: Vec<f64> = instance.facility_links(i).costs.to_vec();
     costs.sort_by(f64::total_cmp);
     let opening = instance.opening_cost(i).value();
     let mut best = f64::INFINITY;
@@ -387,11 +387,8 @@ impl FlAlgorithm for GreedyBucket {
             * instance
                 .facilities()
                 .map(|i| {
-                    let max_c = instance
-                        .facility_links(i)
-                        .iter()
-                        .map(|(_, c)| c.value())
-                        .fold(0.0f64, f64::max);
+                    let max_c =
+                        instance.facility_links(i).costs.iter().copied().fold(0.0f64, f64::max);
                     instance.opening_cost(i).value() + max_c
                 })
                 .fold(f64::MIN_POSITIVE, f64::max);
@@ -400,7 +397,7 @@ impl FlAlgorithm for GreedyBucket {
             let links: Vec<(NodeId, f64)> = instance
                 .facility_links(i)
                 .iter()
-                .map(|&(j, c)| (client_node(m, j), c.value()))
+                .map(|(j, c)| (client_node(m, ClientId::new(j)), c))
                 .collect();
             let degree = links.len();
             nodes.push(BucketNode::Facility(FacilityState {
@@ -420,7 +417,7 @@ impl FlAlgorithm for GreedyBucket {
             let links: Vec<(NodeId, f64)> = instance
                 .client_links(j)
                 .iter()
-                .map(|&(i, c)| (facility_node(i), c.value()))
+                .map(|(i, c)| (facility_node(FacilityId::new(i)), c))
                 .collect();
             nodes.push(BucketNode::Client(ClientState {
                 opening: Vec::with_capacity(links.len()),

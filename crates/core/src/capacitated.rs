@@ -82,13 +82,14 @@ impl CapacitatedInstance {
             self.base.facilities().map(|i| b.add_facility(self.base.opening_cost(i))).collect();
         for j in self.base.clients() {
             let c = b.add_client();
-            for &(i, cost) in self.base.client_links(j) {
+            for (i, cost) in self.base.client_links(j).iter() {
+                let i = FacilityId::new(i);
                 let amortized =
                     self.base.opening_cost(i).value() / f64::from(self.capacities[i.index()]);
                 b.link(
                     c,
                     fids[i.index()],
-                    Cost::new(cost.value() + amortized).expect("finite amortized cost"),
+                    Cost::new(cost + amortized).expect("finite amortized cost"),
                 )
                 .expect("copying valid links");
             }
@@ -202,8 +203,9 @@ pub fn assign_hard(
     }
     let mut link_edges = Vec::new();
     for j in instance.base.clients() {
-        for &(i, c) in instance.base.client_links(j) {
-            let e = net.add_edge(1 + i.index(), 1 + m + j.index(), 1, c.value());
+        for (i, c) in instance.base.client_links(j).iter() {
+            let i = FacilityId::new(i);
+            let e = net.add_edge(1 + i.index(), 1 + m + j.index(), 1, c);
             link_edges.push((j, i, e));
         }
         net.add_edge(1 + m + j.index(), sink, 1, 0.0);
@@ -274,9 +276,10 @@ mod tests {
         let reduced = inst.reduced();
         let base = inst.base();
         for j in base.clients() {
-            for (i, c) in base.client_links(j) {
-                let expected = c.value() + base.opening_cost(*i).value() / 5.0;
-                let got = reduced.connection_cost(j, *i).unwrap().value();
+            for (i, c) in base.client_links(j).iter() {
+                let i = FacilityId::new(i);
+                let expected = c + base.opening_cost(i).value() / 5.0;
+                let got = reduced.connection_cost(j, i).unwrap().value();
                 assert!((got - expected).abs() < 1e-12);
             }
         }

@@ -33,7 +33,7 @@ pub fn spread_fractional(instance: &Instance, width: usize) -> FractionalSolutio
         .clients()
         .map(|j| {
             let mut links: Vec<(FacilityId, f64)> =
-                instance.client_links(j).iter().map(|&(i, c)| (i, c.value())).collect();
+                instance.client_links(j).iter().map(|(i, c)| (FacilityId::new(i), c)).collect();
             links.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             let take = width.min(links.len());
             let share = 1.0 / take as f64;
@@ -70,7 +70,7 @@ pub fn payment_fractional(instance: &Instance, dual: &DualSolution) -> Fractiona
         .clients()
         .map(|j| {
             let mut links: Vec<(FacilityId, f64)> =
-                instance.client_links(j).iter().map(|&(i, c)| (i, c.value())).collect();
+                instance.client_links(j).iter().map(|(i, c)| (FacilityId::new(i), c)).collect();
             links.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             let mut need = 1.0f64;
             let mut assignment = Vec::new();

@@ -31,7 +31,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use distfl_instance::{ClientId, FacilityId, Instance, Solution};
+use distfl_instance::{kernels, ClientId, FacilityId, Instance, Solution};
 use distfl_lp::DualSolution;
 
 use crate::error::CoreError;
@@ -61,8 +61,8 @@ fn best_star(
     let mut costs: Vec<(f64, distfl_instance::ClientId)> = instance
         .facility_links(i)
         .iter()
-        .filter(|(j, _)| !served[j.index()])
-        .map(|&(j, c)| (c.value(), j))
+        .filter(|&(j, _)| !served[j as usize])
+        .map(|(j, c)| (c, ClientId::new(j)))
         .collect();
     if costs.is_empty() {
         return None;
@@ -123,57 +123,62 @@ impl PartialOrd for StarKey {
     }
 }
 
-/// Per-facility link lists sorted by `(cost, client id)` — the order
-/// `best_star` sorts into — flattened CSR-style so each re-evaluation is a
-/// single allocation-free scan.
+/// Per-facility link rows sorted by `(cost, client id)` — the order
+/// `best_star` sorts into — in SoA form: split client-id/cost lanes behind
+/// shared offsets, with a per-row live watermark.
+///
+/// Serving is monotone, so served entries are *compacted away in place*
+/// (order-preserving, via [`kernels::retain_unmarked`]) rather than
+/// skipped on every scan: each re-evaluation is then a branch-free
+/// [`kernels::fused_ratio_accumulate`] over a pure cost slice, and rows
+/// shrink as the run progresses instead of being re-filtered in full. The
+/// compacted live prefix is exactly the subsequence a served-skipping
+/// scan of the original row visits, so prefix sums — and therefore
+/// ratios — stay bit-identical to the reference.
 struct SortedStars {
     offsets: Vec<u32>,
-    links: Vec<(f64, ClientId)>,
+    /// Absolute end of each facility's live (unserved) prefix.
+    live_end: Vec<u32>,
+    ids: Vec<u32>,
+    costs: Vec<f64>,
 }
 
 impl SortedStars {
     fn build(instance: &Instance) -> Self {
-        let mut offsets = Vec::with_capacity(instance.num_facilities() + 1);
-        let mut links = Vec::with_capacity(instance.num_links());
+        let m = instance.num_facilities();
+        let mut offsets = Vec::with_capacity(m + 1);
+        let mut ids = Vec::with_capacity(instance.num_links());
+        let mut costs = Vec::with_capacity(instance.num_links());
+        let mut scratch: Vec<(f64, u32)> = Vec::new();
         offsets.push(0u32);
         for i in instance.facilities() {
-            let start = links.len();
-            links.extend(instance.facility_links(i).iter().map(|&(j, c)| (c.value(), j)));
-            links[start..].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-            offsets.push(links.len() as u32);
+            scratch.clear();
+            scratch.extend(instance.facility_links(i).iter().map(|(j, c)| (c, j)));
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            ids.extend(scratch.iter().map(|&(_, j)| j));
+            costs.extend(scratch.iter().map(|&(c, _)| c));
+            offsets.push(ids.len() as u32);
         }
-        SortedStars { offsets, links }
+        let live_end = offsets[1..].to_vec();
+        SortedStars { offsets, live_end, ids, costs }
     }
 
-    fn of(&self, i: FacilityId) -> &[(f64, ClientId)] {
-        &self.links[self.offsets[i.index()] as usize..self.offsets[i.index() + 1] as usize]
+    /// The live portion of facility `i`'s row as `(ids, costs)` lanes.
+    fn live(&self, i: FacilityId) -> (&[u32], &[f64]) {
+        let lo = self.offsets[i.index()] as usize;
+        let hi = self.live_end[i.index()] as usize;
+        (&self.ids[lo..hi], &self.costs[lo..hi])
     }
-}
 
-/// The best star over currently unserved clients of one pre-sorted link
-/// list: `(ratio, star size)`, or `None` if every linked client is served.
-///
-/// Scanning the pre-sorted list while skipping served clients visits the
-/// exact `(cost, client)` sequence `best_star` produces by filtering and
-/// sorting, so prefix sums and ratios are bit-identical.
-fn eval_star(sorted: &[(f64, ClientId)], residual: f64, served: &[bool]) -> Option<(f64, usize)> {
-    let mut best_ratio = f64::INFINITY;
-    let mut best_k = 0usize;
-    let mut k = 0usize;
-    let mut prefix = 0.0f64;
-    for &(c, j) in sorted {
-        if served[j.index()] {
-            continue;
-        }
-        prefix += c;
-        k += 1;
-        let ratio = (residual + prefix) / k as f64;
-        if ratio < best_ratio {
-            best_ratio = ratio;
-            best_k = k;
-        }
+    /// Drops served clients from facility `i`'s live row (stable, in
+    /// place), returning the new live length.
+    fn compact(&mut self, i: FacilityId, served: &[bool]) -> usize {
+        let lo = self.offsets[i.index()] as usize;
+        let hi = self.live_end[i.index()] as usize;
+        let w = kernels::retain_unmarked(&mut self.ids[lo..hi], &mut self.costs[lo..hi], served);
+        self.live_end[i.index()] = (lo + w) as u32;
+        w
     }
-    (best_k > 0).then_some((best_ratio, best_k))
 }
 
 /// Runs star greedy with full diagnostics (lazy-evaluation heap).
@@ -181,7 +186,7 @@ pub fn solve_detailed(instance: &Instance) -> GreedyRun {
     let _span = distfl_obs::span("solver", "greedy");
     let n = instance.num_clients();
     let m = instance.num_facilities();
-    let stars = SortedStars::build(instance);
+    let mut stars = SortedStars::build(instance);
     let mut served = vec![false; n];
     let mut opened = vec![false; m];
     let mut assignment = vec![FacilityId::new(0); n];
@@ -192,7 +197,9 @@ pub fn solve_detailed(instance: &Instance) -> GreedyRun {
     let mut heap: BinaryHeap<std::cmp::Reverse<StarKey>> = BinaryHeap::with_capacity(m);
     for i in instance.facilities() {
         let residual = instance.opening_cost(i).value();
-        if let Some((ratio, _)) = eval_star(stars.of(i), residual, &served) {
+        let (_, costs) = stars.live(i);
+        if !costs.is_empty() {
+            let (ratio, _) = kernels::fused_ratio_accumulate(costs, residual);
             heap.push(std::cmp::Reverse(StarKey { ratio, fid: i.raw() }));
         }
     }
@@ -202,10 +209,14 @@ pub fn solve_detailed(instance: &Instance) -> GreedyRun {
             heap.pop().expect("instance invariant: every client is linked, so a star exists");
         let i = FacilityId::new(key.fid);
         let residual = if opened[i.index()] { 0.0 } else { instance.opening_cost(i).value() };
-        let Some((ratio, k)) = eval_star(stars.of(i), residual, &served) else {
+        if stars.compact(i, &served) == 0 {
             // Every linked client is served; this facility is permanently
             // out of stars (serving never un-serves).
             continue;
+        }
+        let (ratio, k) = {
+            let (_, costs) = stars.live(i);
+            kernels::fused_ratio_accumulate(costs, residual)
         };
         let fresh = StarKey { ratio, fid: key.fid };
         // Cached keys are lower bounds on true keys, so beating the best
@@ -217,24 +228,22 @@ pub fn solve_detailed(instance: &Instance) -> GreedyRun {
         }
         iterations += 1;
         opened[i.index()] = true;
-        let mut taken = 0usize;
-        for &(_, j) in stars.of(i) {
-            if taken == k {
-                break;
-            }
-            if served[j.index()] {
-                continue;
-            }
-            served[j.index()] = true;
-            assignment[j.index()] = i;
-            ratios[j.index()] = ratio;
-            taken += 1;
-            remaining -= 1;
+        // The row was just compacted, so its first `k` entries are exactly
+        // the star's (all-unserved) members.
+        let (ids, _) = stars.live(i);
+        for &jraw in &ids[..k] {
+            let j = jraw as usize;
+            debug_assert!(!served[j], "star members must all have been unserved");
+            served[j] = true;
+            assignment[j] = i;
+            ratios[j] = ratio;
         }
-        debug_assert_eq!(taken, k, "star members must all have been unserved");
+        remaining -= k;
         // The winner's residual just dropped to zero; recompute eagerly so
         // its (possibly lower) new ratio re-enters the heap.
-        if let Some((ratio, _)) = eval_star(stars.of(i), 0.0, &served) {
+        if stars.compact(i, &served) > 0 {
+            let (_, costs) = stars.live(i);
+            let (ratio, _) = kernels::fused_ratio_accumulate(costs, 0.0);
             heap.push(std::cmp::Reverse(StarKey { ratio, fid: key.fid }));
         }
     }

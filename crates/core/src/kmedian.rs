@@ -48,8 +48,8 @@ fn with_uniform_opening(instance: &Instance, z: f64) -> Instance {
         .collect();
     for j in instance.clients() {
         let c = b.add_client();
-        for &(i, cost) in instance.client_links(j) {
-            b.link(c, fids[i.index()], cost).expect("copying valid links");
+        for (i, cost) in instance.client_links(j).iter() {
+            b.link(c, fids[i as usize], Cost::from_validated(cost)).expect("copying valid links");
         }
     }
     b.build().expect("copy of a valid instance is valid")
@@ -73,7 +73,7 @@ fn check_inputs(instance: &Instance, k: usize) -> Result<(), CoreError> {
 fn price_ceiling(instance: &Instance) -> f64 {
     let max_c = instance
         .clients()
-        .flat_map(|j| instance.client_links(j).iter().map(|(_, c)| c.value()))
+        .flat_map(|j| instance.client_links(j).costs.iter().copied())
         .fold(0.0f64, f64::max);
     (instance.num_clients() as f64) * max_c.max(1.0) * 2.0
 }
@@ -250,9 +250,9 @@ pub fn exact(instance: &Instance, k: usize, limit: usize) -> Result<KMedianResul
     for f in (0..m).rev() {
         let (head, tail) = suffix_min.split_at_mut(f + 1);
         head[f].clone_from(&tail[0]);
-        for &(j, c) in instance.facility_links(FacilityId::new(f as u32)) {
-            let slot = &mut head[f][j.index()];
-            *slot = slot.min(c.value());
+        for (j, c) in instance.facility_links(FacilityId::new(f as u32)).iter() {
+            let slot = &mut head[f][j as usize];
+            *slot = slot.min(c);
         }
     }
 
@@ -292,11 +292,11 @@ pub fn exact(instance: &Instance, k: usize, limit: usize) -> Result<KMedianResul
                     .instance
                     .facility_links(i)
                     .iter()
-                    .filter_map(|&(j, c)| {
-                        let slot = self.cur_best[j.index()];
-                        (c.value() < slot).then(|| {
-                            self.cur_best[j.index()] = c.value();
-                            (j.index(), slot)
+                    .filter_map(|(j, c)| {
+                        let slot = self.cur_best[j as usize];
+                        (c < slot).then(|| {
+                            self.cur_best[j as usize] = c;
+                            (j as usize, slot)
                         })
                     })
                     .collect();
@@ -324,13 +324,15 @@ pub fn exact(instance: &Instance, k: usize, limit: usize) -> Result<KMedianResul
     let assignment: Vec<FacilityId> = instance
         .clients()
         .map(|j| {
-            instance
-                .client_links(j)
-                .iter()
-                .filter(|(i, _)| open.contains(i))
-                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-                .map(|(i, _)| *i)
-                .expect("optimal k-median set covers every client")
+            // First-win strict `<` over the id-sorted row = the
+            // `(cost, facility id)`-lexicographic minimum.
+            let mut best: Option<(u32, f64)> = None;
+            for (i, c) in instance.client_links(j).iter() {
+                if open.contains(&FacilityId::new(i)) && best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((i, c));
+                }
+            }
+            FacilityId::new(best.expect("optimal k-median set covers every client").0)
         })
         .collect();
     let solution = Solution::from_assignment(instance, assignment).expect("assignment over links");

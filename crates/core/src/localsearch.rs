@@ -20,19 +20,24 @@
 //! # Cached assignment costs
 //!
 //! [`optimize`] keeps, per client, the best and second-best service costs
-//! over the *currently* open facilities. A candidate move then prices each
-//! client in O(1): dropping facility `a` falls back to the second-best
-//! exactly when `a` holds the best, and adding facility `b` takes the min
-//! with `b`'s link cost (stamped into a scratch array in O(deg b)). A
-//! candidate is therefore O(n + m + deg b) instead of the naive
+//! over the *currently* open facilities, as dense `f64`/`u32` lanes. Each
+//! round hoists the per-candidate work: every closed facility `b` gets a
+//! dense `add_min` column (its link costs scattered over `+inf`), and the
+//! assignment part of every add/drop/swap candidate is then one
+//! branchless chunked pass over the caches ([`kernels::assign_sum_add`] /
+//! [`kernels::assign_sum_drop`] / [`kernels::assign_sum_swap`]) — adding
+//! `b` takes the per-client min with its column (`min(x, +inf) = x`
+//! covers unlinked clients exactly), dropping `a` falls back to the
+//! second-best where `a` holds the best. A candidate is therefore
+//! O(n + m) with no per-candidate scatter, instead of the naive
 //! O(Σ_j deg j) full rescan. The per-client minimum of a set of `f64`s is
-//! the same value no matter how it is computed, and the candidate total
-//! sums those minima in the same (ascending client, then ascending
-//! facility) order as the full rescan, so every candidate cost — and hence
-//! the best-move selection sequence — is bit-identical to
+//! the same value no matter how it is computed, and every candidate sums
+//! those minima in the same (ascending client, then ascending facility)
+//! order as the full rescan, so every candidate cost — and hence the
+//! best-move selection sequence — is bit-identical to
 //! [`optimize_reference`].
 
-use distfl_instance::{FacilityId, Instance, Solution};
+use distfl_instance::{kernels, FacilityId, Instance, Solution};
 
 /// Outcome of a local-search run.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,8 +62,8 @@ fn assignment_cost(instance: &Instance, open: &[bool]) -> Option<f64> {
         let best = instance
             .client_links(j)
             .iter()
-            .filter(|(i, _)| open[i.index()])
-            .map(|(_, c)| c.value())
+            .filter(|&(i, _)| open[i as usize])
+            .map(|(_, c)| c)
             .fold(f64::INFINITY, f64::min);
         if !best.is_finite() {
             return None;
@@ -81,10 +86,11 @@ fn open_set_cost(instance: &Instance, open: &[bool]) -> Option<f64> {
 
 /// Per-client service-cost caches over the currently open set: the best
 /// open facility (by cost, first link wins ties) and the best value with
-/// that facility excluded.
+/// that facility excluded. Dense SoA lanes so the candidate-pricing
+/// kernels scan them directly.
 struct ServiceCache {
     best_cost: Vec<f64>,
-    best_fac: Vec<usize>,
+    best_fac: Vec<u32>,
     second_cost: Vec<f64>,
 }
 
@@ -92,23 +98,22 @@ impl ServiceCache {
     fn new(n: usize) -> Self {
         ServiceCache {
             best_cost: vec![f64::INFINITY; n],
-            best_fac: vec![usize::MAX; n],
+            best_fac: vec![u32::MAX; n],
             second_cost: vec![f64::INFINITY; n],
         }
     }
 
     fn rebuild(&mut self, instance: &Instance, open: &[bool]) {
         for j in instance.clients() {
-            let (mut b1, mut bf, mut b2) = (f64::INFINITY, usize::MAX, f64::INFINITY);
-            for &(i, c) in instance.client_links(j) {
-                if !open[i.index()] {
+            let (mut b1, mut bf, mut b2) = (f64::INFINITY, u32::MAX, f64::INFINITY);
+            for (i, c) in instance.client_links(j).iter() {
+                if !open[i as usize] {
                     continue;
                 }
-                let c = c.value();
                 if c < b1 {
                     b2 = b1;
                     b1 = c;
-                    bf = i.index();
+                    bf = i;
                 } else if c < b2 {
                     b2 = c;
                 }
@@ -120,35 +125,10 @@ impl ServiceCache {
     }
 }
 
-/// Cost of the candidate open set obtained by closing `drop` and/or
-/// opening `add`, priced from the caches — bitwise-identical to
-/// `open_set_cost` on the flipped set, `None` if infeasible.
-///
-/// When `add` is `Some(b)`, `scratch` must hold `b`'s link costs stamped
-/// with `epoch`.
-#[allow(clippy::too_many_arguments)]
-fn cached_candidate_cost(
-    cache: &ServiceCache,
-    open: &[bool],
-    f_cost: &[f64],
-    drop: Option<usize>,
-    add: Option<usize>,
-    scratch: &[f64],
-    stamp: &[u64],
-    epoch: u64,
-) -> Option<f64> {
-    let mut assign = 0.0f64;
-    for j in 0..cache.best_cost.len() {
-        let base = match drop {
-            Some(a) if cache.best_fac[j] == a => cache.second_cost[j],
-            _ => cache.best_cost[j],
-        };
-        let v = if add.is_some() && stamp[j] == epoch { base.min(scratch[j]) } else { base };
-        if !v.is_finite() {
-            return None;
-        }
-        assign += v;
-    }
+/// The opening-cost part of a candidate open set obtained by closing
+/// `drop` and/or opening `add`: the same ascending-facility select-sum
+/// the full rescan folds, so the additive order is preserved exactly.
+fn opening_part(open: &[bool], f_cost: &[f64], drop: Option<usize>, add: Option<usize>) -> f64 {
     let mut opening = 0.0f64;
     for (i, &f) in f_cost.iter().enumerate() {
         let is_open = if Some(i) == drop {
@@ -162,7 +142,7 @@ fn cached_candidate_cost(
             opening += f;
         }
     }
-    Some(assign + opening)
+    opening
 }
 
 /// Runs best-improvement local search from `start`, with an iteration cap.
@@ -184,47 +164,77 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
     let initial_cost = start.cost(instance).value();
     let mut cache = ServiceCache::new(n);
     cache.rebuild(instance, &open);
-    let mut scratch = vec![0.0f64; n];
-    let mut stamp = vec![0u64; n];
-    let mut epoch = 0u64;
+    // Round-scoped buffers, allocated once: the dense add column for one
+    // closed facility, and the precomputed assignment sums per candidate.
+    let mut add_min = vec![f64::INFINITY; n];
+    let mut add_assign = vec![f64::INFINITY; m];
+    let mut drop_assign = vec![f64::INFINITY; m];
+    let mut swap_assign = vec![f64::INFINITY; m * m];
     // The optimal reassignment may already beat the given assignment.
     let mut current =
-        cached_candidate_cost(&cache, &open, &f_cost, None, None, &scratch, &stamp, 0)
-            .expect("feasible start");
+        kernels::assign_sum(&cache.best_cost) + opening_part(&open, &f_cost, None, None);
+    assert!(current.is_finite(), "feasible start");
     let mut moves = 0;
     let mut converged = false;
 
     while moves < max_moves {
-        let mut best: Option<(Option<usize>, Option<usize>, f64)> = None;
-        let consider =
-            |drop: Option<usize>,
-             add: Option<usize>,
-             epoch: u64,
-             scratch: &[f64],
-             stamp: &[u64],
-             best: &mut Option<(Option<usize>, Option<usize>, f64)>| {
-                if let Some(cost) =
-                    cached_candidate_cost(&cache, &open, &f_cost, drop, add, scratch, stamp, epoch)
-                {
-                    if cost < current - 1e-9 && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
-                        *best = Some((drop, add, cost));
-                    }
+        // Phase 1: assignment sums for every candidate, one chunked
+        // branchless pass each. Each closed facility's dense `add_min`
+        // column (link costs over `+inf`) is built once and shared by its
+        // add and all its swap candidates — the per-candidate stamping
+        // this replaces dominated the round.
+        for a in 0..m {
+            if open[a] {
+                drop_assign[a] = kernels::assign_sum_drop(
+                    &cache.best_cost,
+                    &cache.best_fac,
+                    &cache.second_cost,
+                    a as u32,
+                );
+            }
+        }
+        for b in 0..m {
+            if open[b] {
+                continue;
+            }
+            add_min.fill(f64::INFINITY);
+            for (j, c) in instance.facility_links(FacilityId::new(b as u32)).iter() {
+                add_min[j as usize] = c;
+            }
+            add_assign[b] = kernels::assign_sum_add(&cache.best_cost, &add_min);
+            for a in 0..m {
+                if open[a] {
+                    swap_assign[a * m + b] = kernels::assign_sum_swap(
+                        &cache.best_cost,
+                        &cache.best_fac,
+                        &cache.second_cost,
+                        a as u32,
+                        &add_min,
+                    );
                 }
-            };
+            }
+        }
+
+        // Phase 2: selection scan in the reference enumeration order. An
+        // infeasible candidate sums to `+inf` and fails the improvement
+        // test, exactly as the rescan's `None` is skipped.
+        let mut best: Option<(Option<usize>, Option<usize>, f64)> = None;
+        let mut consider = |drop: Option<usize>, add: Option<usize>, assign: f64| {
+            let cost = assign + opening_part(&open, &f_cost, drop, add);
+            if cost < current - 1e-9 && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
+                best = Some((drop, add, cost));
+            }
+        };
         for a in 0..m {
             if !open[a] {
                 // Add.
-                epoch += 1;
-                stamp_links(instance, a, epoch, &mut scratch, &mut stamp);
-                consider(None, Some(a), epoch, &scratch, &stamp, &mut best);
+                consider(None, Some(a), add_assign[a]);
             } else {
                 // Drop.
-                consider(Some(a), None, epoch, &scratch, &stamp, &mut best);
+                consider(Some(a), None, drop_assign[a]);
                 // Swap a -> b.
                 for b in (0..m).filter(|&b| !open[b]) {
-                    epoch += 1;
-                    stamp_links(instance, b, epoch, &mut scratch, &mut stamp);
-                    consider(Some(a), Some(b), epoch, &scratch, &stamp, &mut best);
+                    consider(Some(a), Some(b), swap_assign[a * m + b]);
                 }
             }
         }
@@ -251,19 +261,6 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
     finish(instance, open, initial_cost, moves, converged)
 }
 
-/// Stamps facility `b`'s link costs into the scratch array under `epoch`.
-fn stamp_links(instance: &Instance, b: usize, epoch: u64, scratch: &mut [f64], stamp: &mut [u64]) {
-    for &(j, c) in instance.facility_links(FacilityId::new(b as u32)) {
-        let j = j.index();
-        if stamp[j] == epoch {
-            scratch[j] = scratch[j].min(c.value());
-        } else {
-            scratch[j] = c.value();
-            stamp[j] = epoch;
-        }
-    }
-}
-
 /// Builds the final run record from a locally-optimized open set.
 fn finish(
     instance: &Instance,
@@ -275,13 +272,15 @@ fn finish(
     let assignment: Vec<FacilityId> = instance
         .clients()
         .map(|j| {
-            instance
-                .client_links(j)
-                .iter()
-                .filter(|(i, _)| open[i.index()])
-                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-                .map(|(i, _)| *i)
-                .expect("local-search open sets stay feasible")
+            // First-win strict `<` over the id-sorted row = the
+            // `(cost, facility id)`-lexicographic minimum.
+            let mut best: Option<(u32, f64)> = None;
+            for (i, c) in instance.client_links(j).iter() {
+                if open[i as usize] && best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((i, c));
+                }
+            }
+            FacilityId::new(best.expect("local-search open sets stay feasible").0)
         })
         .collect();
     let solution =

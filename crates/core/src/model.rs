@@ -56,8 +56,9 @@ pub fn topology_of(instance: &Instance) -> Result<Topology, CongestError> {
         .flat_map(|j| {
             instance
                 .client_links(j)
+                .ids
                 .iter()
-                .map(move |&(i, _)| (i.index(), j.index()))
+                .map(move |&i| (i as usize, j.index()))
                 .collect::<Vec<_>>()
         })
         .collect::<Vec<_>>();
@@ -97,8 +98,8 @@ mod tests {
         assert_eq!(topo.num_edges(), inst.num_links());
         // Every link is an edge.
         for j in inst.clients() {
-            for (i, _) in inst.client_links(j) {
-                assert!(topo.are_neighbors(facility_node(*i), client_node(6, j)));
+            for &i in inst.client_links(j).ids {
+                assert!(topo.are_neighbors(facility_node(FacilityId::new(i)), client_node(6, j)));
             }
         }
     }

@@ -51,7 +51,7 @@ pub fn radius(instance: &Instance, i: FacilityId) -> f64 {
     if f == 0.0 {
         return 0.0;
     }
-    let mut costs: Vec<f64> = instance.facility_links(i).iter().map(|(_, c)| c.value()).collect();
+    let mut costs: Vec<f64> = instance.facility_links(i).costs.to_vec();
     costs.sort_by(f64::total_cmp);
     let mut prefix = 0.0;
     for (k, &c) in costs.iter().enumerate() {
@@ -72,15 +72,13 @@ fn facility_distance(instance: &Instance, a: FacilityId, b: FacilityId) -> f64 {
     let links_b = instance.facility_links(b);
     let mut best = f64::INFINITY;
     let mut idx_b = 0;
-    for &(j, ca) in instance.facility_links(a) {
-        // Advance the second (also client-sorted) list to j.
-        while idx_b < links_b.len() && links_b[idx_b].0 < j {
+    for (j, ca) in instance.facility_links(a).iter() {
+        // Advance the second (also client-sorted) id lane to j.
+        while idx_b < links_b.len() && links_b.ids[idx_b] < j {
             idx_b += 1;
         }
-        if let Some(&(jb, cb)) = links_b.get(idx_b) {
-            if jb == j {
-                best = best.min(ca.value() + cb.value());
-            }
+        if idx_b < links_b.len() && links_b.ids[idx_b] == j {
+            best = best.min(ca + links_b.costs[idx_b]);
         }
     }
     best
@@ -103,23 +101,29 @@ pub fn solve(instance: &Instance) -> Solution {
     let assignment: Vec<FacilityId> = instance
         .clients()
         .map(|j| {
-            instance
-                .client_links(j)
-                .iter()
-                .filter(|(i, _)| open.contains(i))
-                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-                .map(|(i, _)| *i)
+            // First-win strict `<` over the id-sorted row = the
+            // `(cost, facility id)`-lexicographic minimum.
+            let mut best: Option<(u32, f64)> = None;
+            for (i, c) in instance.client_links(j).iter() {
+                if open.contains(&FacilityId::new(i)) && best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((i, c));
+                }
+            }
+            match best {
+                Some((i, _)) => FacilityId::new(i),
                 // Sparse instances may leave a client without an open linked
                 // facility; fall back to its cheapest bundle.
-                .unwrap_or_else(|| {
-                    instance
-                        .client_links(j)
-                        .iter()
-                        .map(|&(i, c)| (i, c + instance.opening_cost(i)))
-                        .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-                        .map(|(i, _)| i)
-                        .expect("instance invariant: every client has a link")
-                })
+                None => instance
+                    .client_links(j)
+                    .iter()
+                    .map(|(i, c)| {
+                        let i = FacilityId::new(i);
+                        (i, c + instance.opening_cost(i).value())
+                    })
+                    .min_by(|(fa, ca), (fb, cb)| ca.total_cmp(cb).then(fa.cmp(fb)))
+                    .map(|(i, _)| i)
+                    .expect("instance invariant: every client has a link"),
+            }
         })
         .collect();
     Solution::from_assignment(instance, assignment).expect("assignment uses existing links")

@@ -1,7 +1,7 @@
 //! Node state machines for PayDual.
 
 use distfl_congest::{NodeId, NodeLogic, Payload, StepCtx};
-use distfl_instance::{FacilityId, Instance};
+use distfl_instance::{ClientId, FacilityId, Instance};
 
 use super::ConnectRule;
 use crate::model::{client_node, facility_node};
@@ -97,7 +97,7 @@ pub fn build_nodes(
         let links = instance
             .facility_links(i)
             .iter()
-            .map(|&(j, c)| (client_node(m, j), c.value()))
+            .map(|(j, c)| (client_node(m, ClientId::new(j)), c))
             .collect();
         nodes.push(PayDualNode::Facility(FacilityState::new(
             instance.opening_cost(i).value(),
@@ -107,8 +107,11 @@ pub fn build_nodes(
     }
     let size_bound = (m + instance.num_clients()) as f64;
     for j in instance.clients() {
-        let links =
-            instance.client_links(j).iter().map(|&(i, c)| (facility_node(i), c.value())).collect();
+        let links = instance
+            .client_links(j)
+            .iter()
+            .map(|(i, c)| (facility_node(FacilityId::new(i)), c))
+            .collect();
         nodes.push(PayDualNode::Client(ClientState::new(
             links,
             phases,

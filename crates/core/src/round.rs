@@ -312,12 +312,15 @@ pub fn distributed_round(
         }));
     }
     for j in instance.clients() {
-        let links: Vec<(NodeId, f64)> =
-            instance.client_links(j).iter().map(|&(i, c)| (facility_node(i), c.value())).collect();
+        let links: Vec<(NodeId, f64)> = instance
+            .client_links(j)
+            .iter()
+            .map(|(i, c)| (facility_node(FacilityId::new(i)), c))
+            .collect();
         let in_support: Vec<bool> = instance
             .client_links(j)
             .iter()
-            .map(|(i, _)| fractional.x(j).iter().any(|&(fi, v)| fi == *i && v > 0.0))
+            .map(|(i, _)| fractional.x(j).iter().any(|&(fi, v)| fi.raw() == i && v > 0.0))
             .collect();
         nodes.push(RoundNode::Client(ClientState {
             known_open: vec![false; links.len()],

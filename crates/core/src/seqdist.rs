@@ -25,7 +25,7 @@
 //! input-dependent round count the PODC 2005 algorithm eliminates.
 
 use distfl_congest::{CongestConfig, Network, NodeId, NodeLogic, Payload, StepCtx, Transcript};
-use distfl_instance::{FacilityId, Instance, Solution};
+use distfl_instance::{ClientId, FacilityId, Instance, Solution};
 
 use crate::error::CoreError;
 use crate::model::{client_node, facility_node, node_role, topology_of, Role};
@@ -565,7 +565,7 @@ pub fn run_protocol(instance: &Instance) -> Result<(Solution, Transcript), CoreE
         let links: Vec<(NodeId, f64)> = instance
             .facility_links(i)
             .iter()
-            .map(|&(j, c)| (client_node(m, j), c.value()))
+            .map(|(j, c)| (client_node(m, ClientId::new(j)), c))
             .collect();
         let degree = links.len();
         nodes.push(SeqNode::Facility(SeqFacility {
@@ -581,8 +581,11 @@ pub fn run_protocol(instance: &Instance) -> Result<(Solution, Transcript), CoreE
         }));
     }
     for j in instance.clients() {
-        let links: Vec<(NodeId, f64)> =
-            instance.client_links(j).iter().map(|&(i, c)| (facility_node(i), c.value())).collect();
+        let links: Vec<(NodeId, f64)> = instance
+            .client_links(j)
+            .iter()
+            .map(|(i, c)| (facility_node(FacilityId::new(i)), c))
+            .collect();
         nodes.push(SeqNode::Client(SeqClient {
             wave: WaveState::new(false),
             links,

@@ -7,12 +7,18 @@
 //! properties enforce that claim across the uniform-random, clustered, and
 //! line generator families: solutions, dual ratios, iteration and move
 //! counts, and costs must all compare equal as raw values.
+//!
+//! The chunked scan kernels those hot paths are built on are pinned here
+//! too, directly against their scalar reference twins, over lanes that mix
+//! regular values with the awkward shapes: empty, short (1..=9, so every
+//! chunk remainder path runs), all-equal (tie-breaks must pick the
+//! reference's first index), subnormal, huge, and infinite.
 
 use proptest::prelude::*;
 
 use distfl_core::{greedy, jv, localsearch};
 use distfl_instance::generators::{Clustered, InstanceGenerator, LineCity, UniformRandom};
-use distfl_instance::Instance;
+use distfl_instance::{kernels, Instance};
 
 /// One instance from any of the three generator families.
 fn any_instance() -> impl Strategy<Value = Instance> {
@@ -64,5 +70,155 @@ proptest! {
         let slow = jv::dual_ascent_reference(&inst);
         prop_assert_eq!(fast.alpha, slow.alpha);
         prop_assert_eq!(fast.temp_open, slow.temp_open);
+    }
+}
+
+/// Resolves a weighted element selector into one extreme-magnitude value:
+/// exact zero, the smallest subnormal, near-overflow, `+inf`, or the
+/// regular draw. The result respects the kernel input contract
+/// (non-negative, NaN-free, no `-0.0`).
+fn salted(sel: u8, regular: f64) -> f64 {
+    match sel {
+        0 => 0.0,
+        1 => 5e-324,
+        2 => 1e300,
+        3 => f64::INFINITY,
+        _ => regular,
+    }
+}
+
+/// A cost lane salted with the extreme magnitudes. Half the draws are
+/// truncated short (0..=9) so every chunk-remainder path runs; the rest
+/// keep up to 40 elements to cover the chunked bodies.
+fn cost_lane() -> impl Strategy<Value = Vec<f64>> {
+    (prop::collection::vec((0u8..10, 0.0f64..1e3), 0..41), 0u8..2, 0usize..10).prop_map(
+        |(raw, short, cap)| {
+            let mut lane: Vec<f64> = raw.into_iter().map(|(sel, v)| salted(sel, v)).collect();
+            if short == 1 {
+                lane.truncate(cap);
+            }
+            lane
+        },
+    )
+}
+
+/// An all-equal lane: every index ties, so both scans must agree on the
+/// *first* one.
+fn equal_lane() -> impl Strategy<Value = Vec<f64>> {
+    (0u8..4, 0.0f64..1e3, 1usize..18).prop_map(|(sel, v, len)| vec![salted(sel, v); len])
+}
+
+/// Parallel best/second/facility lanes as the local-search cache holds
+/// them, plus a drop id that may or may not occur in the facility lane.
+fn cache_lanes() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<u32>, u32)> {
+    (
+        prop::collection::vec(((3u8..10, 0.0f64..1e3), (3u8..10, 0.0f64..1e3), 0u32..6), 0..25),
+        0u32..6,
+    )
+        .prop_map(|(rows, drop)| {
+            let (mut best, mut second, mut fac) = (Vec::new(), Vec::new(), Vec::new());
+            for ((bs, bv), (ss, sv), f) in rows {
+                best.push(salted(bs, bv));
+                second.push(salted(ss, sv));
+                fac.push(f);
+            }
+            (best, second, fac, drop)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn kernel_min_argmin_matches_reference(lane in cost_lane()) {
+        let fast = kernels::min_argmin(&lane);
+        let slow = kernels::min_argmin_reference(&lane);
+        prop_assert_eq!(fast.map(|(k, v)| (k, v.to_bits())), slow.map(|(k, v)| (k, v.to_bits())));
+    }
+
+    #[test]
+    fn kernel_min_argmin_breaks_ties_at_the_first_index(lane in equal_lane()) {
+        let (k, v) = kernels::min_argmin(&lane).unwrap();
+        prop_assert_eq!(k, 0);
+        prop_assert_eq!(v.to_bits(), lane[0].to_bits());
+    }
+
+    #[test]
+    fn kernel_prefix_threshold_count_matches_reference(
+        lane in cost_lane(),
+        threshold in (1u8..10, 0.0f64..1e3),
+        sort in any::<bool>(),
+    ) {
+        let threshold = salted(threshold.0, threshold.1);
+        // The JV pointer advance feeds ascending rows; the definition is
+        // order-free, so both shapes are pinned.
+        let mut lane = lane;
+        if sort {
+            lane.sort_by(f64::total_cmp);
+        }
+        prop_assert_eq!(
+            kernels::prefix_threshold_count(&lane, threshold),
+            kernels::prefix_threshold_count_reference(&lane, threshold)
+        );
+    }
+
+    #[test]
+    fn kernel_fused_ratio_accumulate_matches_reference(
+        lane in cost_lane(),
+        residual in (0u8..2, 0.0f64..1e3),
+    ) {
+        let residual = if residual.0 == 0 { 0.0 } else { residual.1 };
+        // Greedy feeds (cost, client)-sorted rows; the prefix chain is
+        // order-sensitive, so match that shape.
+        let mut lane = lane;
+        lane.sort_by(f64::total_cmp);
+        let (fr, fk) = kernels::fused_ratio_accumulate(&lane, residual);
+        let (sr, sk) = kernels::fused_ratio_accumulate_reference(&lane, residual);
+        prop_assert_eq!((fr.to_bits(), fk), (sr.to_bits(), sk));
+    }
+
+    #[test]
+    fn kernel_retain_unmarked_matches_reference(
+        lane in cost_lane(),
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u32> = (0..lane.len() as u32).collect();
+        let marked: Vec<bool> = (0..lane.len()).map(|k| (seed >> (k % 64)) & 1 == 1).collect();
+        let (ref_ids, ref_costs) = kernels::retain_unmarked_reference(&ids, &lane, &marked);
+        let mut ids = ids;
+        let mut costs = lane;
+        let live = kernels::retain_unmarked(&mut ids, &mut costs, &marked);
+        prop_assert_eq!(&ids[..live], &ref_ids[..]);
+        let live_bits: Vec<u64> = costs[..live].iter().map(|c| c.to_bits()).collect();
+        let ref_bits: Vec<u64> = ref_costs.iter().map(|c| c.to_bits()).collect();
+        prop_assert_eq!(live_bits, ref_bits);
+    }
+
+    #[test]
+    fn kernel_assign_sums_match_reference(lanes in cache_lanes()) {
+        let (best, second, fac, drop) = lanes;
+        prop_assert_eq!(
+            kernels::assign_sum(&best).to_bits(),
+            kernels::assign_sum_reference(&best).to_bits()
+        );
+        prop_assert_eq!(
+            kernels::assign_sum_drop(&best, &fac, &second, drop).to_bits(),
+            kernels::assign_sum_drop_reference(&best, &fac, &second, drop).to_bits()
+        );
+        // An add column in the shape `optimize` scatters: +inf for
+        // unlinked clients, finite link costs elsewhere.
+        let add_min: Vec<f64> = best
+            .iter()
+            .enumerate()
+            .map(|(k, b)| if k % 3 == 0 { f64::INFINITY } else { b * 0.5 + k as f64 })
+            .collect();
+        prop_assert_eq!(
+            kernels::assign_sum_add(&best, &add_min).to_bits(),
+            kernels::assign_sum_add_reference(&best, &add_min).to_bits()
+        );
+        prop_assert_eq!(
+            kernels::assign_sum_swap(&best, &fac, &second, drop, &add_min).to_bits(),
+            kernels::assign_sum_swap_reference(&best, &fac, &second, drop, &add_min).to_bits()
+        );
     }
 }

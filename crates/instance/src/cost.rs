@@ -40,6 +40,12 @@ impl Cost {
 
     /// Creates a cost, validating the value.
     ///
+    /// Negative zero is normalized to `+0.0`, so the raw `f64` lanes the
+    /// instance CSR exposes (see [`crate::LinkSlice`]) are totally ordered
+    /// by plain `<` exactly as `Cost`'s `total_cmp` orders them — the
+    /// invariant the chunked [`crate::kernels`] rely on for their
+    /// tie-breaking guarantees.
+    ///
     /// # Errors
     ///
     /// Returns [`InstanceError::InvalidCost`] if `value` is `NaN`, infinite,
@@ -48,13 +54,31 @@ impl Cost {
         if !value.is_finite() || value < 0.0 {
             return Err(InstanceError::InvalidCost { value });
         }
-        Ok(Cost(value))
+        // `-0.0 + 0.0 == +0.0`; every other finite non-negative value is
+        // unchanged.
+        Ok(Cost(value + 0.0))
     }
 
     /// The underlying value.
     #[inline]
     pub const fn value(self) -> f64 {
         self.0
+    }
+
+    /// Wraps a raw `f64` that is already known to be a valid cost — e.g. a
+    /// value read back from [`crate::LinkSlice::costs`], whose entries were
+    /// all validated by [`Cost::new`] at instance construction.
+    ///
+    /// Validity is debug-asserted; in release builds an invalid value is
+    /// stored as-is, so this must only be used on values that round-trip
+    /// through an existing `Cost`.
+    #[inline]
+    pub fn from_validated(value: f64) -> Cost {
+        debug_assert!(
+            value.is_finite() && value >= 0.0 && !(value == 0.0 && value.is_sign_negative()),
+            "Cost::from_validated on unvalidated value {value}"
+        );
+        Cost(value)
     }
 
     /// Whether this cost is exactly zero.
@@ -251,6 +275,22 @@ mod tests {
     #[should_panic(expected = "invalid cost scale")]
     fn negative_scale_panics() {
         let _ = cost(1.0) * -1.0;
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let c = Cost::new(-0.0).unwrap();
+        assert!(c.value().is_sign_positive(), "-0.0 must normalize to +0.0");
+        assert_eq!(c.cmp(&Cost::ZERO), std::cmp::Ordering::Equal);
+        assert_eq!(Cost::from_validated(c.value()).value().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn from_validated_round_trips() {
+        for v in [0.0, 1.5, 1e300, f64::MIN_POSITIVE] {
+            let c = Cost::new(v).unwrap();
+            assert_eq!(Cost::from_validated(c.value()), c);
+        }
     }
 
     #[test]

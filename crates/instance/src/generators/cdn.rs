@@ -142,7 +142,7 @@ mod tests {
         // region 29 (lightest) by roughly the volume ratio.
         let avg = |j: u32| {
             let links = inst.client_links(crate::ClientId::new(j));
-            links.iter().map(|(_, c)| c.value()).sum::<f64>() / links.len() as f64
+            links.costs.iter().sum::<f64>() / links.len() as f64
         };
         let ratio = avg(0) / avg(29);
         let volume_ratio = gen.demand_volume(0) / gen.demand_volume(29);

@@ -93,7 +93,7 @@ mod tests {
         let diag = side * std::f64::consts::SQRT_2;
         for j in inst.clients() {
             for (_, c) in inst.client_links(j) {
-                assert!(c.value() <= diag);
+                assert!(c <= diag);
             }
         }
     }

@@ -154,7 +154,7 @@ mod tests {
         let inst = GridNetwork::new(6, 6, 4, 12).unwrap().generate(9).unwrap();
         for j in inst.clients() {
             for (_, c) in inst.client_links(j) {
-                let v = c.value();
+                let v = c;
                 assert!(v >= 1.0 && v.fract() == 0.0, "cost {v} is not a hop count");
             }
         }

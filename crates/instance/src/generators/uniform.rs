@@ -101,7 +101,7 @@ mod tests {
         }
         for j in inst.clients() {
             for (_, c) in inst.client_links(j) {
-                assert!((2.0..4.0).contains(&c.value()));
+                assert!((2.0..4.0).contains(&c));
             }
         }
     }

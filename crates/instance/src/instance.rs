@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cost::Cost;
 use crate::error::InstanceError;
+use crate::kernels;
 
 /// Identifier of a facility within an [`Instance`] (dense index `0..m`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -79,6 +80,68 @@ impl fmt::Display for ClientId {
     }
 }
 
+/// One CSR adjacency row in structure-of-arrays form: the opposite-side
+/// ids and the link costs as two parallel contiguous slices.
+///
+/// `ids[k]` and `costs[k]` describe the same link; both slices always have
+/// equal length, and `ids` is sorted ascending (the CSR row invariant).
+/// Splitting the lanes lets cost-only scans — which is what every solver
+/// hot path does — run over pure `f64` memory without dragging ids
+/// through cache, and makes the rows directly consumable by the chunked
+/// [`crate::kernels`]. Every cost was validated by [`Cost::new`] at
+/// construction, so the lane is finite, non-negative, and free of `NaN`
+/// and `-0.0`; wrap values back up with [`Cost::from_validated`] when a
+/// typed cost is needed.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSlice<'a> {
+    /// Opposite-side dense ids, sorted ascending.
+    pub ids: &'a [u32],
+    /// Link costs, parallel to `ids`.
+    pub costs: &'a [f64],
+}
+
+impl<'a> LinkSlice<'a> {
+    /// Number of links in the row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the row is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `k`-th link as an `(id, cost)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn get(&self, k: usize) -> (u32, f64) {
+        (self.ids[k], self.costs[k])
+    }
+
+    /// Iterates over the row as `(id, cost)` pairs.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
+        self.ids.iter().copied().zip(self.costs.iter().copied())
+    }
+}
+
+impl<'a> IntoIterator for LinkSlice<'a> {
+    type Item = (u32, f64);
+    type IntoIter = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, u32>>,
+        std::iter::Copied<std::slice::Iter<'a, f64>>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied().zip(self.costs.iter().copied())
+    }
+}
+
 /// An uncapacitated facility-location instance.
 ///
 /// Stores `m` facility opening costs and a sparse bipartite link structure:
@@ -99,23 +162,32 @@ impl fmt::Display for ClientId {
 ///
 /// # Storage
 ///
-/// The link structure is stored in CSR (compressed sparse row) form, one
-/// contiguous `(id, cost)` array per direction plus offset tables, so the
-/// solver hot paths scan adjacency as flat cache-friendly slices instead
-/// of chasing one heap allocation per node. [`Instance::cheapest_link`]
-/// and [`Instance::max_degree`] are precomputed at build time and are
-/// `O(1)`.
+/// The link structure is stored in CSR (compressed sparse row) form with a
+/// structure-of-arrays split: per direction, one contiguous `u32` id lane
+/// and one contiguous `f64` cost lane behind a shared u32 offset table.
+/// [`Instance::client_links`]/[`Instance::facility_links`] hand out a row
+/// as a [`LinkSlice`] pair of parallel slices, so cost-only inner loops
+/// (star-ratio scans, repricing sweeps, linear-form passes) touch pure
+/// `f64` memory and autovectorize via [`crate::kernels`].
+/// [`Instance::cheapest_link`] and [`Instance::max_degree`] are
+/// precomputed at build time and are `O(1)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Instance {
     opening: Vec<Cost>,
-    /// CSR offsets into `client_adj`, length `n + 1`.
+    /// CSR offsets into the client-major lanes, length `n + 1`.
     client_offsets: Vec<u32>,
-    /// Client-major adjacency, sorted by facility id within each client.
-    client_adj: Vec<(FacilityId, Cost)>,
-    /// CSR offsets into `facility_adj`, length `m + 1`.
+    /// Client-major facility-id lane, sorted by facility id within each
+    /// client row.
+    client_link_ids: Vec<u32>,
+    /// Client-major cost lane, parallel to `client_link_ids`.
+    client_link_costs: Vec<f64>,
+    /// CSR offsets into the facility-major lanes, length `m + 1`.
     facility_offsets: Vec<u32>,
-    /// Facility-major adjacency, sorted by client id within each facility.
-    facility_adj: Vec<(ClientId, Cost)>,
+    /// Facility-major client-id lane, sorted by client id within each
+    /// facility row.
+    facility_link_ids: Vec<u32>,
+    /// Facility-major cost lane, parallel to `facility_link_ids`.
+    facility_link_costs: Vec<f64>,
     /// Per-client cheapest link (ties broken by lowest facility id).
     cheapest: Vec<(FacilityId, Cost)>,
     /// Maximum degree over all clients and facilities.
@@ -166,7 +238,7 @@ impl Instance {
     /// Total number of links `|E|`.
     #[inline]
     pub fn num_links(&self) -> usize {
-        self.client_adj.len()
+        self.client_link_ids.len()
     }
 
     /// Whether every client/facility pair is linked.
@@ -187,31 +259,33 @@ impl Instance {
     /// The connection cost of the link `(j, i)`, or `None` if absent.
     pub fn connection_cost(&self, j: ClientId, i: FacilityId) -> Option<Cost> {
         let links = self.client_links(j);
-        links.binary_search_by_key(&i, |(f, _)| *f).ok().map(|pos| links[pos].1)
+        links.ids.binary_search(&i.raw()).ok().map(|pos| Cost::from_validated(links.costs[pos]))
     }
 
-    /// The links of client `j`, sorted by facility id.
+    /// The links of client `j` as parallel facility-id/cost lanes, sorted
+    /// by facility id.
     ///
     /// # Panics
     ///
     /// Panics if `j` is out of range.
     #[inline]
-    pub fn client_links(&self, j: ClientId) -> &[(FacilityId, Cost)] {
+    pub fn client_links(&self, j: ClientId) -> LinkSlice<'_> {
         let lo = self.client_offsets[j.index()] as usize;
         let hi = self.client_offsets[j.index() + 1] as usize;
-        &self.client_adj[lo..hi]
+        LinkSlice { ids: &self.client_link_ids[lo..hi], costs: &self.client_link_costs[lo..hi] }
     }
 
-    /// The links of facility `i`, sorted by client id.
+    /// The links of facility `i` as parallel client-id/cost lanes, sorted
+    /// by client id.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     #[inline]
-    pub fn facility_links(&self, i: FacilityId) -> &[(ClientId, Cost)] {
+    pub fn facility_links(&self, i: FacilityId) -> LinkSlice<'_> {
         let lo = self.facility_offsets[i.index()] as usize;
         let hi = self.facility_offsets[i.index() + 1] as usize;
-        &self.facility_adj[lo..hi]
+        LinkSlice { ids: &self.facility_link_ids[lo..hi], costs: &self.facility_link_costs[lo..hi] }
     }
 
     /// The cheapest link of client `j` (ties broken by lowest facility id);
@@ -244,7 +318,10 @@ impl Instance {
     /// Iterates over every coefficient of the instance (all opening costs,
     /// then all connection costs).
     pub fn coefficients(&self) -> impl Iterator<Item = Cost> + '_ {
-        self.opening.iter().copied().chain(self.client_adj.iter().map(|(_, c)| *c))
+        self.opening
+            .iter()
+            .copied()
+            .chain(self.client_link_costs.iter().map(|&c| Cost::from_validated(c)))
     }
 
     /// Maximum number of links at any single client or facility (the degree
@@ -352,44 +429,54 @@ impl InstanceBuilder {
         let num_links: usize = self.client_links.iter().map(Vec::len).sum();
 
         // Client-major CSR: flatten the per-client lists (already sorted by
-        // facility id) and record the cheapest link per client as we go.
+        // facility id) into the split id/cost lanes and record the cheapest
+        // link per client as we go. Rows are id-sorted and `Cost::new`
+        // normalized `-0.0`, so the first lane minimum found by
+        // `kernels::min_argmin` IS the `(cost, facility id)`-lexicographic
+        // minimum.
         let mut client_offsets = Vec::with_capacity(n + 1);
-        let mut client_adj = Vec::with_capacity(num_links);
+        let mut client_link_ids = Vec::with_capacity(num_links);
+        let mut client_link_costs = Vec::with_capacity(num_links);
         let mut cheapest = Vec::with_capacity(n);
         client_offsets.push(0u32);
         for links in &self.client_links {
-            client_adj.extend_from_slice(links);
-            client_offsets.push(client_adj.len() as u32);
-            let best = *links
-                .iter()
-                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+            let row_start = client_link_ids.len();
+            for &(i, c) in links {
+                client_link_ids.push(i.raw());
+                client_link_costs.push(c.value());
+            }
+            client_offsets.push(client_link_ids.len() as u32);
+            let (k, c) = kernels::min_argmin(&client_link_costs[row_start..])
                 .expect("unreachable clients were rejected above");
-            cheapest.push(best);
+            cheapest
+                .push((FacilityId::new(client_link_ids[row_start + k]), Cost::from_validated(c)));
         }
 
         // Facility-major CSR via counting sort: degree histogram, prefix
         // sums, then a fill pass. Clients are visited in increasing order,
         // so each facility's range comes out sorted by client id.
         let mut facility_offsets = vec![0u32; m + 1];
-        for &(i, _) in &client_adj {
-            facility_offsets[i.index() + 1] += 1;
+        for &i in &client_link_ids {
+            facility_offsets[i as usize + 1] += 1;
         }
         for i in 1..=m {
             facility_offsets[i] += facility_offsets[i - 1];
         }
-        let mut facility_adj = vec![(ClientId::new(0), Cost::ZERO); num_links];
+        let mut facility_link_ids = vec![0u32; num_links];
+        let mut facility_link_costs = vec![0.0f64; num_links];
         let mut cursor: Vec<u32> = facility_offsets[..m].to_vec();
         for (j, links) in self.client_links.iter().enumerate() {
             for &(i, c) in links {
-                let slot = cursor[i.index()];
-                facility_adj[slot as usize] = (ClientId::new(j as u32), c);
-                cursor[i.index()] = slot + 1;
+                let slot = cursor[i.index()] as usize;
+                facility_link_ids[slot] = j as u32;
+                facility_link_costs[slot] = c.value();
+                cursor[i.index()] = slot as u32 + 1;
             }
         }
         debug_assert!((0..m).all(|i| {
-            facility_adj[facility_offsets[i] as usize..facility_offsets[i + 1] as usize]
+            facility_link_ids[facility_offsets[i] as usize..facility_offsets[i + 1] as usize]
                 .windows(2)
-                .all(|w| w[0].0 < w[1].0)
+                .all(|w| w[0] < w[1])
         }));
 
         let client_deg =
@@ -400,9 +487,11 @@ impl InstanceBuilder {
         Ok(Instance {
             opening: self.opening,
             client_offsets,
-            client_adj,
+            client_link_ids,
+            client_link_costs,
             facility_offsets,
-            facility_adj,
+            facility_link_ids,
+            facility_link_costs,
             cheapest,
             max_degree: client_deg.max(facility_deg),
         })
@@ -446,12 +535,29 @@ mod tests {
     }
 
     #[test]
+    fn link_slices_are_parallel_lanes() {
+        let inst = small();
+        let links = inst.client_links(ClientId::new(0));
+        assert_eq!(links.len(), 2);
+        assert!(!links.is_empty());
+        assert_eq!(links.ids, &[0, 1]);
+        assert_eq!(links.costs, &[1.0, 2.0]);
+        assert_eq!(links.get(1), (1, 2.0));
+        let pairs: Vec<(u32, f64)> = links.iter().collect();
+        assert_eq!(pairs, vec![(0, 1.0), (1, 2.0)]);
+        let via_into: Vec<(u32, f64)> = links.into_iter().collect();
+        assert_eq!(via_into, pairs);
+    }
+
+    #[test]
     fn facility_links_are_the_transpose() {
         let inst = small();
         let links = inst.facility_links(FacilityId::new(0));
-        assert_eq!(links, &[(ClientId::new(0), cost(1.0)), (ClientId::new(2), cost(0.5))]);
+        assert_eq!(links.ids, &[0, 2]);
+        assert_eq!(links.costs, &[1.0, 0.5]);
         let links = inst.facility_links(FacilityId::new(1));
-        assert_eq!(links, &[(ClientId::new(0), cost(2.0)), (ClientId::new(1), cost(3.0))]);
+        assert_eq!(links.ids, &[0, 1]);
+        assert_eq!(links.costs, &[2.0, 3.0]);
     }
 
     #[test]
@@ -515,25 +621,61 @@ mod tests {
     #[test]
     fn csr_layout_is_consistent() {
         let inst = small();
-        // Offsets cover the flat arrays exactly and per-row slices stay
-        // sorted by the opposite-side id.
+        // Offsets cover the flat lanes exactly, both lanes stay parallel,
+        // and per-row id lanes stay sorted by the opposite-side id.
         let total: usize = inst.clients().map(|j| inst.client_links(j).len()).sum();
         assert_eq!(total, inst.num_links());
         let total: usize = inst.facilities().map(|i| inst.facility_links(i).len()).sum();
         assert_eq!(total, inst.num_links());
         for j in inst.clients() {
-            assert!(inst.client_links(j).windows(2).all(|w| w[0].0 < w[1].0));
-            // The precomputed cheapest link matches a fresh scan.
-            let scan = *inst
-                .client_links(j)
+            let links = inst.client_links(j);
+            assert_eq!(links.ids.len(), links.costs.len());
+            assert!(links.ids.windows(2).all(|w| w[0] < w[1]));
+            // The precomputed cheapest link matches a fresh typed scan.
+            let scan = links
                 .iter()
+                .map(|(i, c)| (FacilityId::new(i), Cost::from_validated(c)))
                 .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
                 .unwrap();
             assert_eq!(inst.cheapest_link(j), scan);
         }
         for i in inst.facilities() {
-            assert!(inst.facility_links(i).windows(2).all(|w| w[0].0 < w[1].0));
+            let links = inst.facility_links(i);
+            assert_eq!(links.ids.len(), links.costs.len());
+            assert!(links.ids.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn builder_and_from_dense_agree_on_precomputed_fields() {
+        // Satellite regression: the same dense instance built through the
+        // incremental builder and through `from_dense` must agree on the
+        // whole CSR — in particular the build-time-precomputed
+        // `cheapest_link` (including its lowest-facility-id tie-break; both
+        // clients tie two facilities at the minimum) and `max_degree`.
+        let opening = vec![cost(5.0), cost(6.0), cost(7.0)];
+        let rows =
+            vec![vec![cost(2.0), cost(1.0), cost(1.0)], vec![cost(3.0), cost(3.0), cost(4.0)]];
+        let dense = Instance::from_dense(opening.clone(), rows.clone()).unwrap();
+        let mut b = InstanceBuilder::new();
+        let fids: Vec<FacilityId> = opening.into_iter().map(|f| b.add_facility(f)).collect();
+        // Link in reverse facility order to exercise the builder's sorted
+        // insertion rather than append order.
+        for row in rows {
+            let c = b.add_client();
+            for (i, cost) in row.into_iter().enumerate().rev() {
+                b.link(c, fids[i], cost).unwrap();
+            }
+        }
+        let built = b.build().unwrap();
+        assert_eq!(built, dense);
+        for j in built.clients() {
+            assert_eq!(built.cheapest_link(j), dense.cheapest_link(j));
+        }
+        assert_eq!(built.cheapest_link(ClientId::new(0)), (FacilityId::new(1), cost(1.0)));
+        assert_eq!(built.cheapest_link(ClientId::new(1)), (FacilityId::new(0), cost(3.0)));
+        assert_eq!(built.max_degree(), dense.max_degree());
+        assert_eq!(built.max_degree(), 3);
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod cost;
 mod error;
 pub mod generators;
 mod instance;
+pub mod kernels;
 pub mod metric;
 pub mod orlib;
 mod solution;
@@ -52,5 +53,5 @@ pub mod transform;
 
 pub use cost::Cost;
 pub use error::InstanceError;
-pub use instance::{ClientId, FacilityId, Instance, InstanceBuilder};
+pub use instance::{ClientId, FacilityId, Instance, InstanceBuilder, LinkSlice};
 pub use solution::Solution;

@@ -7,8 +7,7 @@
 //! (Jain–Vazirani, Mettu–Plaxton) assume metricity; the PODC 2005 algorithm
 //! does not.
 
-use crate::cost::Cost;
-use crate::instance::Instance;
+use crate::instance::{ClientId, Instance};
 
 /// The worst additive violation of the bipartite four-point condition:
 /// `max(0, c(i,j) − c(i,l) − c(k,l) − c(k,j))` over all quadruples whose
@@ -24,17 +23,18 @@ pub fn metricity_defect(instance: &Instance) -> f64 {
             if i == k {
                 continue;
             }
-            for &(j, c_ij) in instance.facility_links(i) {
-                for &(l, c_kl) in instance.facility_links(k) {
+            for (j, c_ij) in instance.facility_links(i).iter() {
+                for (l, c_kl) in instance.facility_links(k).iter() {
                     if j == l {
                         continue;
                     }
-                    let (Some(c_il), Some(c_kj)) =
-                        (instance.connection_cost(l, i), instance.connection_cost(j, k))
-                    else {
+                    let (Some(c_il), Some(c_kj)) = (
+                        instance.connection_cost(ClientId::new(l), i),
+                        instance.connection_cost(ClientId::new(j), k),
+                    ) else {
                         continue;
                     };
-                    let slack = c_ij.value() - c_il.value() - c_kl.value() - c_kj.value();
+                    let slack = c_ij - c_il.value() - c_kl - c_kj.value();
                     worst = worst.max(slack);
                 }
             }
@@ -53,21 +53,22 @@ pub fn is_metric(instance: &Instance, tolerance: f64) -> bool {
 /// largest connection cost (0 for single-link instances). Useful for
 /// comparing how non-metric different families are.
 pub fn relative_defect(instance: &Instance) -> f64 {
-    let max_connection: Cost = instance
+    // Cost lanes are NaN-free, so a plain fold computes the max.
+    let max_connection = instance
         .clients()
-        .flat_map(|j| instance.client_links(j).iter().map(|(_, c)| *c))
-        .max()
-        .unwrap_or(Cost::ZERO);
-    if max_connection.is_zero() {
+        .flat_map(|j| instance.client_links(j).costs.iter().copied())
+        .fold(0.0f64, f64::max);
+    if max_connection == 0.0 {
         0.0
     } else {
-        metricity_defect(instance) / max_connection.value()
+        metricity_defect(instance) / max_connection
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::Cost;
     use crate::instance::InstanceBuilder;
 
     fn inst_from_matrix(opening: &[f64], matrix: &[&[f64]]) -> Instance {

@@ -50,7 +50,7 @@ pub fn to_string(instance: &Instance) -> Result<String, InstanceError> {
     for j in instance.clients() {
         let _ = writeln!(out, "0");
         let row: Vec<String> =
-            instance.client_links(j).iter().map(|(_, c)| c.value().to_string()).collect();
+            instance.client_links(j).costs.iter().map(|c| c.to_string()).collect();
         let _ = writeln!(out, "{}", row.join(" "));
     }
     Ok(out)

@@ -171,13 +171,19 @@ impl Solution {
         let assignment: Vec<FacilityId> = instance
             .clients()
             .map(|j| {
-                instance
-                    .client_links(j)
-                    .iter()
-                    .filter(|(i, _)| self.open[i.index()])
-                    .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-                    .map(|(i, _)| *i)
-                    .expect("feasible solution keeps at least the assigned facility open")
+                // First-win strict `<` over the id-sorted row matches the
+                // `(cost, facility id)`-lexicographic minimum (lanes are
+                // NaN-free with no negative zero).
+                let links = instance.client_links(j);
+                let mut best: Option<(u32, f64)> = None;
+                for (i, c) in links.iter() {
+                    if self.open[i as usize] && best.is_none_or(|(_, bc)| c < bc) {
+                        best = Some((i, c));
+                    }
+                }
+                let (i, _) =
+                    best.expect("feasible solution keeps at least the assigned facility open");
+                FacilityId::new(i)
             })
             .collect();
         Solution::from_assignment(instance, assignment)

@@ -40,8 +40,8 @@ pub fn to_string(instance: &Instance) -> String {
     for j in instance.clients() {
         let links = instance.client_links(j);
         let _ = write!(out, "client {} {}", j.index(), links.len());
-        for (i, c) in links {
-            let _ = write!(out, " {} {}", i.index(), c.value());
+        for (i, c) in links.iter() {
+            let _ = write!(out, " {i} {c}");
         }
         out.push('\n');
     }

@@ -25,8 +25,8 @@ fn map_costs(
         .collect::<Result<_, InstanceError>>()?;
     for j in instance.clients() {
         let c = b.add_client();
-        for &(i, cost) in instance.client_links(j) {
-            b.link(c, fids[i.index()], map(cost)?)?;
+        for (i, cost) in instance.client_links(j).iter() {
+            b.link(c, fids[i as usize], map(Cost::from_validated(cost))?)?;
         }
     }
     b.build()
@@ -102,9 +102,9 @@ pub fn restrict_facilities(
     }
     for j in instance.clients() {
         let c = b.add_client();
-        for &(i, cost) in instance.client_links(j) {
-            if let Some(ni) = new_id[i.index()] {
-                b.link(c, ni, cost)?;
+        for (i, cost) in instance.client_links(j).iter() {
+            if let Some(ni) = new_id[i as usize] {
+                b.link(c, ni, Cost::from_validated(cost))?;
             }
         }
     }
@@ -130,8 +130,8 @@ pub fn restrict_clients(instance: &Instance, keep: &[ClientId]) -> Result<Instan
             });
         }
         let c = b.add_client();
-        for &(i, cost) in instance.client_links(j) {
-            b.link(c, fids[i.index()], cost)?;
+        for (i, cost) in instance.client_links(j).iter() {
+            b.link(c, fids[i as usize], Cost::from_validated(cost))?;
         }
     }
     b.build()
@@ -151,14 +151,14 @@ pub fn merge(a: &Instance, b: &Instance) -> Result<Instance, InstanceError> {
         b.facilities().map(|i| builder.add_facility(b.opening_cost(i))).collect();
     for j in a.clients() {
         let c = builder.add_client();
-        for &(i, cost) in a.client_links(j) {
-            builder.link(c, a_fids[i.index()], cost)?;
+        for (i, cost) in a.client_links(j).iter() {
+            builder.link(c, a_fids[i as usize], Cost::from_validated(cost))?;
         }
     }
     for j in b.clients() {
         let c = builder.add_client();
-        for &(i, cost) in b.client_links(j) {
-            builder.link(c, b_fids[i.index()], cost)?;
+        for (i, cost) in b.client_links(j).iter() {
+            builder.link(c, b_fids[i as usize], Cost::from_validated(cost))?;
         }
     }
     builder.build()

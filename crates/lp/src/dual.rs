@@ -58,11 +58,7 @@ impl DualSolution {
     /// Panics if the dual's length does not match `instance`.
     pub fn payment(&self, instance: &Instance, i: distfl_instance::FacilityId) -> f64 {
         assert_eq!(self.alpha.len(), instance.num_clients(), "dual/instance shape mismatch");
-        instance
-            .facility_links(i)
-            .iter()
-            .map(|&(j, c)| (self.alpha[j.index()] - c.value()).max(0.0))
-            .sum()
+        instance.facility_links(i).iter().map(|(j, c)| (self.alpha[j as usize] - c).max(0.0)).sum()
     }
 
     /// The smallest `v ≥ 1` such that `α / v` is dual-feasible.
@@ -78,11 +74,11 @@ impl DualSolution {
             if f > 0.0 {
                 factor = factor.max(self.payment(instance, i) / f);
             } else {
-                for &(j, c) in instance.facility_links(i) {
-                    let a = self.alpha[j.index()];
-                    if a > c.value() + tolerance {
-                        if c.value() > 0.0 {
-                            factor = factor.max(a / c.value());
+                for (j, c) in instance.facility_links(i).iter() {
+                    let a = self.alpha[j as usize];
+                    if a > c + tolerance {
+                        if c > 0.0 {
+                            factor = factor.max(a / c);
                         } else {
                             return f64::INFINITY;
                         }

@@ -90,9 +90,9 @@ pub fn solve_with_limit(instance: &Instance, limit: usize) -> Result<Optimum, Ex
         let i = order[k];
         let (head, tail) = suffix_min.split_at_mut(k + 1);
         head[k].clone_from(&tail[0]);
-        for &(j, c) in instance.facility_links(i) {
-            let slot = &mut suffix_min[k][j.index()];
-            *slot = slot.min(c.value());
+        for (j, c) in instance.facility_links(i).iter() {
+            let slot = &mut suffix_min[k][j as usize];
+            *slot = slot.min(c);
         }
     }
 
@@ -119,13 +119,15 @@ pub fn solve_with_limit(instance: &Instance, limit: usize) -> Result<Optimum, Ex
     let assignment: Vec<FacilityId> = instance
         .clients()
         .map(|j| {
-            instance
-                .client_links(j)
-                .iter()
-                .filter(|(i, _)| open.contains(i))
-                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
-                .map(|(i, _)| *i)
-                .expect("optimal open set covers every client")
+            // First-win strict `<` over the id-sorted row = the
+            // `(cost, facility id)`-lexicographic minimum.
+            let mut best: Option<(u32, f64)> = None;
+            for (i, c) in instance.client_links(j).iter() {
+                if open.contains(&FacilityId::new(i)) && best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((i, c));
+                }
+            }
+            FacilityId::new(best.expect("optimal open set covers every client").0)
         })
         .collect();
     let solution =
@@ -141,8 +143,8 @@ fn open_set_cost(instance: &Instance, open: &[FacilityId]) -> Option<f64> {
         let best = instance
             .client_links(j)
             .iter()
-            .filter(|(i, _)| open.contains(i))
-            .map(|(_, c)| c.value())
+            .filter(|&(i, _)| open.contains(&FacilityId::new(i)))
+            .map(|(_, c)| c)
             .fold(f64::INFINITY, f64::min);
         if !best.is_finite() {
             return None;
@@ -197,11 +199,11 @@ impl Search<'_> {
             .instance
             .facility_links(i)
             .iter()
-            .filter_map(|&(j, c)| {
-                let slot = self.cur_best_link[j.index()];
-                (c.value() < slot).then(|| {
-                    self.cur_best_link[j.index()] = c.value();
-                    (j.index(), slot)
+            .filter_map(|(j, c)| {
+                let slot = self.cur_best_link[j as usize];
+                (c < slot).then(|| {
+                    self.cur_best_link[j as usize] = c;
+                    (j as usize, slot)
                 })
             })
             .collect();

@@ -126,8 +126,11 @@ pub fn round(
             let (i, _) = instance
                 .client_links(j)
                 .iter()
-                .map(|&(i, c)| (i, c + instance.opening_cost(i)))
-                .min_by(|(fa, ca), (fb, cb)| ca.cmp(cb).then(fa.cmp(fb)))
+                .map(|(i, c)| {
+                    let i = FacilityId::new(i);
+                    (i, c + instance.opening_cost(i).value())
+                })
+                .min_by(|(fa, ca), (fb, cb)| ca.total_cmp(cb).then(fa.cmp(fb)))
                 .expect("instance invariant: every client has a link");
             assignment[j.index()] = Some(i);
         }
@@ -154,10 +157,10 @@ mod tests {
             .map(|j| {
                 let links = instance.client_links(j);
                 let share = 1.0 / links.len() as f64;
-                for (i, _) in links {
-                    y[i.index()] = y[i.index()].max(share);
+                for &i in links.ids {
+                    y[i as usize] = y[i as usize].max(share);
                 }
-                links.iter().map(|&(i, _)| (i, share)).collect()
+                links.ids.iter().map(|&i| (FacilityId::new(i), share)).collect()
             })
             .collect();
         FractionalSolution::new(y, x)

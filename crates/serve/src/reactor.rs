@@ -3,7 +3,8 @@
 //!
 //! The workspace carries no external dependencies, so the two kernel
 //! backends declare the handful of syscalls they need directly (the
-//! crate-wide `unsafe` exception lives in [`sys`]); everything above the
+//! crate-wide `unsafe` exception lives in the private `sys` module);
+//! everything above the
 //! syscall boundary is safe Rust. The reactor is deliberately small:
 //! level-triggered readiness, `u64` tokens chosen by the caller, and a
 //! cross-thread [`Waker`] — enough for one event-loop thread to own
