@@ -1,0 +1,365 @@
+//! Machine-readable benchmark for the warm-start delta path.
+//!
+//! Pits the incremental pipeline — `Instance::apply_delta` +
+//! `WarmCache::apply_delta` + a warm solve — against the from-scratch
+//! pipeline — rebuild the instance through `InstanceBuilder` + a cold
+//! solve — on the `capb_shaped_100x1000` instance (100 facilities x 1000
+//! clients, dense: the BENCH_2/BENCH_7 shape), across churn rates from
+//! 0.1% to 20% of links repriced per delta. Every timed step first
+//! asserts the warm solution is **identical** to the cold one, so a
+//! speedup reported here is a speedup on the *same* answer.
+//!
+//! A counting global allocator reports steady-state allocations per
+//! delta+solve cycle on the warm path; the smoke gate bounds them, so a
+//! patch-path regression to per-row reallocation (the thing the spare/
+//! swap buffers exist to avoid) fails CI rather than silently eating the
+//! speedup.
+//!
+//! Emits a single JSON document (default `BENCH_8.json`). `--smoke` skips
+//! the timing and runs only the equivalence sweep (all three warm solvers
+//! over random delta schedules on a small instance) plus the allocation
+//! budget on the full shape, exiting non-zero on any violation — the
+//! cheap CI gate. `--quick` shrinks repetitions for a fast local run.
+//!
+//! Usage: `bench_delta [--smoke] [--quick] [--out PATH]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use distfl_core::warm::WarmCache;
+use distfl_core::{greedy, jv, localsearch};
+use distfl_instance::generators::{InstanceGenerator, UniformRandom};
+use distfl_instance::{ClientId, Cost, DeltaBatch, FacilityId, Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Move cap matching the serve dispatch, so local-search rows compare
+/// like-for-like with the service's behavior.
+const LS_MOVES: u32 = 10_000;
+
+/// Steady-state allocation budget for one warm delta+greedy-solve cycle
+/// (apply the delta to the warm cache, run the warm greedy solve). The
+/// measured value sits around a dozen — the solution container and the
+/// assignment clone — so triple-digit growth means the patch path started
+/// reallocating per row.
+const ALLOC_BUDGET: u64 = 128;
+
+// ---- Counting allocator ----------------------------------------------
+
+/// Forwards to the system allocator, counting allocation events (alloc +
+/// realloc; frees are not interesting here).
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocation events recorded while running `f`.
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOC_EVENTS.load(Ordering::Relaxed) - before)
+}
+
+// ---- Delta schedules --------------------------------------------------
+
+/// Draws a reprice-only batch touching `links` distinct existing links —
+/// the churn knob: `links / instance.num_links()` is exactly the drift
+/// the warm cache sees, so rates map one-to-one onto patch behavior.
+fn reprice_batch(inst: &Instance, rng: &mut StdRng, links: usize) -> DeltaBatch {
+    let n = inst.num_clients() as u32;
+    let mut batch = DeltaBatch::new();
+    let mut seen: Vec<(u32, u32)> = Vec::with_capacity(links);
+    while seen.len() < links {
+        let j = rng.gen_range(0..n);
+        let row = inst.client_links(ClientId::new(j));
+        let i = row.ids[rng.gen_range(0..row.len())];
+        if seen.contains(&(j, i)) {
+            continue;
+        }
+        seen.push((j, i));
+        batch.reprice(
+            ClientId::new(j),
+            FacilityId::new(i),
+            Cost::new(rng.gen_range(0.1..100.0f64)).unwrap(),
+        );
+    }
+    batch
+}
+
+/// Rebuilds `inst` from its rows through the public builder — the
+/// from-scratch path's instance-construction cost (what a client pays to
+/// re-upload instead of sending a delta).
+fn rebuild(inst: &Instance) -> Instance {
+    let mut builder = InstanceBuilder::new();
+    let fids: Vec<FacilityId> =
+        inst.facilities().map(|i| builder.add_facility(inst.opening_cost(i))).collect();
+    for j in inst.clients() {
+        let client = builder.add_client();
+        let row = inst.client_links(j);
+        for (&i, &c) in row.ids.iter().zip(row.costs) {
+            builder.link(client, fids[i as usize], Cost::new(c).unwrap()).unwrap();
+        }
+    }
+    builder.build().unwrap()
+}
+
+// ---- The measured pipelines ------------------------------------------
+
+/// One solver's warm-vs-scratch timing at one churn rate.
+struct Row {
+    solver: &'static str,
+    delta_ms: f64,
+    scratch_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scratch_ms / self.delta_ms
+    }
+}
+
+/// Times one delta+solve cycle for all three solvers at `churn` (fraction
+/// of links repriced per delta), asserting warm/cold equivalence on every
+/// rep. Returns `(rows, warm-greedy allocs on the final rep)`.
+fn measure(base: &Instance, churn: f64, reps: usize, seed: u64) -> (Vec<Row>, u64) {
+    let links = ((churn * base.num_links() as f64).round() as usize).max(1);
+    let mut rows = Vec::new();
+    let mut greedy_allocs = 0;
+
+    for solver in ["greedy", "local_search", "jv"] {
+        // Fresh churn history per solver so each starts from `base` and
+        // applies the identical delta sequence (seeded rng).
+        let mut inst = base.clone();
+        let mut warm = WarmCache::new(&inst);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delta_ms = f64::INFINITY;
+        let mut scratch_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let batch = reprice_batch(&inst, &mut rng, links);
+
+            // Delta path: mutate in place, patch the warm cache, solve
+            // warm.
+            let start = Instant::now();
+            let report = inst.apply_delta(&batch).unwrap();
+            let t_apply = start.elapsed().as_secs_f64() * 1e3;
+            let t0 = Instant::now();
+            let (_, allocs) = count_allocs(|| {
+                warm.apply_delta(&inst, &report);
+            });
+            let t_patch = t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = Instant::now();
+            match solver {
+                "greedy" => std::hint::black_box(warm.solve_greedy(&inst).iterations),
+                "local_search" => {
+                    std::hint::black_box(warm.solve_local_search(&inst, LS_MOVES).moves)
+                }
+                _ => std::hint::black_box(warm.dual_ascent(&inst).temp_open.len() as u32),
+            };
+            let t_solve = t0.elapsed().as_secs_f64() * 1e3;
+            if std::env::var_os("DISTFL_BENCH_TRACE").is_some() {
+                eprintln!(
+                    "    [{solver}] apply {t_apply:.3}  patch {t_patch:.3}  solve {t_solve:.3}"
+                );
+            }
+            delta_ms = delta_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            if solver == "greedy" {
+                greedy_allocs = allocs;
+            }
+
+            // Scratch path: rebuild the instance through the builder,
+            // then solve cold (structure construction included).
+            let start = Instant::now();
+            let fresh = rebuild(&inst);
+            match solver {
+                "greedy" => std::hint::black_box(greedy::solve_detailed(&fresh).iterations),
+                "local_search" => {
+                    let (s, _) = greedy::solve(&fresh);
+                    std::hint::black_box(localsearch::optimize(&fresh, &s, LS_MOVES).moves)
+                }
+                _ => std::hint::black_box(jv::dual_ascent(&fresh).temp_open.len() as u32),
+            };
+            scratch_ms = scratch_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+            // Equivalence: identical answers on the identical instance.
+            match solver {
+                "greedy" => {
+                    assert_eq!(
+                        warm.solve_greedy(&inst).solution,
+                        greedy::solve_detailed(&inst).solution
+                    );
+                }
+                "local_search" => {
+                    let (s, _) = greedy::solve(&inst);
+                    assert_eq!(
+                        warm.solve_local_search(&inst, LS_MOVES).solution,
+                        localsearch::optimize(&inst, &s, LS_MOVES).solution
+                    );
+                }
+                _ => {
+                    assert_eq!(warm.dual_ascent(&inst).alpha, jv::dual_ascent(&inst).alpha);
+                }
+            }
+        }
+        rows.push(Row { solver, delta_ms, scratch_ms });
+    }
+    (rows, greedy_allocs)
+}
+
+// ---- Smoke gate -------------------------------------------------------
+
+/// The CI gate: warm == cold over random delta schedules for all three
+/// solvers on a small instance, plus the steady-state allocation budget
+/// on the full capb shape. Prints what failed; returns overall success.
+fn smoke() -> bool {
+    let mut ok = true;
+
+    // Equivalence sweep (assertions inside `measure` do the checking).
+    let small = UniformRandom::new(20, 120).unwrap().generate(11).unwrap();
+    for (churn, seed) in [(0.01, 1u64), (0.1, 2), (0.5, 3)] {
+        let result = std::panic::catch_unwind(|| measure(&small, churn, 3, seed));
+        if result.is_err() {
+            eprintln!("smoke FAILED: warm/cold divergence at churn {churn}");
+            ok = false;
+        }
+    }
+
+    // Allocation budget at the headline shape and churn.
+    let base = UniformRandom::new(100, 1000).unwrap().generate(5).unwrap();
+    let mut inst = base.clone();
+    let mut warm = WarmCache::new(&inst);
+    let mut rng = StdRng::seed_from_u64(7);
+    let links = (0.01 * base.num_links() as f64).round() as usize;
+    let mut steady = 0;
+    for _ in 0..3 {
+        let batch = reprice_batch(&inst, &mut rng, links);
+        let report = inst.apply_delta(&batch).unwrap();
+        let (_, allocs) = count_allocs(|| {
+            warm.apply_delta(&inst, &report);
+            std::hint::black_box(warm.solve_greedy(&inst).iterations)
+        });
+        steady = allocs; // keep the last (steady-state) cycle
+    }
+    eprintln!("steady-state warm greedy cycle: {steady} allocation events (budget {ALLOC_BUDGET})");
+    if steady > ALLOC_BUDGET {
+        eprintln!("smoke FAILED: allocs per delta {steady} exceeds budget {ALLOC_BUDGET}");
+        ok = false;
+    }
+    if ok {
+        eprintln!("bench_delta smoke: warm solves bit-identical, allocation budget holds");
+    }
+    ok
+}
+
+fn main() {
+    let mut smoke_mode = false;
+    let mut quick = false;
+    let mut out_path = "BENCH_8.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                eprintln!("usage: bench_delta [--smoke] [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if smoke_mode {
+        if !smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Err(e) = std::fs::write(&out_path, "{}\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    let base = UniformRandom::new(100, 1000).unwrap().generate(5).unwrap();
+    let reps = if quick { 3 } else { 7 };
+    let churns = [0.001, 0.01, 0.05, 0.2];
+
+    let mut sections = Vec::new();
+    let mut alloc_line = 0;
+    for (index, &churn) in churns.iter().enumerate() {
+        let (rows, allocs) = measure(&base, churn, reps, 40 + index as u64);
+        if (churn - 0.01).abs() < 1e-12 {
+            alloc_line = allocs;
+        }
+        let mut entries = Vec::new();
+        for row in &rows {
+            eprintln!(
+                "churn {:>5.1}%  {:<13} delta {:>8.3} ms  scratch {:>8.3} ms  {:>6.2}x",
+                churn * 100.0,
+                row.solver,
+                row.delta_ms,
+                row.scratch_ms,
+                row.speedup()
+            );
+            entries.push(format!(
+                "      {{\"solver\": \"{}\", \"delta_ms\": {:.3}, \"scratch_ms\": {:.3}, \
+                 \"speedup\": {:.3}}}",
+                row.solver,
+                row.delta_ms,
+                row.scratch_ms,
+                row.speedup()
+            ));
+        }
+        sections.push(format!(
+            "    {{\"churn\": {churn}, \"solvers\": [\n{}\n    ]}}",
+            entries.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"warm_delta\",\n  \
+         \"instance\": \"capb_shaped_100x1000\",\n  \
+         \"baseline\": \"from-scratch pipeline: InstanceBuilder rebuild + cold solve \
+         (structure construction included); the delta pipeline is \
+         Instance::apply_delta + WarmCache::apply_delta + warm solve, asserted \
+         identical to the cold answer on every rep\",\n  \
+         \"ls_max_moves\": {LS_MOVES},\n  \
+         \"warm_greedy_allocs_per_delta_at_1pct\": {alloc_line},\n  \
+         \"alloc_budget\": {ALLOC_BUDGET},\n  \
+         \"churn_rates\": [\n{}\n  ]\n}}\n",
+        sections.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -16,6 +16,7 @@ use crate::greedy::StarGreedy;
 use crate::jv::JainVazirani;
 use crate::paydual::{PayDual, PayDualParams};
 use crate::runner::{FlAlgorithm, Outcome};
+use crate::warm::WarmCache;
 use crate::{greedy, localsearch};
 
 /// Move cap for [`SolverKind::LocalSearch`]. Local search on UFL
@@ -104,6 +105,48 @@ impl SolverKind {
                 Ok(Outcome::sequential(run.solution))
             }
             SolverKind::JainVazirani => JainVazirani::unchecked().run(instance, seed),
+            SolverKind::PayDual => PayDual::new(PayDualParams::default()).run(instance, seed),
+        }
+    }
+
+    /// Runs the selected solver through a [`WarmCache`] kept in sync with
+    /// `instance`, producing **bit-identical** output to [`Self::solve`]
+    /// on the same inputs — the property the serve layer's session cache
+    /// rests on. [`SolverKind::PayDual`] has no instance-derived warm
+    /// structures (its cost is the CONGEST simulation itself) and simply
+    /// runs cold; it is deterministic in `(instance, seed)` either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying algorithm's [`CoreError`], exactly as
+    /// [`Self::solve`] does.
+    pub fn solve_warm(
+        self,
+        instance: &Instance,
+        seed: u64,
+        warm: &mut WarmCache,
+    ) -> Result<Outcome, CoreError> {
+        match self {
+            SolverKind::Greedy => {
+                let run = warm.solve_greedy(instance);
+                // Dual-fitting certificate, as in `StarGreedy::run`.
+                let h = crate::theory::harmonic(instance.num_clients());
+                let alpha: Vec<f64> = run.ratios.iter().map(|r| r / h).collect();
+                Ok(Outcome {
+                    solution: run.solution,
+                    transcript: None,
+                    dual: Some(distfl_lp::DualSolution::new(alpha)),
+                    modeled_rounds: None,
+                })
+            }
+            SolverKind::LocalSearch => {
+                let run = warm.solve_local_search(instance, LOCAL_SEARCH_MAX_MOVES);
+                Ok(Outcome::sequential(run.solution))
+            }
+            SolverKind::JainVazirani => {
+                let (solution, dual) = warm.solve_jv(instance);
+                Ok(Outcome { solution, transcript: None, dual: Some(dual), modeled_rounds: None })
+            }
             SolverKind::PayDual => PayDual::new(PayDualParams::default()).run(instance, seed),
         }
     }

@@ -84,7 +84,7 @@ fn best_star(
 }
 
 /// Full output of a greedy run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GreedyRun {
     /// The greedy solution.
     pub solution: Solution,
@@ -135,16 +135,16 @@ impl PartialOrd for StarKey {
 /// compacted live prefix is exactly the subsequence a served-skipping
 /// scan of the original row visits, so prefix sums — and therefore
 /// ratios — stay bit-identical to the reference.
-struct SortedStars {
-    offsets: Vec<u32>,
+pub(crate) struct SortedStars {
+    pub(crate) offsets: Vec<u32>,
     /// Absolute end of each facility's live (unserved) prefix.
-    live_end: Vec<u32>,
-    ids: Vec<u32>,
-    costs: Vec<f64>,
+    pub(crate) live_end: Vec<u32>,
+    pub(crate) ids: Vec<u32>,
+    pub(crate) costs: Vec<f64>,
 }
 
 impl SortedStars {
-    fn build(instance: &Instance) -> Self {
+    pub(crate) fn build(instance: &Instance) -> Self {
         let m = instance.num_facilities();
         let mut offsets = Vec::with_capacity(m + 1);
         let mut ids = Vec::with_capacity(instance.num_links());
@@ -161,6 +161,33 @@ impl SortedStars {
         }
         let live_end = offsets[1..].to_vec();
         SortedStars { offsets, live_end, ids, costs }
+    }
+
+    /// An empty structure to be filled by `copy_from` or the warm-cache
+    /// patch pass.
+    pub(crate) fn empty() -> Self {
+        SortedStars { offsets: vec![0], live_end: Vec::new(), ids: Vec::new(), costs: Vec::new() }
+    }
+
+    /// Overwrites `self` with `src`, reusing allocations. The run loop
+    /// consumes the rows destructively (in-place compaction), so warm
+    /// solves copy a pristine structure into a working one per run.
+    pub(crate) fn copy_from(&mut self, src: &SortedStars) {
+        self.offsets.clear();
+        self.offsets.extend_from_slice(&src.offsets);
+        self.live_end.clear();
+        self.live_end.extend_from_slice(&src.live_end);
+        self.ids.clear();
+        self.ids.extend_from_slice(&src.ids);
+        self.costs.clear();
+        self.costs.extend_from_slice(&src.costs);
+    }
+
+    /// The full (pristine) row of facility `i` as `(ids, costs)` lanes.
+    pub(crate) fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        (&self.ids[lo..hi], &self.costs[lo..hi])
     }
 
     /// The live portion of facility `i`'s row as `(ids, costs)` lanes.
@@ -181,26 +208,69 @@ impl SortedStars {
     }
 }
 
-/// Runs star greedy with full diagnostics (lazy-evaluation heap).
-pub fn solve_detailed(instance: &Instance) -> GreedyRun {
-    let _span = distfl_obs::span("solver", "greedy");
+/// Per-facility iteration-0 star ratios — the exact values the heap is
+/// seeded with. `NaN` marks a facility with no linked clients (nothing to
+/// seed); `fused_ratio_accumulate` never returns `NaN` under the lane
+/// input contract, so the sentinel is unambiguous.
+pub(crate) fn seed_ratios(instance: &Instance, stars: &SortedStars) -> Vec<f64> {
+    instance
+        .facilities()
+        .map(|i| {
+            let (_, costs) = stars.row(i.index());
+            if costs.is_empty() {
+                f64::NAN
+            } else {
+                kernels::fused_ratio_accumulate(costs, instance.opening_cost(i).value()).0
+            }
+        })
+        .collect()
+}
+
+/// Reusable greedy run state; `run_greedy` resets it per call, so warm
+/// solves allocate nothing.
+#[derive(Default)]
+pub(crate) struct GreedyScratch {
+    served: Vec<bool>,
+    opened: Vec<bool>,
+    assignment: Vec<FacilityId>,
+    heap: BinaryHeap<std::cmp::Reverse<StarKey>>,
+}
+
+/// The lazy-evaluation heap run over prepared rows and iteration-0 seeds.
+///
+/// `stars` must hold the `(cost, client id)`-sorted rows of `instance`
+/// with full live ranges, and `seeds[i]` the exact iteration-0 ratio of
+/// facility `i` (`NaN` for empty rows). Both the cold path and the warm
+/// caches funnel into this loop, so their outputs are identical by
+/// construction: the heap's pop order is a pure function of its *content*
+/// (keys are totally ordered and per-facility unique), never of push
+/// order.
+pub(crate) fn run_greedy(
+    instance: &Instance,
+    stars: &mut SortedStars,
+    seeds: &[f64],
+    scratch: &mut GreedyScratch,
+) -> GreedyRun {
     let n = instance.num_clients();
     let m = instance.num_facilities();
-    let mut stars = SortedStars::build(instance);
-    let mut served = vec![false; n];
-    let mut opened = vec![false; m];
-    let mut assignment = vec![FacilityId::new(0); n];
+    let served = &mut scratch.served;
+    served.clear();
+    served.resize(n, false);
+    let opened = &mut scratch.opened;
+    opened.clear();
+    opened.resize(m, false);
+    let assignment = &mut scratch.assignment;
+    assignment.clear();
+    assignment.resize(n, FacilityId::new(0));
     let mut ratios = vec![0.0f64; n];
     let mut remaining = n;
     let mut iterations = 0u32;
 
-    let mut heap: BinaryHeap<std::cmp::Reverse<StarKey>> = BinaryHeap::with_capacity(m);
-    for i in instance.facilities() {
-        let residual = instance.opening_cost(i).value();
-        let (_, costs) = stars.live(i);
-        if !costs.is_empty() {
-            let (ratio, _) = kernels::fused_ratio_accumulate(costs, residual);
-            heap.push(std::cmp::Reverse(StarKey { ratio, fid: i.raw() }));
+    let heap = &mut scratch.heap;
+    heap.clear();
+    for (i, &seed) in seeds.iter().enumerate() {
+        if !seed.is_nan() {
+            heap.push(std::cmp::Reverse(StarKey { ratio: seed, fid: i as u32 }));
         }
     }
 
@@ -209,7 +279,7 @@ pub fn solve_detailed(instance: &Instance) -> GreedyRun {
             heap.pop().expect("instance invariant: every client is linked, so a star exists");
         let i = FacilityId::new(key.fid);
         let residual = if opened[i.index()] { 0.0 } else { instance.opening_cost(i).value() };
-        if stars.compact(i, &served) == 0 {
+        if stars.compact(i, served) == 0 {
             // Every linked client is served; this facility is permanently
             // out of stars (serving never un-serves).
             continue;
@@ -241,17 +311,26 @@ pub fn solve_detailed(instance: &Instance) -> GreedyRun {
         remaining -= k;
         // The winner's residual just dropped to zero; recompute eagerly so
         // its (possibly lower) new ratio re-enters the heap.
-        if stars.compact(i, &served) > 0 {
+        if stars.compact(i, served) > 0 {
             let (_, costs) = stars.live(i);
             let (ratio, _) = kernels::fused_ratio_accumulate(costs, 0.0);
             heap.push(std::cmp::Reverse(StarKey { ratio, fid: key.fid }));
         }
     }
 
-    let solution = Solution::from_assignment(instance, assignment)
+    let solution = Solution::from_assignment(instance, assignment.clone())
         .expect("greedy assigns over existing links");
     distfl_obs::counter("solver.greedy.iterations").add(iterations as u64);
     GreedyRun { solution, ratios, iterations }
+}
+
+/// Runs star greedy with full diagnostics (lazy-evaluation heap).
+pub fn solve_detailed(instance: &Instance) -> GreedyRun {
+    let _span = distfl_obs::span("solver", "greedy");
+    let mut stars = SortedStars::build(instance);
+    let seeds = seed_ratios(instance, &stars);
+    let mut scratch = GreedyScratch::default();
+    run_greedy(instance, &mut stars, &seeds, &mut scratch)
 }
 
 /// Runs star greedy with full diagnostics by the naive per-iteration

@@ -121,6 +121,73 @@ fn interleave_facility_links(instance: &Instance) -> (Vec<u32>, Vec<(u32, f64)>)
     (offs, rows)
 }
 
+/// Instance-derived read-only lanes for the event-driven ascent: the
+/// per-client cost-sorted adjacency, the interleaved facility rows the
+/// exact scans walk, and the opening-cost lane. Building these is most of
+/// the ascent's setup cost; the warm-start cache keeps them across deltas
+/// and patches only dirty client rows (facility ids inside a client's row
+/// never change under a delta, so surviving rows copy verbatim).
+pub(crate) struct JvLanes {
+    /// Per-client row offsets into `sorted` (`n + 1` entries).
+    pub(crate) offs: Vec<u32>,
+    /// Per-client links as `(cost, facility)` sorted by `(cost, id)`.
+    pub(crate) sorted: Vec<(f64, u32)>,
+    /// Facility row offsets into `fl_rows` (`m + 1` entries).
+    pub(crate) fl_offs: Vec<u32>,
+    /// Interleaved `(client, cost)` facility rows.
+    pub(crate) fl_rows: Vec<(u32, f64)>,
+    /// Opening costs as a dense lane.
+    pub(crate) f_cost: Vec<f64>,
+}
+
+impl JvLanes {
+    pub(crate) fn build(instance: &Instance) -> Self {
+        let n = instance.num_clients();
+        let mut offs = Vec::with_capacity(n + 1);
+        let mut sorted: Vec<(f64, u32)> = Vec::with_capacity(instance.num_links());
+        offs.push(0u32);
+        for j in instance.clients() {
+            let s = sorted.len();
+            sorted.extend(instance.client_links(j).iter().map(|(i, c)| (c, i)));
+            sorted[s..].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            offs.push(sorted.len() as u32);
+        }
+        let (fl_offs, fl_rows) = interleave_facility_links(instance);
+        let f_cost = instance.facilities().map(|i| instance.opening_cost(i).value()).collect();
+        JvLanes { offs, sorted, fl_offs, fl_rows, f_cost }
+    }
+
+    /// Re-derives the interleaved facility rows and opening lane from the
+    /// instance, reusing allocations. Pure copies (no sorting), so the
+    /// warm path calls this after every structural delta.
+    pub(crate) fn refresh_facility_rows(&mut self, instance: &Instance) {
+        self.fl_offs.clear();
+        self.fl_offs.push(0u32);
+        self.fl_rows.clear();
+        for i in instance.facilities() {
+            self.fl_rows.extend(instance.facility_links(i).iter());
+            self.fl_offs.push(self.fl_rows.len() as u32);
+        }
+        self.f_cost.clear();
+        self.f_cost.extend(instance.facilities().map(|i| instance.opening_cost(i).value()));
+    }
+}
+
+/// Reusable mutable state for [`dual_ascent_with`]; reset on entry, so a
+/// warm solve allocates only the returned `alpha`/`temp_open`.
+#[derive(Default)]
+pub(crate) struct JvScratch {
+    connected: Vec<bool>,
+    open: Vec<bool>,
+    frozen: Vec<f64>,
+    ptr: Vec<u32>,
+    rate: Vec<i64>,
+    sum_c: Vec<f64>,
+    thr: Vec<f64>,
+    candidates: Vec<usize>,
+    newly_open: Vec<usize>,
+}
+
 /// Runs the exact continuous dual ascent (phase 1), event-driven.
 ///
 /// Produces bit-identical duals and opening order to
@@ -136,13 +203,30 @@ fn interleave_facility_links(instance: &Instance) -> (Vec<u32>, Vec<(u32, f64)>)
 /// wins — and every `α_j`, `frozen` update, and opening decision — is the
 /// exact value the reference computes.
 pub fn dual_ascent(instance: &Instance) -> DualAscent {
+    let lanes = JvLanes::build(instance);
+    dual_ascent_with(instance, &lanes, &mut JvScratch::default())
+}
+
+/// [`dual_ascent`] over prebuilt lanes and caller-owned scratch — the
+/// warm-start entry point. `lanes` must describe `instance` exactly.
+pub(crate) fn dual_ascent_with(
+    instance: &Instance,
+    lanes: &JvLanes,
+    scratch: &mut JvScratch,
+) -> DualAscent {
     let _span = distfl_obs::span("solver", "jv.dual_ascent");
     let n = instance.num_clients();
     let m = instance.num_facilities();
     let mut alpha = vec![0.0f64; n];
-    let mut connected = vec![false; n];
-    let mut open = vec![false; m];
-    let mut frozen = vec![0.0f64; m]; // payment frozen from connected clients
+    let connected = &mut scratch.connected;
+    connected.clear();
+    connected.resize(n, false);
+    let open = &mut scratch.open;
+    open.clear();
+    open.resize(m, false);
+    let frozen = &mut scratch.frozen; // payment frozen from connected clients
+    frozen.clear();
+    frozen.resize(m, 0.0);
     let mut temp_open = Vec::new();
     let mut active = n;
     let mut t = 0.0f64;
@@ -152,30 +236,30 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
     // facility linear forms below. Kept interleaved: the consumers are
     // random-offset per-client gathers that want cost and id on the same
     // cache line, not contiguous lane scans.
-    let mut offs = Vec::with_capacity(n + 1);
-    let mut sorted: Vec<(f64, u32)> = Vec::with_capacity(instance.num_links());
-    offs.push(0u32);
-    for j in instance.clients() {
-        let s = sorted.len();
-        sorted.extend(instance.client_links(j).iter().map(|(i, c)| (c, i)));
-        sorted[s..].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        offs.push(sorted.len() as u32);
-    }
-    let mut ptr: Vec<u32> = offs[..n].to_vec();
+    let offs = &lanes.offs;
+    let sorted = &lanes.sorted;
+    let ptr = &mut scratch.ptr;
+    ptr.clear();
+    ptr.extend_from_slice(&offs[..n]);
 
     // Facility linear forms: payment ≈ frozen + rate·t − sum_c over active
     // tight links. `rate` is an exact count; `sum_c` is approximate and
     // only ever used for shortlisting.
-    let mut rate = vec![0i64; m];
-    let mut sum_c = vec![0.0f64; m];
-    let f_cost: Vec<f64> =
-        instance.facilities().map(|i| instance.opening_cost(i).value()).collect();
-    let (fl_offs, fl_rows) = interleave_facility_links(instance);
-    let frow = |i: usize| &fl_rows[fl_offs[i] as usize..fl_offs[i + 1] as usize];
+    let rate = &mut scratch.rate;
+    rate.clear();
+    rate.resize(m, 0i64);
+    let sum_c = &mut scratch.sum_c;
+    sum_c.clear();
+    sum_c.resize(m, 0.0);
+    let f_cost = &lanes.f_cost;
+    let frow = |i: usize| &lanes.fl_rows[lanes.fl_offs[i] as usize..lanes.fl_offs[i + 1] as usize];
 
-    let mut candidates: Vec<usize> = Vec::new();
-    let mut newly_open: Vec<usize> = Vec::new();
-    let mut thr = vec![f64::INFINITY; m];
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
+    let newly_open = &mut scratch.newly_open;
+    let thr = &mut scratch.thr;
+    thr.clear();
+    thr.resize(m, f64::INFINITY);
 
     // Advance one client's pointer past links that became tight at time t,
     // registering them with their facility's linear form; links tight with
@@ -205,7 +289,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
 
     // Register links that are tight at t = 0 (zero-cost links).
     for j in 0..n {
-        advance(j, t, &mut ptr, &mut rate, &mut sum_c, &open, &mut candidates);
+        advance(j, t, ptr, rate, sum_c, open, candidates);
     }
 
     while active > 0 {
@@ -236,7 +320,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
                 }
             };
         }
-        let min_lin = kernels::min_argmin(&thr).map_or(f64::INFINITY, |(_, v)| v);
+        let min_lin = kernels::min_argmin(thr).map_or(f64::INFINITY, |(_, v)| v);
         if min_lin.is_finite() {
             // The linear forms track the exact scans up to ~1e-12 relative
             // error; a 1e-6-relative margin is orders of magnitude wider,
@@ -256,7 +340,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
                 };
                 if thr_lin <= min_lin + margin {
                     if let Some(ev) =
-                        exact_facility_event(frow(i), f_cost[i], t, frozen[i], &connected)
+                        exact_facility_event(frow(i), f_cost[i], t, frozen[i], connected)
                     {
                         next = next.min(ev);
                     }
@@ -272,7 +356,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
         // after the open pass.
         for (j, &done) in connected.iter().enumerate() {
             if !done {
-                advance(j, t, &mut ptr, &mut rate, &mut sum_c, &open, &mut candidates);
+                advance(j, t, ptr, rate, sum_c, open, candidates);
             }
         }
 
@@ -293,7 +377,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
             // shortlist branch's layout.
             #[allow(clippy::collapsible_if)]
             if paid_lin >= f_cost[i] - margin {
-                if exact_paid(frow(i), t, frozen[i], &connected) >= f_cost[i] - 1e-12 {
+                if exact_paid(frow(i), t, frozen[i], connected) >= f_cost[i] - 1e-12 {
                     open[i] = true;
                     temp_open.push(FacilityId::new(i as u32));
                     newly_open.push(i);
@@ -302,7 +386,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
         }
         // A newly-opened facility's tight active clients connect now; its
         // linear form is retired.
-        for &i in &newly_open {
+        for &i in newly_open.iter() {
             for (j, c) in instance.facility_links(FacilityId::new(i as u32)).iter() {
                 if !connected[j as usize] && c <= t {
                     candidates.push(j as usize);
@@ -318,7 +402,7 @@ pub fn dual_ascent(instance: &Instance) -> DualAscent {
         // tight) — there is no third way.
         candidates.sort_unstable();
         candidates.dedup();
-        for jx in std::mem::take(&mut candidates) {
+        for jx in std::mem::take(candidates) {
             if connected[jx] {
                 continue;
             }
@@ -439,6 +523,24 @@ pub fn dual_ascent_reference(instance: &Instance) -> DualAscent {
 /// Runs the full Jain–Vazirani algorithm.
 pub fn solve(instance: &Instance) -> (Solution, DualSolution) {
     let ascent = dual_ascent(instance);
+    prune_and_connect(instance, ascent)
+}
+
+/// [`solve`] over a prebuilt warm cache: phase 1 through
+/// [`dual_ascent_with`], then the shared phase-2 pruning.
+pub(crate) fn solve_with(
+    instance: &Instance,
+    lanes: &JvLanes,
+    scratch: &mut JvScratch,
+) -> (Solution, DualSolution) {
+    let ascent = dual_ascent_with(instance, lanes, scratch);
+    prune_and_connect(instance, ascent)
+}
+
+/// Phase 2: greedy maximal-independent-set pruning of the temporarily
+/// open facilities and nearest-open connection. Pure in `(instance,
+/// ascent)`, so cold and warm solves share it verbatim.
+fn prune_and_connect(instance: &Instance, ascent: DualAscent) -> (Solution, DualSolution) {
     let alpha = &ascent.alpha;
 
     // Contributor sets: beta_ij > 0 iff alpha_j > c_ij (standard

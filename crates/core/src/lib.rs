@@ -70,6 +70,7 @@ mod runner;
 pub mod seqdist;
 pub mod seqsim;
 pub mod theory;
+pub mod warm;
 
 pub use dispatch::SolverKind;
 pub use error::CoreError;

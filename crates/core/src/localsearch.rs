@@ -103,6 +103,12 @@ impl ServiceCache {
         }
     }
 
+    fn resize(&mut self, n: usize) {
+        self.best_cost.resize(n, f64::INFINITY);
+        self.best_fac.resize(n, u32::MAX);
+        self.second_cost.resize(n, f64::INFINITY);
+    }
+
     fn rebuild(&mut self, instance: &Instance, open: &[bool]) {
         for j in instance.clients() {
             let (mut b1, mut bf, mut b2) = (f64::INFINITY, u32::MAX, f64::INFINITY);
@@ -145,6 +151,24 @@ fn opening_part(open: &[bool], f_cost: &[f64], drop: Option<usize>, add: Option<
     opening
 }
 
+/// Reusable buffers for [`optimize_with`]: the cost/open lanes, the
+/// per-client service caches, and the per-round candidate-pricing
+/// columns. Every lane is either refilled from the instance on entry or
+/// written before it is read within a round (the add column is refilled
+/// per closed facility; drop/add/swap sums are only read for the
+/// open/closed pattern that just wrote them), so values left over from an
+/// earlier run — even of a different instance — are never observed.
+#[derive(Default)]
+pub(crate) struct LsScratch {
+    f_cost: Vec<f64>,
+    open: Vec<bool>,
+    cache: Option<ServiceCache>,
+    add_min: Vec<f64>,
+    add_assign: Vec<f64>,
+    drop_assign: Vec<f64>,
+    swap_assign: Vec<f64>,
+}
+
 /// Runs best-improvement local search from `start`, with an iteration cap.
 ///
 /// Evaluates candidates through the per-client `ServiceCache`; produces
@@ -154,25 +178,45 @@ fn opening_part(open: &[bool], f_cost: &[f64], drop: Option<usize>, add: Option<
 ///
 /// Panics if `start` is infeasible for `instance`.
 pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalSearchRun {
+    optimize_with(instance, start, max_moves, &mut LsScratch::default())
+}
+
+/// [`optimize`] with caller-provided buffers — the warm-start path reuses
+/// one [`LsScratch`] across solves so repeated polishing allocates only
+/// the output record.
+pub(crate) fn optimize_with(
+    instance: &Instance,
+    start: &Solution,
+    max_moves: u32,
+    scratch: &mut LsScratch,
+) -> LocalSearchRun {
     let _span = distfl_obs::span("solver", "localsearch");
     start.check_feasible(instance).expect("local search needs a feasible start");
     let n = instance.num_clients();
     let m = instance.num_facilities();
-    let f_cost: Vec<f64> =
-        instance.facilities().map(|i| instance.opening_cost(i).value()).collect();
-    let mut open: Vec<bool> = instance.facilities().map(|i| start.is_open(i)).collect();
+    let f_cost = &mut scratch.f_cost;
+    f_cost.clear();
+    f_cost.extend(instance.facilities().map(|i| instance.opening_cost(i).value()));
+    let open = &mut scratch.open;
+    open.clear();
+    open.extend(instance.facilities().map(|i| start.is_open(i)));
     let initial_cost = start.cost(instance).value();
-    let mut cache = ServiceCache::new(n);
-    cache.rebuild(instance, &open);
-    // Round-scoped buffers, allocated once: the dense add column for one
-    // closed facility, and the precomputed assignment sums per candidate.
-    let mut add_min = vec![f64::INFINITY; n];
-    let mut add_assign = vec![f64::INFINITY; m];
-    let mut drop_assign = vec![f64::INFINITY; m];
-    let mut swap_assign = vec![f64::INFINITY; m * m];
+    let cache = scratch.cache.get_or_insert_with(|| ServiceCache::new(n));
+    cache.resize(n);
+    cache.rebuild(instance, open);
+    // Round-scoped buffers: the dense add column for one closed facility,
+    // and the precomputed assignment sums per candidate.
+    let add_min = &mut scratch.add_min;
+    add_min.resize(n, f64::INFINITY);
+    let add_assign = &mut scratch.add_assign;
+    add_assign.resize(m, f64::INFINITY);
+    let drop_assign = &mut scratch.drop_assign;
+    drop_assign.resize(m, f64::INFINITY);
+    let swap_assign = &mut scratch.swap_assign;
+    swap_assign.resize(m * m, f64::INFINITY);
     // The optimal reassignment may already beat the given assignment.
     let mut current =
-        kernels::assign_sum(&cache.best_cost) + opening_part(&open, &f_cost, None, None);
+        kernels::assign_sum(&cache.best_cost) + opening_part(open, f_cost, None, None);
     assert!(current.is_finite(), "feasible start");
     let mut moves = 0;
     let mut converged = false;
@@ -201,7 +245,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
             for (j, c) in instance.facility_links(FacilityId::new(b as u32)).iter() {
                 add_min[j as usize] = c;
             }
-            add_assign[b] = kernels::assign_sum_add(&cache.best_cost, &add_min);
+            add_assign[b] = kernels::assign_sum_add(&cache.best_cost, add_min);
             for a in 0..m {
                 if open[a] {
                     swap_assign[a * m + b] = kernels::assign_sum_swap(
@@ -209,7 +253,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
                         &cache.best_fac,
                         &cache.second_cost,
                         a as u32,
-                        &add_min,
+                        add_min,
                     );
                 }
             }
@@ -220,7 +264,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
         // test, exactly as the rescan's `None` is skipped.
         let mut best: Option<(Option<usize>, Option<usize>, f64)> = None;
         let mut consider = |drop: Option<usize>, add: Option<usize>, assign: f64| {
-            let cost = assign + opening_part(&open, &f_cost, drop, add);
+            let cost = assign + opening_part(open, f_cost, drop, add);
             if cost < current - 1e-9 && best.as_ref().is_none_or(|(_, _, b)| cost < *b) {
                 best = Some((drop, add, cost));
             }
@@ -248,7 +292,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
                 }
                 current = cost;
                 moves += 1;
-                cache.rebuild(instance, &open);
+                cache.rebuild(instance, open);
             }
             None => {
                 converged = true;
@@ -258,7 +302,7 @@ pub fn optimize(instance: &Instance, start: &Solution, max_moves: u32) -> LocalS
     }
 
     distfl_obs::counter("solver.localsearch.moves").add(u64::from(moves));
-    finish(instance, open, initial_cost, moves, converged)
+    finish(instance, open.clone(), initial_cost, moves, converged)
 }
 
 /// Builds the final run record from a locally-optimized open set.

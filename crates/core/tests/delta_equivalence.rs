@@ -1,0 +1,214 @@
+//! Warm-start equivalence: after any schedule of instance deltas, a
+//! warm-started solve must be **bit-identical** to a from-scratch solve of
+//! the mutated instance — for all three warm solvers, over random
+//! add/remove/reprice interleavings, in the style of `solver_equivalence`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use distfl_core::warm::{WarmCache, WarmConfig};
+use distfl_core::{greedy, jv, localsearch, SolverKind};
+use distfl_instance::generators::{Clustered, InstanceGenerator, LineCity, UniformRandom};
+use distfl_instance::{ClientId, Cost, DeltaBatch, FacilityId, Instance};
+
+/// Move cap matching the cold `SolverKind::LocalSearch` dispatch.
+const LS_MAX_MOVES: u32 = 10_000;
+
+fn any_instance() -> impl Strategy<Value = Instance> {
+    (0u8..3, 1usize..8, 1usize..20, 0u64..1000).prop_map(|(family, m, n, seed)| match family {
+        0 => UniformRandom::new(m, n).unwrap().generate(seed).unwrap(),
+        1 => {
+            let clusters = m % 3 + 1;
+            Clustered::new(clusters, m.max(clusters), n).unwrap().generate(seed).unwrap()
+        }
+        _ => LineCity::new(m, n).unwrap().generate(seed).unwrap(),
+    })
+}
+
+/// Draws a batch valid for the instance's current shape: a few removals
+/// (never all clients), reprices of surviving clients' existing links
+/// (distinct pairs), and added clients with random link sets.
+fn random_batch(inst: &Instance, rng: &mut StdRng) -> DeltaBatch {
+    let n = inst.num_clients();
+    let m = inst.num_facilities();
+    let mut batch = DeltaBatch::new();
+
+    let max_remove = (n - 1).min(3);
+    let num_remove = if max_remove == 0 { 0 } else { rng.gen_range(0..=max_remove) };
+    let mut removed: Vec<u32> = Vec::new();
+    while removed.len() < num_remove {
+        let j = rng.gen_range(0..n as u32);
+        if !removed.contains(&j) {
+            removed.push(j);
+        }
+    }
+    for &j in &removed {
+        batch.remove_client(ClientId::new(j));
+    }
+
+    let mut repriced: Vec<(u32, u32)> = Vec::new();
+    for _ in 0..rng.gen_range(0..=4usize) {
+        let j = rng.gen_range(0..n as u32);
+        if removed.contains(&j) {
+            continue;
+        }
+        let row = inst.client_links(ClientId::new(j));
+        let i = row.ids[rng.gen_range(0..row.len())];
+        if repriced.contains(&(j, i)) {
+            continue;
+        }
+        repriced.push((j, i));
+        batch.reprice(
+            ClientId::new(j),
+            FacilityId::new(i),
+            Cost::new(rng.gen_range(0.0..100.0f64)).unwrap(),
+        );
+    }
+
+    for _ in 0..rng.gen_range(0..=3usize) {
+        let p = batch.add_client();
+        let deg = rng.gen_range(1..=m);
+        let mut fids: Vec<u32> = (0..m as u32).collect();
+        for k in 0..deg {
+            let swap = rng.gen_range(k..m);
+            fids.swap(k, swap);
+        }
+        fids.truncate(deg);
+        fids.sort_unstable();
+        for &i in &fids {
+            batch
+                .link(p, FacilityId::new(i), Cost::new(rng.gen_range(0.0..100.0f64)).unwrap())
+                .unwrap();
+        }
+    }
+    batch
+}
+
+/// Runs `batches` random deltas, keeping `warm` in sync, and returns the
+/// mutated instance.
+fn churn(inst: &mut Instance, warm: &mut WarmCache, seed: u64, batches: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..batches {
+        let batch = random_batch(inst, &mut rng);
+        let report = inst.apply_delta(&batch).unwrap();
+        warm.apply_delta(inst, &report);
+    }
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn warm_greedy_is_bit_identical_after_delta_schedules(
+        base in any_instance(),
+        seed in any::<u64>(),
+        batches in 1usize..4,
+    ) {
+        let mut inst = base.clone();
+        let mut warm = WarmCache::new(&inst);
+        churn(&mut inst, &mut warm, seed, batches);
+        let w = warm.solve_greedy(&inst);
+        let c = greedy::solve_detailed(&inst);
+        prop_assert_eq!(&w.solution, &c.solution);
+        prop_assert_eq!(bits(&w.ratios), bits(&c.ratios));
+        prop_assert_eq!(w.iterations, c.iterations);
+        // A second warm solve from the same epoch is stable (the working
+        // copy, not the pristine rows, absorbed the run's destruction).
+        let again = warm.solve_greedy(&inst);
+        prop_assert_eq!(&again.solution, &c.solution);
+    }
+
+    #[test]
+    fn warm_local_search_is_bit_identical_after_delta_schedules(
+        base in any_instance(),
+        seed in any::<u64>(),
+        batches in 1usize..4,
+    ) {
+        let mut inst = base.clone();
+        let mut warm = WarmCache::new(&inst);
+        churn(&mut inst, &mut warm, seed, batches);
+        let w = warm.solve_local_search(&inst, LS_MAX_MOVES);
+        let (start, _) = greedy::solve(&inst);
+        let c = localsearch::optimize(&inst, &start, LS_MAX_MOVES);
+        prop_assert_eq!(&w.solution, &c.solution);
+        prop_assert_eq!(w.initial_cost.to_bits(), c.initial_cost.to_bits());
+        prop_assert_eq!(w.final_cost.to_bits(), c.final_cost.to_bits());
+        prop_assert_eq!(w.moves, c.moves);
+        prop_assert_eq!(w.converged, c.converged);
+    }
+
+    #[test]
+    fn warm_jv_is_bit_identical_after_delta_schedules(
+        base in any_instance(),
+        seed in any::<u64>(),
+        batches in 1usize..4,
+    ) {
+        let mut inst = base.clone();
+        let mut warm = WarmCache::new(&inst);
+        churn(&mut inst, &mut warm, seed, batches);
+        let asc_w = warm.dual_ascent(&inst);
+        let asc_c = jv::dual_ascent(&inst);
+        prop_assert_eq!(bits(&asc_w.alpha), bits(&asc_c.alpha));
+        prop_assert_eq!(&asc_w.temp_open, &asc_c.temp_open);
+        let (sol_w, dual_w) = warm.solve_jv(&inst);
+        let (sol_c, dual_c) = jv::solve(&inst);
+        prop_assert_eq!(&sol_w, &sol_c);
+        prop_assert_eq!(bits(dual_w.alpha()), bits(dual_c.alpha()));
+    }
+
+    #[test]
+    fn patch_and_rebuild_paths_agree(
+        base in any_instance(),
+        seed in any::<u64>(),
+        batches in 1usize..4,
+    ) {
+        // Threshold +inf: drift never exceeds it, so every delta patches
+        // (removal-heavy batches can drift past any finite bound because
+        // dropped links count against the post-mutation lane size).
+        // Threshold -1.0: every delta rebuilds. Outputs must not differ.
+        let mut inst_a = base.clone();
+        let mut patcher =
+            WarmCache::with_config(&inst_a, WarmConfig { drift_threshold: f64::INFINITY });
+        churn(&mut inst_a, &mut patcher, seed, batches);
+        let mut inst_b = base.clone();
+        let mut rebuilder =
+            WarmCache::with_config(&inst_b, WarmConfig { drift_threshold: -1.0 });
+        churn(&mut inst_b, &mut rebuilder, seed, batches);
+        prop_assert_eq!(&inst_a, &inst_b);
+        prop_assert!(patcher.rebuilds() == 0 && patcher.patches() as usize == batches);
+        prop_assert!(rebuilder.patches() == 0 && rebuilder.rebuilds() as usize == batches);
+        let a = patcher.solve_greedy(&inst_a);
+        let b = rebuilder.solve_greedy(&inst_b);
+        prop_assert_eq!(&a.solution, &b.solution);
+        prop_assert_eq!(bits(&a.ratios), bits(&b.ratios));
+        let (ja, da) = patcher.solve_jv(&inst_a);
+        let (jb, db) = rebuilder.solve_jv(&inst_b);
+        prop_assert_eq!(&ja, &jb);
+        prop_assert_eq!(bits(da.alpha()), bits(db.alpha()));
+    }
+
+    #[test]
+    fn warm_dispatch_matches_cold_dispatch(
+        base in any_instance(),
+        seed in any::<u64>(),
+    ) {
+        let mut inst = base.clone();
+        let mut warm = WarmCache::new(&inst);
+        churn(&mut inst, &mut warm, seed, 2);
+        for kind in SolverKind::ALL {
+            let w = kind.solve_warm(&inst, 7, &mut warm).unwrap();
+            let c = kind.solve(&inst, 7).unwrap();
+            prop_assert_eq!(&w.solution, &c.solution, "kind {}", kind);
+            match (w.dual, c.dual) {
+                (Some(dw), Some(dc)) => prop_assert_eq!(bits(dw.alpha()), bits(dc.alpha())),
+                (None, None) => {}
+                _ => prop_assert!(false, "dual presence differs for {}", kind),
+            }
+        }
+    }
+}

@@ -56,6 +56,19 @@ pub enum InstanceError {
     /// Every coefficient of the instance is zero, so the multiplicative
     /// machinery (spread, dual raising) is undefined.
     AllZeroCosts,
+    /// A delta repriced a link that does not exist.
+    MissingLink {
+        /// Client index.
+        client: usize,
+        /// Facility index.
+        facility: usize,
+    },
+    /// Two mutations in one delta batch contradict each other (duplicate
+    /// removal, repricing a removed client, repricing the same link twice).
+    ConflictingMutation {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for InstanceError {
@@ -87,6 +100,12 @@ impl fmt::Display for InstanceError {
             InstanceError::AllZeroCosts => {
                 write!(f, "all instance coefficients are zero")
             }
+            InstanceError::MissingLink { client, facility } => {
+                write!(f, "no link between client {client} and facility {facility}")
+            }
+            InstanceError::ConflictingMutation { reason } => {
+                write!(f, "conflicting mutations in delta batch: {reason}")
+            }
         }
     }
 }
@@ -113,6 +132,8 @@ mod tests {
             (InstanceError::InvalidGenerator { reason: "m=0".into() }, "m=0"),
             (InstanceError::Parse { line: 4, reason: "bad".into() }, "line 4"),
             (InstanceError::AllZeroCosts, "zero"),
+            (InstanceError::MissingLink { client: 2, facility: 1 }, "no link"),
+            (InstanceError::ConflictingMutation { reason: "dup".into() }, "dup"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

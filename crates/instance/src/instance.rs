@@ -1,5 +1,7 @@
 //! The uncapacitated facility-location instance type.
 
+pub mod delta;
+
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -452,37 +454,9 @@ impl InstanceBuilder {
                 .push((FacilityId::new(client_link_ids[row_start + k]), Cost::from_validated(c)));
         }
 
-        // Facility-major CSR via counting sort: degree histogram, prefix
-        // sums, then a fill pass. Clients are visited in increasing order,
-        // so each facility's range comes out sorted by client id.
-        let mut facility_offsets = vec![0u32; m + 1];
-        for &i in &client_link_ids {
-            facility_offsets[i as usize + 1] += 1;
-        }
-        for i in 1..=m {
-            facility_offsets[i] += facility_offsets[i - 1];
-        }
-        let mut facility_link_ids = vec![0u32; num_links];
-        let mut facility_link_costs = vec![0.0f64; num_links];
-        let mut cursor: Vec<u32> = facility_offsets[..m].to_vec();
-        for (j, links) in self.client_links.iter().enumerate() {
-            for &(i, c) in links {
-                let slot = cursor[i.index()] as usize;
-                facility_link_ids[slot] = j as u32;
-                facility_link_costs[slot] = c.value();
-                cursor[i.index()] = slot as u32 + 1;
-            }
-        }
-        debug_assert!((0..m).all(|i| {
-            facility_link_ids[facility_offsets[i] as usize..facility_offsets[i + 1] as usize]
-                .windows(2)
-                .all(|w| w[0] < w[1])
-        }));
-
-        let client_deg =
-            client_offsets.windows(2).map(|w| w[1] - w[0]).max().expect("n >= 1 checked above");
-        let facility_deg =
-            facility_offsets.windows(2).map(|w| w[1] - w[0]).max().expect("m >= 1 checked above");
+        let (facility_offsets, facility_link_ids, facility_link_costs) =
+            build_facility_lanes(m, &client_offsets, &client_link_ids, &client_link_costs);
+        let max_degree = max_degree_of(&client_offsets, &facility_offsets);
 
         Ok(Instance {
             opening: self.opening,
@@ -493,9 +467,60 @@ impl InstanceBuilder {
             facility_link_ids,
             facility_link_costs,
             cheapest,
-            max_degree: client_deg.max(facility_deg),
+            max_degree,
         })
     }
+}
+
+/// Regenerates the facility-major CSR lanes from the client-major ones via
+/// counting sort: degree histogram, prefix sums, then a fill pass. Clients
+/// are visited in increasing order, so each facility's range comes out
+/// sorted by client id. Shared by [`InstanceBuilder::build`] and the delta
+/// compaction path.
+fn build_facility_lanes(
+    m: usize,
+    client_offsets: &[u32],
+    client_link_ids: &[u32],
+    client_link_costs: &[f64],
+) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    let num_links = client_link_ids.len();
+    let mut facility_offsets = vec![0u32; m + 1];
+    for &i in client_link_ids {
+        facility_offsets[i as usize + 1] += 1;
+    }
+    for i in 1..=m {
+        facility_offsets[i] += facility_offsets[i - 1];
+    }
+    let mut facility_link_ids = vec![0u32; num_links];
+    let mut facility_link_costs = vec![0.0f64; num_links];
+    let mut cursor: Vec<u32> = facility_offsets[..m].to_vec();
+    for j in 0..client_offsets.len() - 1 {
+        let lo = client_offsets[j] as usize;
+        let hi = client_offsets[j + 1] as usize;
+        for k in lo..hi {
+            let i = client_link_ids[k] as usize;
+            let slot = cursor[i] as usize;
+            facility_link_ids[slot] = j as u32;
+            facility_link_costs[slot] = client_link_costs[k];
+            cursor[i] = slot as u32 + 1;
+        }
+    }
+    debug_assert!((0..m).all(|i| {
+        facility_link_ids[facility_offsets[i] as usize..facility_offsets[i + 1] as usize]
+            .windows(2)
+            .all(|w| w[0] < w[1])
+    }));
+    (facility_offsets, facility_link_ids, facility_link_costs)
+}
+
+/// Maximum row degree over both offset tables — an offsets-only pass, no
+/// link-lane traversal.
+fn max_degree_of(client_offsets: &[u32], facility_offsets: &[u32]) -> u32 {
+    let client_deg =
+        client_offsets.windows(2).map(|w| w[1] - w[0]).max().expect("instances have clients");
+    let facility_deg =
+        facility_offsets.windows(2).map(|w| w[1] - w[0]).max().expect("instances have facilities");
+    client_deg.max(facility_deg)
 }
 
 #[cfg(test)]

@@ -26,6 +26,21 @@
 //! addition is order-sensitive, and the references define the order
 //! (ascending index). The chunking there vectorizes the per-lane selects
 //! and divides while keeping the additive chain sequential.
+//!
+//! # NaN semantics (outside the contract)
+//!
+//! NaN-bearing lanes never occur through the validated constructors, but
+//! the behavior on them is pinned by property tests so a refactor cannot
+//! change it silently. [`fused_ratio_accumulate`] stays **bit-identical**
+//! to its reference even with NaNs: the NaN poisons the sequential prefix
+//! chain in both twins, so both behave exactly as if the lane ended just
+//! before the first NaN (and the chunk lower-bound rejection can never
+//! hide an improvement from a pre-NaN lane). [`min_argmin`] **diverges**:
+//! its returned value is the minimum over the non-NaN entries either way,
+//! but the within-chunk locate scan stops on a NaN that precedes the
+//! minimum (reporting the NaN's index), and an all-NaN lane comes back
+//! `(0, +inf)` where the reference propagates the leading NaN as
+//! `(0, NaN)`.
 
 /// First minimum of a cost lane: `(index, value)`, `None` when empty.
 ///
@@ -402,6 +417,8 @@ pub fn assign_sum_swap_reference(
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     /// Deterministic pseudo-random lane without pulling in a RNG: a
@@ -565,5 +582,116 @@ mod tests {
         assert!(assign_sum(&best).is_infinite());
         assert!(assign_sum_drop(&best, &fac, &second, 0).is_infinite());
         assert!(assign_sum_swap(&best, &fac, &second, 0, &add_min).is_infinite());
+    }
+
+    #[test]
+    fn min_argmin_nan_divergence_examples() {
+        // All-NaN lane: the reference's incumbent starts at the leading
+        // NaN and nothing beats it; the chunked scan never improves on
+        // its +inf sentinel and the all-infinite fixup does not fire
+        // (`NaN > +inf` is false), so it reports `(0, +inf)`.
+        let all_nan = vec![f64::NAN; 9];
+        let slow = min_argmin_reference(&all_nan).unwrap();
+        assert_eq!(slow.0, 0);
+        assert!(slow.1.is_nan());
+        assert_eq!(min_argmin(&all_nan), Some((0, f64::INFINITY)));
+
+        // NaN ahead of the chunk minimum: the tree-min ignores the NaN
+        // (`f64::min` returns the other operand), but the locate scan
+        // `while c[k] > m` stops on it — right value, NaN's index.
+        let lane = [9.0, f64::NAN, 1.0, 8.0, 7.0, 6.0, 5.0, 4.0];
+        assert_eq!(min_argmin_reference(&lane), Some((2, 1.0)));
+        assert_eq!(min_argmin(&lane), Some((1, 1.0)));
+    }
+
+    /// NaN-aware model of the reference scan: a NaN candidate never wins
+    /// a strict `<`, so the result is the first-occurrence argmin over
+    /// the non-NaN entries — `None` when there are none.
+    fn nan_filtered_min(costs: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, &c) in costs.iter().enumerate() {
+            if c.is_nan() {
+                continue;
+            }
+            if best.is_none_or(|(_, b)| c < b) {
+                best = Some((k, c));
+            }
+        }
+        best
+    }
+
+    /// A lane mixing ordinary non-negative costs with NaNs and +inf
+    /// (tags 0 and 1 of a six-way draw, so about a third of the entries
+    /// are non-finite).
+    fn nan_lane() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec((0u32..6, 0u32..4000), 1..48).prop_map(|items| {
+            items
+                .into_iter()
+                .map(|(tag, v)| match tag {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    _ => f64::from(v) * 0.375,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn min_argmin_reference_nan_semantics(costs in nan_lane()) {
+            let slow = min_argmin_reference(&costs).unwrap();
+            if costs[0].is_nan() {
+                // A leading NaN is the unbeatable incumbent.
+                prop_assert_eq!(slow.0, 0);
+                prop_assert!(slow.1.is_nan());
+            } else {
+                // Otherwise NaNs are invisible to the scan.
+                let model = nan_filtered_min(&costs).unwrap();
+                prop_assert_eq!(slow.0, model.0);
+                prop_assert_eq!(slow.1.to_bits(), model.1.to_bits());
+            }
+        }
+
+        #[test]
+        fn min_argmin_fast_nan_divergence_is_bounded(costs in nan_lane()) {
+            let (at, val) = min_argmin(&costs).unwrap();
+            match nan_filtered_min(&costs) {
+                Some((model_at, model_val)) => {
+                    // The value is always the non-NaN minimum, bit for
+                    // bit; the index never points past its first
+                    // occurrence and only differs by landing on a NaN
+                    // earlier in the same chunk.
+                    prop_assert_eq!(val.to_bits(), model_val.to_bits());
+                    prop_assert!(at <= model_at);
+                    prop_assert!(at == model_at || costs[at].is_nan());
+                }
+                None => {
+                    // All-NaN lane: the documented (0, +inf) fallback.
+                    prop_assert_eq!(at, 0);
+                    prop_assert_eq!(val, f64::INFINITY);
+                }
+            }
+        }
+
+        #[test]
+        fn fused_ratio_accumulate_bitwise_identical_with_nans(
+            costs in nan_lane(),
+            residual in (0u32..4000).prop_map(f64::from),
+        ) {
+            let fast = fused_ratio_accumulate(&costs, residual);
+            let slow = fused_ratio_accumulate_reference(&costs, residual);
+            prop_assert_eq!(fast.0.to_bits(), slow.0.to_bits());
+            prop_assert_eq!(fast.1, slow.1);
+
+            // And the shared semantic both implement: the poisoned
+            // prefix makes every post-NaN ratio NaN, which never wins a
+            // strict `<` — as if the lane ended just before the NaN.
+            let cut = costs.iter().position(|c| c.is_nan()).unwrap_or(costs.len());
+            let truncated = fused_ratio_accumulate_reference(&costs[..cut], residual);
+            prop_assert_eq!(slow.0.to_bits(), truncated.0.to_bits());
+            prop_assert_eq!(slow.1, truncated.1);
+        }
     }
 }

@@ -53,5 +53,6 @@ pub mod transform;
 
 pub use cost::Cost;
 pub use error::InstanceError;
+pub use instance::delta::{DeltaBatch, DeltaReport, PendingClient};
 pub use instance::{ClientId, FacilityId, Instance, InstanceBuilder, LinkSlice};
 pub use solution::Solution;

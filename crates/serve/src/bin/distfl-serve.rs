@@ -3,7 +3,7 @@
 //! ```text
 //! distfl-serve [ADDR] [--queue-capacity N] [--max-batch N] [--workers N]
 //!              [--shards N] [--write-buffer BYTES] [--reactor KIND]
-//!              [--sock-sndbuf BYTES]
+//!              [--sock-sndbuf BYTES] [--sessions N]
 //! ```
 //!
 //! `ADDR` defaults to `127.0.0.1:7411`. The process serves until a
@@ -17,7 +17,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: distfl-serve [ADDR] [--queue-capacity N] [--max-batch N] [--workers N]\n\
          \x20                   [--shards N] [--write-buffer BYTES] [--reactor KIND]\n\
-         \x20                   [--sock-sndbuf BYTES]\n\
+         \x20                   [--sock-sndbuf BYTES] [--sessions N]\n\
          \n\
          ADDR                listen address (default 127.0.0.1:7411)\n\
          --queue-capacity N  admission queue bound, per shard (default 256)\n\
@@ -30,7 +30,9 @@ fn usage() -> ! {
          --reactor KIND      readiness backend: auto | epoll | poll | sweep\n\
          \x20                   (default auto)\n\
          --sock-sndbuf B     clamp each connection's kernel send buffer\n\
-         \x20                   (SO_SNDBUF; default: kernel default)"
+         \x20                   (SO_SNDBUF; default: kernel default)\n\
+         --sessions N        max pinned sessions before LRU eviction\n\
+         \x20                   (default 64)"
     );
     std::process::exit(2);
 }
@@ -77,6 +79,10 @@ fn main() {
             "--sock-sndbuf" => {
                 let raw = value("--sock-sndbuf");
                 config.sock_send_buffer = Some(number("--sock-sndbuf", raw));
+            }
+            "--sessions" => {
+                let raw = value("--sessions");
+                config.session_capacity = number("--sessions", raw).max(1);
             }
             "--reactor" => {
                 let raw = value("--reactor");

@@ -62,5 +62,6 @@ pub mod queue;
 pub mod reactor;
 pub mod scheduler;
 mod server;
+pub mod session;
 
 pub use server::{BatchHook, ServeConfig, Server};

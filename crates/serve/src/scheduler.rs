@@ -2,23 +2,35 @@
 //! in batches and fans each batch out over the shared worker pool.
 //!
 //! One scheduler thread per shard. Each blocks on its own queue, takes up
-//! to `max_batch` requests at once, and executes the whole batch with
-//! [`WorkerPool::map_indexed`] — so concurrent requests from independent
-//! connections share one fork/join instead of fighting for threads. The
-//! rendered responses go back to the reactor through the batch sink
-//! (which appends them to per-connection write buffers and wakes the
-//! event loop). Batch membership, shard assignment, and reactor timing
-//! never leak into response bytes: [`execute`] is a pure function of the
-//! request, which is what keeps responses byte-deterministic regardless
-//! of batching, worker count, and shard count.
+//! to `max_batch` requests at once, partitions the batch into **units** —
+//! every stateless solve is its own unit; all requests naming the same
+//! session form one unit, kept in admission order — and executes the
+//! units with [`WorkerPool::map_indexed`], so concurrent requests from
+//! independent connections share one fork/join while a connection's
+//! create → mutate → solve pipeline still runs serially against its
+//! session. The rendered responses are scattered back to admission order
+//! and go to the reactor through the batch sink (which appends them to
+//! per-connection write buffers and wakes the event loop).
+//!
+//! Batch membership, shard assignment, and reactor timing never leak into
+//! response bytes: [`execute`] is a pure function of the request and (for
+//! session verbs) the session's request history, which is what keeps
+//! responses byte-deterministic regardless of batching, worker count, and
+//! shard count. Same-session requests arriving on *different*
+//! connections have no defined relative order (last-write-wins on the
+//! slab), exactly like two clients mutating one resource over any
+//! protocol.
 
 use std::sync::Arc;
 
-use distfl_instance::Instance;
+use distfl_instance::{ClientId, Cost, DeltaBatch, FacilityId, Instance};
 use distfl_pool::WorkerPool;
 
-use crate::proto::{self, ErrorKind, InstanceSource, Request, ServeError};
+use crate::proto::{
+    self, Action, DeltaSpec, ErrorKind, InstanceSource, Request, ServeError, SessionShape,
+};
 use crate::queue::Admission;
+use crate::session::{SessionCache, SessionState};
 
 /// One admitted request together with the way back to its client.
 #[derive(Debug)]
@@ -42,6 +54,28 @@ struct Metrics {
     queue_depth: distfl_obs::Gauge,
 }
 
+/// Splits a batch into execution units: stateless solves are singleton
+/// units; same-session requests collapse into one unit in admission
+/// order. Unit order follows each unit's first member, so the partition
+/// is a pure function of the batch.
+fn partition(batch: &[Job]) -> Vec<Vec<usize>> {
+    let mut units: Vec<Vec<usize>> = Vec::with_capacity(batch.len());
+    let mut session_unit: Vec<(String, usize)> = Vec::new();
+    for (index, job) in batch.iter().enumerate() {
+        match job.request.action.session() {
+            None => units.push(vec![index]),
+            Some(name) => match session_unit.iter().find(|(n, _)| n == name) {
+                Some(&(_, unit)) => units[unit].push(index),
+                None => {
+                    session_unit.push((name.to_owned(), units.len()));
+                    units.push(vec![index]);
+                }
+            },
+        }
+    }
+    units
+}
+
 /// Runs one shard's scheduler loop until its queue is closed and drained,
 /// executing up to `max_batch` requests per fork/join.
 ///
@@ -53,6 +87,7 @@ struct Metrics {
 pub fn run_shard(
     queue: &Admission<Job>,
     pool: &Arc<WorkerPool>,
+    sessions: &Arc<SessionCache>,
     max_batch: usize,
     batch_hook: Option<&(dyn Fn(usize) + Send + Sync)>,
     sink: &BatchSink,
@@ -73,38 +108,161 @@ pub fn run_shard(
         if let Some(hook) = batch_hook {
             hook(batch.len());
         }
-        let responses = pool.map_indexed(batch.len(), |index| execute(&batch[index].request));
-        sink(batch.iter().zip(responses).map(|(job, response)| (job.conn, response)).collect());
+        let units = partition(&batch);
+        let unit_responses = pool.map_indexed(units.len(), |u| {
+            units[u]
+                .iter()
+                .map(|&index| execute(&batch[index].request, sessions))
+                .collect::<Vec<String>>()
+        });
+        // Scatter unit results back to admission order.
+        let mut responses: Vec<Option<(u64, String)>> = batch.iter().map(|_| None).collect();
+        for (unit, rendered) in units.iter().zip(unit_responses) {
+            for (&index, response) in unit.iter().zip(rendered) {
+                responses[index] = Some((batch[index].conn, response));
+            }
+        }
+        sink(responses.into_iter().map(|r| r.expect("every job answered")).collect());
     }
 }
 
-/// Executes one request on a worker: build the instance, dispatch the
-/// solver, render the response line. Pure in the request — two calls with
-/// the same request bytes render identical responses, on any thread, in
-/// any batch, on any shard.
-pub fn execute(request: &Request) -> String {
+/// Executes one request on a worker: resolve the action, dispatch, render
+/// the response line. Stateless solves are pure in the request; session
+/// verbs are pure in the request plus the session's prior request history
+/// — two identical request sequences render identical response bytes, on
+/// any thread, in any batch, on any shard.
+pub fn execute(request: &Request, sessions: &SessionCache) -> String {
     let _span = distfl_obs::span_arg("serve", "request", request.span_id);
     let fail = |kind: ErrorKind, detail: String| {
         let error = ServeError { kind, detail, id: Some(request.id.clone()) };
         proto::render_error(&error, request.span_id)
     };
-    let instance: Instance = match &request.source {
-        InstanceSource::Inline(instance) => instance.clone(),
-        InstanceSource::OrLib(payload) => match distfl_instance::orlib::from_str(payload) {
-            Ok(instance) => instance,
-            Err(e) => return fail(ErrorKind::InvalidInstance, e.to_string()),
-        },
-    };
-    match request.solver.solve(&instance, request.seed) {
-        Ok(outcome) => {
-            let cost = outcome.solution.cost(&instance).value();
-            let open: Vec<usize> = outcome.solution.open_facilities().map(|i| i.index()).collect();
-            let rounds =
-                outcome.transcript.as_ref().map(|t| t.num_rounds()).or(outcome.modeled_rounds);
-            proto::render_success(request, cost, &open, rounds)
+    match &request.action {
+        Action::Solve { solver, seed, source } => {
+            let instance = match build_source(source) {
+                Ok(instance) => instance,
+                Err(detail) => return fail(ErrorKind::InvalidInstance, detail),
+            };
+            match solver.solve(&instance, *seed) {
+                Ok(outcome) => render_outcome(request, *solver, *seed, &instance, &outcome),
+                Err(e) => fail(ErrorKind::SolverFailed, e.to_string()),
+            }
         }
-        Err(e) => fail(ErrorKind::SolverFailed, e.to_string()),
+        Action::Create { session, source } => {
+            let instance = match build_source(source) {
+                Ok(instance) => instance,
+                Err(detail) => return fail(ErrorKind::InvalidInstance, detail),
+            };
+            let shape = SessionShape {
+                facilities: instance.num_facilities(),
+                clients: instance.num_clients(),
+                links: instance.num_links(),
+                epoch: 0,
+            };
+            sessions.create(session, instance);
+            proto::render_create_ack(request, session, shape)
+        }
+        Action::Mutate { session, delta } => {
+            let Some(handle) = sessions.get(session) else {
+                return fail(ErrorKind::UnknownSession, unknown_session_detail(session));
+            };
+            let batch = match build_delta(delta) {
+                Ok(batch) => batch,
+                Err(detail) => return fail(ErrorKind::InvalidInstance, detail),
+            };
+            let mut guard = handle.lock().unwrap();
+            let SessionState { instance, warm, epoch } = &mut *guard;
+            // `apply_delta` validates before mutating, so a rejected
+            // batch leaves the session exactly as it was.
+            let report = match instance.apply_delta(&batch) {
+                Ok(report) => report,
+                Err(e) => return fail(ErrorKind::InvalidInstance, e.to_string()),
+            };
+            warm.apply_delta(instance, &report);
+            *epoch += 1;
+            let shape = SessionShape {
+                facilities: instance.num_facilities(),
+                clients: instance.num_clients(),
+                links: instance.num_links(),
+                epoch: *epoch,
+            };
+            proto::render_mutate_ack(
+                request,
+                session,
+                shape,
+                delta.remove.len(),
+                delta.add.len(),
+                delta.reprice.len(),
+            )
+        }
+        Action::SessionSolve { session, solver, seed } => {
+            let Some(handle) = sessions.get(session) else {
+                return fail(ErrorKind::UnknownSession, unknown_session_detail(session));
+            };
+            let mut guard = handle.lock().unwrap();
+            let SessionState { instance, warm, .. } = &mut *guard;
+            match solver.solve_warm(instance, *seed, warm) {
+                Ok(outcome) => render_outcome(request, *solver, *seed, instance, &outcome),
+                Err(e) => fail(ErrorKind::SolverFailed, e.to_string()),
+            }
+        }
+        Action::Drop { session } => {
+            if sessions.drop_session(session) {
+                proto::render_drop_ack(request, session)
+            } else {
+                fail(ErrorKind::UnknownSession, unknown_session_detail(session))
+            }
+        }
     }
+}
+
+fn unknown_session_detail(session: &str) -> String {
+    format!("session '{session}' is not held (never created, dropped, or evicted)")
+}
+
+/// Materializes a request's instance payload.
+fn build_source(source: &InstanceSource) -> Result<Instance, String> {
+    match source {
+        InstanceSource::Inline(instance) => Ok(instance.clone()),
+        InstanceSource::OrLib(payload) => {
+            distfl_instance::orlib::from_str(payload).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Converts a wire [`DeltaSpec`] into a [`DeltaBatch`], validating costs
+/// (id-range errors are left to `apply_delta`, which knows the shape).
+fn build_delta(spec: &DeltaSpec) -> Result<DeltaBatch, String> {
+    let mut batch = DeltaBatch::new();
+    for &j in &spec.remove {
+        batch.remove_client(ClientId::new(j));
+    }
+    for &(j, i, c) in &spec.reprice {
+        let cost = Cost::new(c).map_err(|e| format!("reprice ({j},{i}): {e}"))?;
+        batch.reprice(ClientId::new(j), FacilityId::new(i), cost);
+    }
+    for (index, links) in spec.add.iter().enumerate() {
+        let p = batch.add_client();
+        for &(i, c) in links {
+            let cost = Cost::new(c).map_err(|e| format!("add[{index}] facility {i}: {e}"))?;
+            batch.link(p, FacilityId::new(i), cost).map_err(|e| format!("add[{index}]: {e}"))?;
+        }
+    }
+    Ok(batch)
+}
+
+/// Renders a solve outcome as a success line.
+fn render_outcome(
+    request: &Request,
+    solver: distfl_core::SolverKind,
+    seed: u64,
+    instance: &Instance,
+    outcome: &distfl_core::Outcome,
+) -> String {
+    let cost = outcome.solution.cost(instance).value();
+    let open: Vec<usize> = outcome.solution.open_facilities().map(|i| i.index()).collect();
+    let rounds = outcome.transcript.as_ref().map(|t| t.num_rounds()).or(outcome.modeled_rounds);
+    proto::render_success(request, solver, seed, cost, &open, rounds)
 }
 
 #[cfg(test)]
@@ -118,6 +276,10 @@ mod tests {
             Parsed::Request(req) => *req,
             other => panic!("expected request, got {other:?}"),
         }
+    }
+
+    fn cache() -> Arc<SessionCache> {
+        Arc::new(SessionCache::new(8))
     }
 
     type Collected = Arc<Mutex<Vec<(u64, String)>>>;
@@ -138,17 +300,18 @@ mod tests {
     fn execute_is_deterministic_across_pool_sizes() {
         let line = r#"{"id":"d","solver":"paydual","seed":9,"orlib":"2 3\n0 4\n0 6\n0\n1 5\n0\n2 2\n0\n9 1\n"}"#;
         let req = request(line);
-        let direct = execute(&req);
+        let direct = execute(&req, &cache());
         distfl_obs::validate_json(&direct).unwrap();
         for workers in [0, 2] {
             let pool = Arc::new(WorkerPool::new(workers));
+            let sessions = cache();
             let queue = Admission::new(8);
             for _ in 0..3 {
                 queue.push(Job { request: req.clone(), conn: 1 }).unwrap();
             }
             queue.close();
             let (collected, sink) = collecting_sink();
-            run_shard(&queue, &pool, 4, None, &*sink);
+            run_shard(&queue, &pool, &sessions, 4, None, &*sink);
             let responses = collected.lock().unwrap();
             assert_eq!(responses.len(), 3);
             for (_, r) in responses.iter() {
@@ -160,7 +323,7 @@ mod tests {
     #[test]
     fn orlib_parse_failures_surface_line_numbers() {
         let req = request(r#"{"id":"bad","solver":"greedy","orlib":"1 1\n0 x\n0\n1\n"}"#);
-        let response = execute(&req);
+        let response = execute(&req, &cache());
         distfl_obs::validate_json(&response).unwrap();
         assert!(response.contains("\"kind\":\"invalid_instance\""), "{response}");
         assert!(response.contains("line 2"), "{response}");
@@ -169,6 +332,7 @@ mod tests {
     #[test]
     fn run_shard_answers_every_job_in_admission_order() {
         let pool = Arc::new(WorkerPool::new(2));
+        let sessions = cache();
         let queue = Admission::new(64);
         for i in 0..40u64 {
             let line = format!(
@@ -178,10 +342,96 @@ mod tests {
         }
         queue.close();
         let (collected, sink) = collecting_sink();
-        run_shard(&queue, &pool, 16, None, &*sink);
+        run_shard(&queue, &pool, &sessions, 16, None, &*sink);
         let responses = collected.lock().unwrap();
         assert_eq!(responses.len(), 40, "every admitted job answered");
         let conns: Vec<u64> = responses.iter().map(|(c, _)| *c).collect();
         assert_eq!(conns, (0..40).collect::<Vec<u64>>(), "admission order preserved");
+    }
+
+    #[test]
+    fn partition_groups_same_session_jobs_in_admission_order() {
+        let jobs: Vec<Job> = [
+            r#"{"id":"a","solver":"greedy","instance":{"opening":[1.0],"links":[[0,1.0]]}}"#
+                .to_string(),
+            r#"{"cmd":"create","id":"b","session":"s1","instance":{"opening":[1.0],"links":[[0,1.0]]}}"#
+                .to_string(),
+            r#"{"cmd":"create","id":"c","session":"s2","instance":{"opening":[1.0],"links":[[0,1.0]]}}"#
+                .to_string(),
+            r#"{"cmd":"solve","id":"d","session":"s1","solver":"greedy"}"#.to_string(),
+            r#"{"id":"e","solver":"greedy","instance":{"opening":[1.0],"links":[[0,1.0]]}}"#
+                .to_string(),
+            r#"{"cmd":"drop","id":"f","session":"s1"}"#.to_string(),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, line)| Job { request: request(line), conn: i as u64 })
+        .collect();
+        let units = partition(&jobs);
+        assert_eq!(units, vec![vec![0], vec![1, 3, 5], vec![2], vec![4]]);
+    }
+
+    #[test]
+    fn session_lifecycle_executes_through_the_cache() {
+        let sessions = cache();
+        let create = request(
+            r#"{"cmd":"create","id":"c1","session":"s","instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}"#,
+        );
+        let ack = execute(&create, &sessions);
+        assert!(ack.contains("\"created\":true") && ack.contains("\"epoch\":0"), "{ack}");
+        assert_eq!(sessions.len(), 1);
+
+        // The pinned instance solves identically to a stateless solve.
+        let solve = request(r#"{"cmd":"solve","id":"q1","session":"s","solver":"greedy"}"#);
+        let warm = execute(&solve, &sessions);
+        let stateless = execute(
+            &request(
+                r#"{"id":"q1","solver":"greedy","instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}"#,
+            ),
+            &sessions,
+        );
+        let strip_span = |s: &str| s.split("\"span\"").next().unwrap().to_string();
+        assert_eq!(strip_span(&warm), strip_span(&stateless));
+
+        // Mutate: drop client 1, reprice (0,0), add a client on facility 1.
+        let mutate = request(
+            r#"{"cmd":"mutate","id":"m1","session":"s","delta":{"remove":[1],"reprice":[[0,0,1.5]],"add":[[1,0.25]]}}"#,
+        );
+        let ack = execute(&mutate, &sessions);
+        assert!(ack.contains("\"epoch\":1"), "{ack}");
+        assert!(ack.contains("\"removed\":1") && ack.contains("\"added\":1"), "{ack}");
+
+        // Warm solve of the mutated session == stateless solve of the
+        // mutated instance.
+        let warm = execute(&solve, &sessions);
+        let stateless = execute(
+            &request(
+                r#"{"id":"q1","solver":"greedy","instance":{"opening":[4.0,3.0],"links":[[0,1.5,1,2.0],[1,0.25]]}}"#,
+            ),
+            &sessions,
+        );
+        assert_eq!(strip_span(&warm), strip_span(&stateless));
+
+        let drop = request(r#"{"cmd":"drop","id":"d1","session":"s"}"#);
+        assert!(execute(&drop, &sessions).contains("\"dropped\":true"));
+        let gone = execute(&drop, &sessions);
+        assert!(gone.contains("\"kind\":\"unknown_session\""), "{gone}");
+    }
+
+    #[test]
+    fn mutate_rejections_leave_the_session_intact() {
+        let sessions = cache();
+        let create = request(
+            r#"{"cmd":"create","id":"c1","session":"s","instance":{"opening":[4.0],"links":[[0,1.0],[0,2.0]]}}"#,
+        );
+        execute(&create, &sessions);
+        // Client 9 does not exist: apply_delta rejects, epoch stays 0.
+        let bad = request(r#"{"cmd":"mutate","id":"m1","session":"s","delta":{"remove":[9]}}"#);
+        let response = execute(&bad, &sessions);
+        assert!(response.contains("\"kind\":\"invalid_instance\""), "{response}");
+        let handle = sessions.get("s").unwrap();
+        let state = handle.lock().unwrap();
+        assert_eq!(state.epoch, 0);
+        assert_eq!(state.instance.num_clients(), 2);
     }
 }

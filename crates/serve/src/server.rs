@@ -43,6 +43,7 @@ use crate::proto::{self, Command, ErrorKind, Parsed, ServeError};
 use crate::queue::{Admission, AdmitError};
 use crate::reactor::{self, Event, Interest, Poller, ReactorKind, Waker, WAKE_TOKEN};
 use crate::scheduler::{self, Job};
+use crate::session::SessionCache;
 
 /// Instrumentation hook invoked with each batch's size after it is
 /// popped and before it executes (see [`ServeConfig::batch_hook`]).
@@ -101,6 +102,10 @@ pub struct ServeConfig {
     /// size, before the batch executes. A logging/telemetry point; tests
     /// use a blocking hook to pin a scheduler at a known position.
     pub batch_hook: Option<BatchHook>,
+    /// Most sessions pinned at once (see [`crate::session`]). Creating a
+    /// new session beyond it evicts the least-recently-touched one.
+    /// Clamped to at least 1.
+    pub session_capacity: usize,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -114,6 +119,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("reactor", &self.reactor)
             .field("sock_send_buffer", &self.sock_send_buffer)
             .field("batch_hook", &self.batch_hook.as_ref().map(|_| "Fn"))
+            .field("session_capacity", &self.session_capacity)
             .finish()
     }
 }
@@ -129,6 +135,7 @@ impl Default for ServeConfig {
             reactor: ReactorKind::Auto,
             sock_send_buffer: None,
             batch_hook: None,
+            session_capacity: 64,
         }
     }
 }
@@ -149,6 +156,8 @@ struct Shared {
     draining: AtomicBool,
     /// Shard scheduler threads still running (drain completes at 0).
     active_shards: AtomicUsize,
+    /// Session-pinned instances, shared by every shard.
+    sessions: Arc<SessionCache>,
     addr: SocketAddr,
 }
 
@@ -206,6 +215,7 @@ impl Server {
             waker,
             draining: AtomicBool::new(false),
             active_shards: AtomicUsize::new(shards),
+            sessions: Arc::new(SessionCache::new(config.session_capacity)),
             addr: local,
         });
 
@@ -226,7 +236,15 @@ impl Server {
                                 shared.waker.wake();
                             }
                         };
-                        scheduler::run_shard(&queue, &pool, max_batch, hook.as_deref(), &sink);
+                        let sessions = Arc::clone(&shared.sessions);
+                        scheduler::run_shard(
+                            &queue,
+                            &pool,
+                            &sessions,
+                            max_batch,
+                            hook.as_deref(),
+                            &sink,
+                        );
                         shared.active_shards.fetch_sub(1, Ordering::SeqCst);
                         shared.waker.wake();
                     })
@@ -266,6 +284,11 @@ impl Server {
         self.shared.queues.len()
     }
 
+    /// How many sessions are currently pinned (for tests and monitoring).
+    pub fn session_count(&self) -> usize {
+        self.shared.sessions.len()
+    }
+
     /// Whether a drain has been initiated (by [`Server::shutdown`] or a
     /// client `shutdown` command).
     pub fn is_draining(&self) -> bool {
@@ -288,7 +311,9 @@ impl Server {
 
     /// Joins shard schedulers, then the reactor (which exits only after
     /// the schedulers finish and every response has been flushed or its
-    /// connection shed). Idempotent.
+    /// connection shed), then releases the session cache — after the
+    /// joins, so no in-flight session job ever observes a vanishing
+    /// session. Idempotent.
     fn join_all(&mut self) {
         for handle in self.shard_threads.drain(..) {
             let _ = handle.join();
@@ -296,6 +321,7 @@ impl Server {
         if let Some(handle) = self.reactor_thread.take() {
             let _ = handle.join();
         }
+        self.shared.sessions.clear();
     }
 }
 

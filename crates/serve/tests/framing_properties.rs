@@ -13,6 +13,7 @@ use proptest::prelude::*;
 use distfl_serve::frame::{Framed, LineFramer};
 use distfl_serve::proto::{self, Parsed};
 use distfl_serve::scheduler;
+use distfl_serve::session::SessionCache;
 
 /// Feeds `buffer` to a fresh framer in chunks of the given sizes (cycled
 /// until the buffer is consumed) and returns the framed lines in order.
@@ -38,6 +39,7 @@ fn frame_with_chunks(buffer: &[u8], sizes: &[usize]) -> Vec<Vec<u8>> {
 /// renders the full response transcript (requests execute, commands ack,
 /// errors render — exactly the server's per-line behavior).
 fn respond(lines: &[Vec<u8>]) -> Vec<String> {
+    let sessions = SessionCache::new(8);
     lines
         .iter()
         .filter_map(|raw| {
@@ -47,7 +49,7 @@ fn respond(lines: &[Vec<u8>]) -> Vec<String> {
                 return None;
             }
             Some(match proto::parse_line(trimmed) {
-                Ok(Parsed::Request(request)) => scheduler::execute(&request),
+                Ok(Parsed::Request(request)) => scheduler::execute(&request, &sessions),
                 Ok(Parsed::Command(cmd)) => proto::render_command_ack(cmd),
                 Err(error) => proto::render_error(&error, proto::span_id(trimmed.as_bytes())),
             })

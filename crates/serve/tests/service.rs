@@ -402,3 +402,84 @@ fn slow_reader_is_shed_with_a_typed_error_and_others_keep_working() {
     assert!(polite.roundtrip(GREEDY_INLINE).contains(r#""ok":true"#));
     server.shutdown();
 }
+
+#[test]
+fn session_mutate_solve_is_byte_identical_across_restarts() {
+    // A pinned session streamed deltas: create → solve → mutate → solve →
+    // mutate → solve → drop. The full transcript must be byte-identical
+    // across server restarts, worker counts, and shard counts — the warm
+    // path may never leak into response bytes.
+    let script: Vec<String> = vec![
+        r#"{"cmd":"create","id":"c1","session":"s1","instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5],[0,3.0,1,1.0]]}}"#.into(),
+        r#"{"cmd":"solve","id":"q1","session":"s1","solver":"greedy"}"#.into(),
+        r#"{"cmd":"mutate","id":"m1","session":"s1","delta":{"reprice":[[0,0,0.25]],"add":[[0,0.5,1,4.0]]}}"#.into(),
+        r#"{"cmd":"solve","id":"q2","session":"s1","solver":"jv"}"#.into(),
+        r#"{"cmd":"mutate","id":"m2","session":"s1","delta":{"remove":[1,3]}}"#.into(),
+        r#"{"cmd":"solve","id":"q3","session":"s1","solver":"local-search"}"#.into(),
+        r#"{"cmd":"drop","id":"d1","session":"s1"}"#.into(),
+    ];
+    let mut runs: Vec<Vec<String>> = Vec::new();
+    for (workers, shards) in [(0, 1), (2, 4), (3, 2)] {
+        let config = ServeConfig { workers: Some(workers), shards, ..ServeConfig::default() };
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let mut client = Client::connect(&server);
+        let transcript: Vec<String> = script.iter().map(|r| client.roundtrip(r)).collect();
+        assert_eq!(server.session_count(), 0, "drop released the session");
+        server.shutdown();
+        runs.push(transcript);
+    }
+    assert_eq!(runs[0], runs[1], "restart/worker-count changed session response bytes");
+    assert_eq!(runs[0], runs[2], "restart/shard-count changed session response bytes");
+    for response in &runs[0] {
+        distfl_obs::validate_json(response).unwrap();
+        assert!(response.contains(r#""ok":true"#), "{response}");
+    }
+    assert!(runs[0][2].contains(r#""epoch":1"#), "{}", runs[0][2]);
+    assert!(runs[0][4].contains(r#""epoch":2"#) && runs[0][4].contains(r#""removed":2"#));
+}
+
+#[test]
+fn session_solve_matches_stateless_solve_of_the_mutated_instance() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server);
+    client.roundtrip(
+        r#"{"cmd":"create","id":"c1","session":"s","instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,2.0],[1,0.5]]}}"#,
+    );
+    // Remove client 1, reprice (0,1), add a client on both facilities:
+    // post-mutation instance = opening [4,3], links [[0,1.0,1,0.75],[0,2.5,1,6.0]].
+    client.roundtrip(
+        r#"{"cmd":"mutate","id":"m1","session":"s","delta":{"remove":[1],"reprice":[[0,1,0.75]],"add":[[0,2.5,1,6.0]]}}"#,
+    );
+    let strip_span = |s: String| s.split(r#","span""#).next().unwrap().to_owned();
+    for solver in ["greedy", "local-search", "jv", "paydual"] {
+        let warm = client.roundtrip(&format!(
+            r#"{{"cmd":"solve","id":"q","session":"s","solver":"{solver}","seed":5}}"#
+        ));
+        let cold = client.roundtrip(&format!(
+            r#"{{"id":"q","solver":"{solver}","seed":5,"instance":{{"opening":[4.0,3.0],"links":[[0,1.0,1,0.75],[0,2.5,1,6.0]]}}}}"#
+        ));
+        assert_eq!(strip_span(warm), strip_span(cold), "warm vs cold diverge for {solver}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn session_verbs_on_missing_sessions_get_typed_errors() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(&server);
+    for line in [
+        r#"{"cmd":"solve","id":"q","session":"ghost","solver":"greedy"}"#,
+        r#"{"cmd":"mutate","id":"m","session":"ghost","delta":{"remove":[0]}}"#,
+        r#"{"cmd":"drop","id":"d","session":"ghost"}"#,
+    ] {
+        let response = client.roundtrip(line);
+        assert!(response.contains(r#""kind":"unknown_session""#), "{response}");
+        assert!(response.contains("ghost"), "{response}");
+    }
+    // An unknown verb reports the registry-derived menu.
+    let response = client.roundtrip(r#"{"cmd":"reboot"}"#);
+    assert!(response.contains("create, mutate, solve or drop"), "{response}");
+    // The connection stays usable.
+    assert!(client.roundtrip(GREEDY_INLINE).contains(r#""ok":true"#));
+    server.shutdown();
+}
