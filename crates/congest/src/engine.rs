@@ -483,6 +483,7 @@ impl<L: NodeLogic> Network<L> {
                 deliver_nanos: 0,
                 pool_tasks: 0,
                 stolen_tasks: 0,
+                aborted: stats.is_err(),
             });
             stats
         } else {
@@ -564,9 +565,14 @@ impl<L: NodeLogic> Network<L> {
             deliver_nanos: 0,
             pool_tasks: step_scope.tasks,
             stolen_tasks: step_scope.stolen,
+            aborted: false,
         };
         for slot in &mut self.step_errors {
             if let Some(err) = slot.take() {
+                // The delivery stage never ran: record the row as aborted
+                // so its zeroed `deliver_nanos` cannot read as a measured
+                // zero-cost delivery.
+                timings.aborted = true;
                 self.profile.push(timings);
                 return Err(err);
             }
@@ -579,6 +585,7 @@ impl<L: NodeLogic> Network<L> {
             timings.stolen_tasks += deliver_scope.stolen;
             stats
         });
+        timings.aborted = result.is_err();
         self.profile.push(timings);
         result
     }
@@ -885,8 +892,13 @@ fn engine_counters() -> &'static EngineCounters {
 
 /// Steps one node into its pooled outbox, leaving the outbox sorted by
 /// destination. Crashed and done nodes produce an empty outbox.
+///
+/// Crate-visible: the discrete-event simulator ([`crate::sim`]) steps
+/// nodes through this exact function, so local computation — RNG stream,
+/// outbox order, error latching — is bit-identical to the engine by
+/// construction.
 #[allow(clippy::too_many_arguments)]
-fn step_into<L: NodeLogic>(
+pub(crate) fn step_into<L: NodeLogic>(
     topo: &Topology,
     node: &mut L,
     index: usize,
@@ -1244,6 +1256,42 @@ mod tests {
         let mut net = Network::new(topo, vec![Bad, Bad, Bad, Bad], 0).unwrap();
         let err = net.step().unwrap_err();
         assert_eq!(err, CongestError::NotNeighbor { from: NodeId::new(0), to: NodeId::new(2) });
+    }
+
+    /// A step error must leave a profile row that is *marked* aborted, on
+    /// both pipelines — previously the staged path pushed a normal-looking
+    /// row with `deliver_nanos: 0`, indistinguishable from a measured
+    /// zero-cost delivery.
+    #[test]
+    fn step_error_marks_profile_row_aborted() {
+        struct Bad;
+        impl NodeLogic for Bad {
+            type Msg = u64;
+            fn step(&mut self, ctx: &mut StepCtx<'_, u64>) {
+                if ctx.id() == NodeId::new(0) {
+                    let _ = ctx.send(NodeId::new(2), 1);
+                }
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        // force_shards pushes the round onto the staged pipeline even with
+        // one worker; the default config exercises the fused path.
+        for force_shards in [None, Some(2)] {
+            let topo = Topology::ring(4).unwrap();
+            let config = CongestConfig { force_shards, ..CongestConfig::default() };
+            let mut net = Network::with_config(topo, vec![Bad, Bad, Bad, Bad], 0, config).unwrap();
+            net.step().unwrap_err();
+            let rows = net.profile().rounds();
+            assert_eq!(rows.len(), 1, "shards={force_shards:?}");
+            assert!(rows[0].aborted, "errored round must be flagged (shards={force_shards:?})");
+            assert_eq!(rows[0].deliver_nanos, 0, "delivery never ran");
+            assert_eq!(net.profile().aborted_rounds(), 1);
+            // Aggregates skip the aborted row entirely.
+            assert_eq!(net.profile().total_step_nanos(), 0);
+            assert_eq!(net.profile().total_deliver_nanos(), 0);
+        }
     }
 
     #[test]

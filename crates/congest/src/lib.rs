@@ -71,14 +71,17 @@ mod message;
 mod metrics;
 mod node;
 mod rng;
+pub mod sim;
+mod synchronizer;
 mod topology;
 mod trace;
 
 pub use engine::{CongestConfig, DuplicatePolicy, Network, StepCtx, PARALLEL_MIN_VOLUME};
 pub use error::CongestError;
-pub use fault::FaultPlan;
+pub use fault::{decode_accusation, encode_accusation, FaultPlan, FaultVerdict};
 pub use message::Payload;
 pub use metrics::{EngineProfile, RoundStats, StageTimings, Transcript};
+pub use sim::{LatencyModel, PartitionWindow, SimConfig, SimReport, Simulator};
 
 // The worker-pool substrate both pipeline stages dispatch to; re-exported
 // so callers can hand the engine an explicitly sized pool

@@ -114,10 +114,19 @@ pub struct StageTimings {
     /// Pool tasks executed by a worker other than the one whose deque
     /// they were pushed to (work stealing in action).
     pub stolen_tasks: u64,
+    /// Whether the round failed with an error before completing. Aborted
+    /// rows keep whatever stage timings were measured up to the failure
+    /// point (a step-stage error leaves `deliver_nanos` at 0 because the
+    /// delivery stage never ran, *not* because delivery was free); the
+    /// [`EngineProfile`] aggregates skip them.
+    pub aborted: bool,
 }
 
 /// Per-round engine performance telemetry for one run: one
-/// [`StageTimings`] entry per executed round, in execution order.
+/// [`StageTimings`] entry per *attempted* round, in execution order.
+/// Rounds that failed mid-pipeline are present with
+/// [`StageTimings::aborted`] set; the aggregate accessors ignore them so
+/// an errored round can never masquerade as a zero-cost delivery.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EngineProfile {
     rounds: Vec<StageTimings>,
@@ -129,35 +138,46 @@ impl EngineProfile {
         self.rounds.push(timings);
     }
 
-    /// Per-round timings, in execution order.
+    /// Per-round timings, in execution order (aborted rounds included).
     pub fn rounds(&self) -> &[StageTimings] {
         &self.rounds
     }
 
+    /// Timings of rounds that ran the full pipeline.
+    fn completed(&self) -> impl Iterator<Item = &StageTimings> {
+        self.rounds.iter().filter(|t| !t.aborted)
+    }
+
     /// Total wall-clock nanoseconds spent in step stages (fused rounds
-    /// count entirely as step time).
+    /// count entirely as step time; aborted rounds are excluded).
     pub fn total_step_nanos(&self) -> u64 {
-        self.rounds.iter().map(|t| t.step_nanos).sum()
+        self.completed().map(|t| t.step_nanos).sum()
     }
 
-    /// Total wall-clock nanoseconds spent in delivery stages.
+    /// Total wall-clock nanoseconds spent in delivery stages (aborted
+    /// rounds are excluded).
     pub fn total_deliver_nanos(&self) -> u64 {
-        self.rounds.iter().map(|t| t.deliver_nanos).sum()
+        self.completed().map(|t| t.deliver_nanos).sum()
     }
 
-    /// Total pool tasks dispatched across all rounds.
+    /// Total pool tasks dispatched across all completed rounds.
     pub fn total_pool_tasks(&self) -> u64 {
-        self.rounds.iter().map(|t| t.pool_tasks).sum()
+        self.completed().map(|t| t.pool_tasks).sum()
     }
 
-    /// Total pool tasks executed by stealing.
+    /// Total pool tasks executed by stealing across all completed rounds.
     pub fn total_stolen_tasks(&self) -> u64 {
-        self.rounds.iter().map(|t| t.stolen_tasks).sum()
+        self.completed().map(|t| t.stolen_tasks).sum()
     }
 
-    /// Number of rounds that took the fused serial fast path.
+    /// Number of completed rounds that took the fused serial fast path.
     pub fn fused_rounds(&self) -> u32 {
-        self.rounds.iter().filter(|t| t.fused).count() as u32
+        self.completed().filter(|t| t.fused).count() as u32
+    }
+
+    /// Number of rounds that failed before completing their pipeline.
+    pub fn aborted_rounds(&self) -> u32 {
+        self.rounds.iter().filter(|t| t.aborted).count() as u32
     }
 }
 
@@ -211,12 +231,32 @@ mod tests {
             deliver_nanos: 60,
             pool_tasks: 8,
             stolen_tasks: 3,
+            aborted: false,
         });
         assert_eq!(p.rounds().len(), 2);
         assert_eq!(p.total_step_nanos(), 140);
         assert_eq!(p.total_deliver_nanos(), 60);
         assert_eq!(p.total_pool_tasks(), 8);
         assert_eq!(p.total_stolen_tasks(), 3);
+        assert_eq!(p.fused_rounds(), 1);
+        assert_eq!(p.aborted_rounds(), 0);
+    }
+
+    #[test]
+    fn aborted_rounds_are_visible_but_excluded_from_aggregates() {
+        let mut p = EngineProfile::default();
+        p.push(StageTimings { round: 0, fused: true, step_nanos: 100, ..Default::default() });
+        p.push(StageTimings {
+            round: 1,
+            fused: false,
+            step_nanos: 50,
+            aborted: true,
+            ..Default::default()
+        });
+        assert_eq!(p.rounds().len(), 2, "aborted rows stay in the per-round view");
+        assert_eq!(p.aborted_rounds(), 1);
+        assert_eq!(p.total_step_nanos(), 100, "aborted step time must not pollute totals");
+        assert_eq!(p.total_deliver_nanos(), 0);
         assert_eq!(p.fused_rounds(), 1);
     }
 

@@ -45,6 +45,23 @@ impl NodeRng {
         NodeRng { state: s }
     }
 
+    /// Derives the stream for `(master_seed, key, round)`, where `key` is a
+    /// full 64-bit stream discriminator (e.g. a packed `(src, dst)` edge).
+    ///
+    /// Unlike folding the key into the seed by XOR at the call site —
+    /// where distinct `(seed, key)` pairs with equal `seed ^ key` collide —
+    /// the three coordinates are absorbed *sequentially*, each separated by
+    /// a SplitMix64 step, so no linear combination of them aliases.
+    pub fn derive_keyed(master_seed: u64, key: u64, round: u32) -> Self {
+        let mut s = master_seed ^ 0xA076_1D64_78BD_642F;
+        let _ = splitmix64(&mut s);
+        s ^= key;
+        let _ = splitmix64(&mut s);
+        s ^= u64::from(round);
+        let _ = splitmix64(&mut s);
+        NodeRng { state: s }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_raw(&mut self) -> u64 {
@@ -127,6 +144,27 @@ mod tests {
         assert_ne!(b, (0..4).map(|_| other_node.next_raw()).collect::<Vec<_>>());
         assert_ne!(b, (0..4).map(|_| other_round.next_raw()).collect::<Vec<_>>());
         assert_ne!(b, (0..4).map(|_| other_seed.next_raw()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn derive_keyed_separates_xor_colliding_coordinates() {
+        // Pairs (seed, key) with identical seed ^ key — the aliasing class
+        // the old fold-by-XOR call sites could not distinguish.
+        let (s1, k1) = (0x0123_4567_89AB_CDEF_u64, 0x0000_0003_0000_0009_u64);
+        let (s2, k2) = (s1 ^ k1 ^ 0x0000_0009_0000_0003, 0x0000_0009_0000_0003_u64);
+        assert_eq!(s1 ^ k1, s2 ^ k2);
+        let a: Vec<u64> = {
+            let mut r = NodeRng::derive_keyed(s1, k1, 0);
+            (0..8).map(|_| r.next_raw()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = NodeRng::derive_keyed(s2, k2, 0);
+            (0..8).map(|_| r.next_raw()).collect()
+        };
+        assert_ne!(a, b);
+        // And the derivation stays deterministic per triple.
+        let mut again = NodeRng::derive_keyed(s1, k1, 0);
+        assert_eq!(a, (0..8).map(|_| again.next_raw()).collect::<Vec<_>>());
     }
 
     #[test]

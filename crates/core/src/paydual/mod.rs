@@ -47,7 +47,7 @@
 
 pub mod node;
 
-use distfl_congest::{CongestConfig, Network};
+use distfl_congest::{CongestConfig, FaultVerdict, Network, SimConfig, SimReport, Simulator};
 use distfl_instance::{FacilityId, Instance, Solution};
 use distfl_lp::DualSolution;
 
@@ -119,6 +119,23 @@ pub struct PayDual {
     params: PayDualParams,
 }
 
+/// Result of [`PayDual::run_simulated`]: the usual [`Outcome`] plus the
+/// discrete-event simulator's virtual-clock report and the
+/// fault-attribution data the audit layer consumes.
+#[derive(Debug, Clone)]
+pub struct SimulatedRun {
+    /// The algorithm outcome (solution, transcript, dual certificate).
+    pub outcome: Outcome,
+    /// Virtual-time measurements of the simulated execution.
+    pub report: SimReport,
+    /// Per-node fault verdicts from the run's global observations
+    /// (send-side counters plus the crash schedule).
+    pub verdicts: Vec<FaultVerdict>,
+    /// Per-node *locally observed* accusations, encoded for the `Max`
+    /// convergecast of [`crate::audit::distributed_fault_audit`].
+    pub accusations: Vec<f64>,
+}
+
 impl PayDual {
     /// Creates the algorithm with explicit parameters.
     pub fn new(params: PayDualParams) -> Self {
@@ -129,6 +146,89 @@ impl PayDual {
     pub fn params(&self) -> PayDualParams {
         self.params
     }
+
+    /// Runs the algorithm on the discrete-event simulator instead of the
+    /// lock-step engine: same protocol, same transcript (bit-identical in
+    /// a loss-free configuration, whatever the latency model), but over
+    /// asynchronous links with per-edge latency, bandwidth, partitions,
+    /// lossy nodes, and crash schedules from `sim`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlAlgorithm::run`]; additionally fails with
+    /// [`distfl_congest::CongestError::ProtocolIncomplete`] when a crash
+    /// schedule kills a client before it learns any facility to fall back
+    /// to.
+    pub fn run_simulated(
+        &self,
+        instance: &Instance,
+        seed: u64,
+        sim: SimConfig,
+    ) -> Result<SimulatedRun, CoreError> {
+        let _span = distfl_obs::span_arg("solver", "paydual.sim", u64::from(self.params.phases));
+        if self.params.phases == 0 {
+            return Err(CoreError::InvalidParams {
+                reason: "paydual needs at least one phase".to_owned(),
+            });
+        }
+        let topo = topology_of(instance)?;
+        let nodes = build_nodes(instance, self.params.phases, self.params.connect_rule);
+        let mut simulator = Simulator::new(topo, nodes, seed, sim)?;
+        simulator.run(crate::theory::paydual_rounds(self.params.phases))?;
+        let report = simulator.report().clone();
+        let verdicts = simulator.verdicts();
+        let accusations = simulator.accusations();
+        let (solution, dual) = harvest(instance, simulator.nodes(), self.params.polish)?;
+        let (_, transcript) = simulator.into_parts();
+        Ok(SimulatedRun {
+            outcome: Outcome {
+                solution,
+                transcript: Some(transcript),
+                dual: Some(dual),
+                modeled_rounds: None,
+            },
+            report,
+            verdicts,
+            accusations,
+        })
+    }
+}
+
+/// Extracts the distributed solution and dual certificate from final node
+/// states — shared by the lock-step and simulated runners so both produce
+/// exactly the same output from the same states.
+fn harvest(
+    instance: &Instance,
+    nodes: &[PayDualNode],
+    polish: bool,
+) -> Result<(Solution, DualSolution), CoreError> {
+    let m = instance.num_facilities();
+    let mut assignment = vec![FacilityId::new(0); instance.num_clients()];
+    let mut alpha = vec![0.0f64; instance.num_clients()];
+    for (index, node) in nodes.iter().enumerate() {
+        match (node_role(m, distfl_congest::NodeId::new(index as u32)), node) {
+            (Role::Client(j), PayDualNode::Client(c)) => {
+                // In the fault-free model every client is connected; under
+                // fault injection recover via the local fallback. Only a
+                // client crashed before bootstrap has neither.
+                let facility = c.connected_facility().or_else(|| c.fallback_facility()).ok_or(
+                    CoreError::Congest(distfl_congest::CongestError::ProtocolIncomplete {
+                        what: "client holds neither a connection nor a fallback facility",
+                    }),
+                )?;
+                assignment[j.index()] = facility;
+                alpha[j.index()] = c.alpha();
+            }
+            (Role::Facility(_), PayDualNode::Facility(_)) => {}
+            _ => unreachable!("node role/state mismatch"),
+        }
+    }
+    let solution = Solution::from_assignment(instance, assignment)?;
+    // Final local polish (free in the model: one more exchange of the
+    // already-broadcast OPEN sets): connect each client to its cheapest
+    // kept-open facility.
+    let solution = if polish { solution.reassign_greedily(instance) } else { solution };
+    Ok((solution, DualSolution::new(alpha)))
 }
 
 impl FlAlgorithm for PayDual {
@@ -159,35 +259,11 @@ impl FlAlgorithm for PayDual {
         }
         debug_assert_eq!(net.transcript().num_rounds(), total_rounds);
 
-        let m = instance.num_facilities();
-        let mut assignment = vec![FacilityId::new(0); instance.num_clients()];
-        let mut alpha = vec![0.0f64; instance.num_clients()];
-        for (index, node) in net.nodes().iter().enumerate() {
-            match (node_role(m, distfl_congest::NodeId::new(index as u32)), node) {
-                (Role::Client(j), PayDualNode::Client(c)) => {
-                    // In the fault-free model every client is connected;
-                    // under fault injection recover via the local fallback.
-                    let facility = c
-                        .connected_facility()
-                        .or_else(|| c.fallback_facility())
-                        .expect("client has a connection or a fallback target");
-                    assignment[j.index()] = facility;
-                    alpha[j.index()] = c.alpha();
-                }
-                (Role::Facility(_), PayDualNode::Facility(_)) => {}
-                _ => unreachable!("node role/state mismatch"),
-            }
-        }
-        let solution = Solution::from_assignment(instance, assignment)?;
-        // Final local polish (free in the model: one more exchange of the
-        // already-broadcast OPEN sets): connect each client to its cheapest
-        // kept-open facility.
-        let solution =
-            if self.params.polish { solution.reassign_greedily(instance) } else { solution };
+        let (solution, dual) = harvest(instance, net.nodes(), self.params.polish)?;
         Ok(Outcome {
             solution,
             transcript: Some(net.into_transcript()),
-            dual: Some(DualSolution::new(alpha)),
+            dual: Some(dual),
             modeled_rounds: None,
         })
     }
@@ -396,5 +472,57 @@ mod tests {
     #[test]
     fn name_includes_parameters() {
         assert_eq!(PayDual::new(PayDualParams::with_phases(6)).name(), "paydual(s=6)");
+    }
+
+    #[test]
+    fn simulated_run_matches_the_lockstep_engine() {
+        use distfl_congest::LatencyModel;
+        let inst = UniformRandom::new(8, 30).unwrap().generate(5).unwrap();
+        let algo = PayDual::new(PayDualParams::with_phases(6));
+        let lockstep = algo.run(&inst, 9).unwrap();
+        for latency in [
+            LatencyModel::Constant(25_000),
+            LatencyModel::Uniform { lo: 100, hi: 800_000 },
+            LatencyModel::LogNormal { median_nanos: 40_000.0, sigma: 1.2 },
+        ] {
+            let config = SimConfig { latency, latency_seed: 17, ..SimConfig::default() };
+            let simulated = algo.run_simulated(&inst, 9, config).unwrap();
+            assert_eq!(lockstep.solution, simulated.outcome.solution, "{latency:?}");
+            assert_eq!(lockstep.transcript, simulated.outcome.transcript, "{latency:?}");
+            assert!(simulated.verdicts.iter().all(|v| !v.is_faulty()), "{latency:?}");
+            assert!(simulated.report.virtual_nanos > 0);
+        }
+    }
+
+    #[test]
+    fn simulated_run_with_losses_stays_feasible_and_attributes_them() {
+        let inst = UniformRandom::new(6, 24).unwrap().generate(4).unwrap();
+        let culprit = distfl_congest::NodeId::new(2); // a facility node
+        let config = SimConfig { lossy_nodes: vec![(culprit, 0.7)], ..SimConfig::default() };
+        let run =
+            PayDual::new(PayDualParams::with_phases(10)).run_simulated(&inst, 3, config).unwrap();
+        run.outcome.solution.check_feasible(&inst).unwrap();
+        assert!(
+            matches!(
+                run.verdicts[culprit.index()],
+                distfl_congest::FaultVerdict::DroppedAboveThreshold { .. }
+            ),
+            "got {:?}",
+            run.verdicts[culprit.index()]
+        );
+    }
+
+    #[test]
+    fn client_crashed_before_bootstrap_is_a_clean_error() {
+        let inst = UniformRandom::new(4, 8).unwrap().generate(2).unwrap();
+        let first_client = distfl_congest::NodeId::new(inst.num_facilities() as u32);
+        let config = SimConfig { crashes: vec![(first_client, 0)], ..SimConfig::default() };
+        let err = PayDual::new(PayDualParams::with_phases(4))
+            .run_simulated(&inst, 1, config)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Congest(distfl_congest::CongestError::ProtocolIncomplete { .. })
+        ));
     }
 }

@@ -6,6 +6,12 @@
 //! become `"ph": "X"` complete events and each counter/gauge becomes one
 //! trailing `"ph": "C"` counter sample, so Perfetto and `chrome://tracing`
 //! render a track per thread plus one per metric.
+//!
+//! **Units.** [`TraceEvent`] stores nanoseconds; Chrome's `ts`/`dur`
+//! fields are microseconds. The JSON exporter performs that conversion —
+//! the only unit conversion in the crate — emitting fractional
+//! microseconds (`"ts":10.500`) when an event does not fall on a whole
+//! microsecond, which both viewers accept. The CSV keeps raw nanoseconds.
 
 use std::io::Write;
 use std::path::Path;
@@ -13,6 +19,17 @@ use std::path::Path;
 use crate::json::{json_f64, push_json_string};
 use crate::metrics::MetricValue;
 use crate::TraceEvent;
+
+/// Renders a nanosecond quantity as Chrome microseconds: whole µs when the
+/// value is a multiple of 1000 ns, otherwise with a 3-digit fraction.
+fn push_micros(out: &mut String, nanos: u64) {
+    let (us, frac) = (nanos / 1_000, nanos % 1_000);
+    if frac == 0 {
+        out.push_str(&us.to_string());
+    } else {
+        out.push_str(&format!("{us}.{frac:03}"));
+    }
+}
 
 /// A drained trace: events (oldest first) plus the metric values observed
 /// at drain time. Produced by [`crate::snapshot`].
@@ -51,10 +68,11 @@ impl Snapshot {
             push_json_string(&mut out, ev.name);
             out.push_str(",\"cat\":");
             push_json_string(&mut out, ev.cat);
-            out.push_str(&format!(
-                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
-                ev.ts_micros, ev.dur_micros, ev.tid
-            ));
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            push_micros(&mut out, ev.ts_nanos);
+            out.push_str(",\"dur\":");
+            push_micros(&mut out, ev.dur_nanos);
+            out.push_str(&format!(",\"pid\":1,\"tid\":{}", ev.tid));
             if let Some(arg) = ev.arg {
                 out.push_str(&format!(",\"args\":{{\"arg\":{arg}}}"));
             }
@@ -62,7 +80,8 @@ impl Snapshot {
         }
         // One counter sample per metric at the end of the captured window
         // gives the viewers a value track without a time series.
-        let last_ts = self.events.iter().map(|e| e.ts_micros + e.dur_micros).max().unwrap_or(0);
+        let last_ts =
+            self.events.iter().map(|e| e.ts_nanos.saturating_add(e.dur_nanos)).max().unwrap_or(0);
         for (name, value) in &self.metrics {
             if !first {
                 out.push(',');
@@ -74,9 +93,9 @@ impl Snapshot {
                 MetricValue::Counter(v) => v.to_string(),
                 MetricValue::Gauge(v) => json_f64(*v),
             };
-            out.push_str(&format!(
-                ",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{rendered}}}"
-            ));
+            out.push_str(",\"ph\":\"C\",\"ts\":");
+            push_micros(&mut out, last_ts);
+            out.push_str(&format!(",\"pid\":1,\"tid\":0,\"args\":{{\"value\":{rendered}}}"));
             out.push('}');
         }
         out.push_str(&format!(
@@ -89,14 +108,14 @@ impl Snapshot {
     /// Renders the snapshot as a flat CSV: one row per span, then one row
     /// per metric, with blank cells where a column does not apply.
     pub fn csv(&self) -> String {
-        let mut out = String::from("kind,cat,name,ts_micros,dur_micros,tid,value\n");
+        let mut out = String::from("kind,cat,name,ts_nanos,dur_nanos,tid,value\n");
         for ev in &self.events {
             out.push_str(&format!(
                 "span,{},{},{},{},{},{}\n",
                 ev.cat,
                 ev.name,
-                ev.ts_micros,
-                ev.dur_micros,
+                ev.ts_nanos,
+                ev.dur_nanos,
                 ev.tid,
                 ev.arg.map(|a| a.to_string()).unwrap_or_default()
             ));
@@ -313,16 +332,16 @@ mod tests {
                 TraceEvent {
                     name: "round",
                     cat: "engine",
-                    ts_micros: 10,
-                    dur_micros: 5,
+                    ts_nanos: 10_000,
+                    dur_nanos: 5_000,
                     tid: 1,
                     arg: Some(7),
                 },
                 TraceEvent {
                     name: "stage.deliver",
                     cat: "engine",
-                    ts_micros: 12,
-                    dur_micros: 2,
+                    ts_nanos: 12_000,
+                    dur_nanos: 2_000,
                     tid: 2,
                     arg: None,
                 },
@@ -348,13 +367,38 @@ mod tests {
         assert!(json.contains("\"dropped_events\":\"1\""));
     }
 
+    /// Pins the exporter's unit contract: events store nanoseconds, the
+    /// Chrome JSON emits microseconds. A 5 000 ns span must render as
+    /// `"dur":5` — if a call site's nanoseconds ever reach the JSON
+    /// unscaled (the historical 1000× skew), this fails.
+    #[test]
+    fn chrome_json_converts_nanos_to_micros() {
+        let json = sample().chrome_json();
+        assert!(json.contains("\"ts\":10,\"dur\":5,"), "whole-µs conversion, got: {json}");
+        let frac = Snapshot {
+            events: vec![TraceEvent {
+                name: "tick",
+                cat: "sim",
+                ts_nanos: 10_500,
+                dur_nanos: 1_250_042,
+                tid: 1,
+                arg: None,
+            }],
+            metrics: Vec::new(),
+            dropped: 0,
+        };
+        let json = frac.chrome_json();
+        validate_json(&json).expect("fractional-µs trace parses");
+        assert!(json.contains("\"ts\":10.500,\"dur\":1250.042,"), "fractional µs, got: {json}");
+    }
+
     #[test]
     fn csv_round_trips_rows_and_blanks() {
         let csv = sample().csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "kind,cat,name,ts_micros,dur_micros,tid,value");
-        assert_eq!(lines[1], "span,engine,round,10,5,1,7");
-        assert_eq!(lines[2], "span,engine,stage.deliver,12,2,2,");
+        assert_eq!(lines[0], "kind,cat,name,ts_nanos,dur_nanos,tid,value");
+        assert_eq!(lines[1], "span,engine,round,10000,5000,1,7");
+        assert_eq!(lines[2], "span,engine,stage.deliver,12000,2000,2,");
         assert_eq!(lines[3], "counter,,engine.messages,,,,123");
         assert_eq!(lines[4], "gauge,,pool.utilization,,,,0.75");
         // Every row has the full column count (blank cells, never missing).

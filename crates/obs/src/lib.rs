@@ -96,9 +96,9 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Microseconds since the trace epoch; 0 for instants predating it.
-fn micros_at(t: Instant) -> u64 {
-    t.saturating_duration_since(epoch()).as_micros() as u64
+/// Nanoseconds since the trace epoch; 0 for instants predating it.
+fn nanos_at(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch()).as_nanos() as u64
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -107,8 +107,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One recorded interval. Timestamps are microseconds since the trace
-/// epoch (the first [`set_enabled`] call).
+/// One recorded interval. Timestamps and durations are **nanoseconds** —
+/// every recording path (RAII spans, [`complete`], [`complete_at`]) stores
+/// the same unit, and the exporters convert to Chrome's microseconds
+/// exactly once at render time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Event name (the Chrome `name` field), e.g. `"round"`.
@@ -116,10 +118,12 @@ pub struct TraceEvent {
     /// Category grouping related events (the Chrome `cat` field), e.g.
     /// `"engine"`.
     pub cat: &'static str,
-    /// Start timestamp in µs since the trace epoch.
-    pub ts_micros: u64,
-    /// Duration in µs.
-    pub dur_micros: u64,
+    /// Start timestamp in ns since the trace epoch (the first
+    /// [`set_enabled`] call), or since simulation start for events recorded
+    /// with [`complete_at`].
+    pub ts_nanos: u64,
+    /// Duration in ns.
+    pub dur_nanos: u64,
     /// Logical id of the recording thread (dense, allocated in
     /// registration order — not the OS thread id).
     pub tid: u64,
@@ -223,12 +227,12 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some((start, cat, name, arg)) = self.live.take() {
-            let dur = start.elapsed().as_micros() as u64;
+            let dur = start.elapsed().as_nanos() as u64;
             push_event(TraceEvent {
                 name,
                 cat,
-                ts_micros: micros_at(start),
-                dur_micros: dur,
+                ts_nanos: nanos_at(start),
+                dur_nanos: dur,
                 tid: 0,
                 arg,
             });
@@ -257,7 +261,8 @@ pub fn span_arg(cat: &'static str, name: &'static str, arg: u64) -> Span {
 }
 
 /// Records an already-measured interval, for call sites that timestamp
-/// their stages themselves (e.g. the engine's stage timings).
+/// their stages themselves (e.g. the engine's stage timings). `nanos` is
+/// the duration in nanoseconds, stored without conversion.
 #[inline]
 pub fn complete(
     cat: &'static str,
@@ -269,14 +274,27 @@ pub fn complete(
     if !enabled() {
         return;
     }
-    push_event(TraceEvent {
-        name,
-        cat,
-        ts_micros: micros_at(start),
-        dur_micros: nanos / 1_000,
-        tid: 0,
-        arg,
-    });
+    push_event(TraceEvent { name, cat, ts_nanos: nanos_at(start), dur_nanos: nanos, tid: 0, arg });
+}
+
+/// Records an interval on a caller-supplied clock: both the start
+/// timestamp and the duration are given in nanoseconds, with no wall-clock
+/// `Instant` involved. This is how simulated timelines (the discrete-event
+/// CONGEST simulator) land on the trace — `ts_nanos` is nanoseconds of
+/// *virtual* time since simulation start, and the exporter renders it on
+/// the same microsecond axis as everything else.
+#[inline]
+pub fn complete_at(
+    cat: &'static str,
+    name: &'static str,
+    ts_nanos: u64,
+    dur_nanos: u64,
+    arg: Option<u64>,
+) {
+    if !enabled() {
+        return;
+    }
+    push_event(TraceEvent { name, cat, ts_nanos, dur_nanos, tid: 0, arg });
 }
 
 /// Drains every thread's ring buffer and snapshots the metrics registry.
@@ -293,7 +311,7 @@ pub fn snapshot() -> Snapshot {
         events.append(&mut evs);
         dropped += d;
     }
-    events.sort_by_key(|e| (e.ts_micros, e.tid, std::cmp::Reverse(e.dur_micros)));
+    events.sort_by_key(|e| (e.ts_nanos, e.tid, std::cmp::Reverse(e.dur_nanos)));
     Snapshot { events, metrics: metrics::read_all(), dropped }
 }
 
@@ -338,7 +356,7 @@ mod tests {
         let ev = snap.events.iter().find(|e| e.name == "guarded").expect("event recorded");
         assert_eq!(ev.cat, "t");
         assert_eq!(ev.arg, Some(42));
-        assert!(ev.dur_micros >= 1_000, "slept 2ms, recorded {}us", ev.dur_micros);
+        assert!(ev.dur_nanos >= 1_000_000, "slept 2ms, recorded {}ns", ev.dur_nanos);
         assert!(ev.tid > 0);
     }
 
@@ -350,8 +368,23 @@ mod tests {
         set_enabled(false);
         let snap = snapshot();
         let ev = snap.events.iter().find(|e| e.name == "measured").expect("event recorded");
-        assert_eq!(ev.dur_micros, 5_000);
+        // The caller handed over nanoseconds; the event stores them as-is.
+        assert_eq!(ev.dur_nanos, 5_000_000);
         assert_eq!(ev.arg, Some(3));
+    }
+
+    #[test]
+    fn complete_at_records_virtual_time_verbatim() {
+        let _g = serial();
+        set_enabled(true);
+        complete_at("sim", "virtual", 42_000, 7_500, Some(9));
+        set_enabled(false);
+        let snap = snapshot();
+        let ev = snap.events.iter().find(|e| e.name == "virtual").expect("event recorded");
+        assert_eq!(ev.ts_nanos, 42_000);
+        assert_eq!(ev.dur_nanos, 7_500);
+        assert_eq!(ev.arg, Some(9));
+        assert!(ev.tid > 0, "simulated events still carry the recording thread id");
     }
 
     #[test]
@@ -360,8 +393,8 @@ mod tests {
         let ev = |i: u64| TraceEvent {
             name: "e",
             cat: "t",
-            ts_micros: i,
-            dur_micros: 0,
+            ts_nanos: i,
+            dur_nanos: 0,
             tid: 1,
             arg: None,
         };
@@ -370,7 +403,7 @@ mod tests {
         }
         let (events, dropped) = ring.drain();
         assert_eq!(dropped, 2);
-        assert_eq!(events.iter().map(|e| e.ts_micros).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(events.iter().map(|e| e.ts_nanos).collect::<Vec<_>>(), vec![2, 3, 4]);
         // Drained rings restart empty.
         let (events, dropped) = ring.drain();
         assert!(events.is_empty());
@@ -395,6 +428,6 @@ mod tests {
         let snap = snapshot();
         let workers: Vec<_> = snap.events.iter().filter(|e| e.name == "worker").collect();
         assert_eq!(workers.len(), 4);
-        assert!(snap.events.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        assert!(snap.events.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
     }
 }

@@ -251,8 +251,98 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
+/// Strategy choosing uniformly among several alternatives; built by
+/// [`prop_oneof!`].
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S> Union<S> {
+    /// A union over the given alternatives (must be non-empty).
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+/// A strategy whose generate function is type-erased, so heterogeneous
+/// strategies over one value type can live in a single [`Union`].
+pub struct BoxedStrategy<T> {
+    generate: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Boxing combinator, mirroring `proptest::strategy::Strategy::boxed`.
+pub trait StrategyExt: Strategy + Sized + 'static {
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value> {
+        BoxedStrategy { generate: Box::new(move |rng| self.generate(rng)) }
+    }
+}
+
+impl<S: Strategy + Sized + 'static> StrategyExt for S {}
+
+/// Uniformly picks one of several strategies per case, mirroring
+/// `proptest::prop_oneof!`. Alternatives may have different concrete
+/// types as long as they generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::StrategyExt::boxed($strat)),+])
+    };
+}
+
 /// Combinator modules, mirroring `proptest::prelude::prop`.
 pub mod prop {
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy yielding `None` for one case in four, mirroring
+        /// upstream's default `Some` weight.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Generates `Option<S::Value>` with a 3:1 `Some` bias.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use super::super::{Strategy, TestRng};
@@ -307,8 +397,9 @@ pub mod prop {
 /// `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, StrategyExt, TestCaseError,
+        TestCaseResult, TestRng, Union,
     };
 }
 
@@ -431,6 +522,17 @@ mod tests {
         fn map_and_tuples(pair in (0u32..5, any::<u8>()).prop_map(|(a, b)| (a, b))) {
             prop_assert!(pair.0 < 5);
             let _ = pair.1;
+        }
+
+        #[test]
+        fn oneof_and_option(
+            v in prop_oneof![0u64..10, 100u64..110],
+            o in prop::option::of(0u32..5),
+        ) {
+            prop_assert!((0..10).contains(&v) || (100..110).contains(&v));
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
         }
 
         #[test]
