@@ -24,6 +24,14 @@ pub enum CoreError {
         /// The measured metricity defect.
         defect: f64,
     },
+    /// The requested solver kind has no warm-start path: sessions must
+    /// fall back to a supported kind or a cold solve. This is the typed
+    /// boundary the portfolio kinds (`metricball`, `outliers`, `auto`)
+    /// present to the serve layer's session verbs.
+    WarmUnsupported {
+        /// Protocol name of the declined solver kind.
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +42,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
             CoreError::RequiresMetric { defect } => {
                 write!(f, "algorithm requires a metric instance (defect {defect})")
+            }
+            CoreError::WarmUnsupported { kind } => {
+                write!(f, "solver '{kind}' does not support warm-start sessions")
             }
         }
     }
@@ -75,6 +86,9 @@ mod tests {
         assert!(e.to_string().contains("phases"));
         let e = CoreError::RequiresMetric { defect: 3.0 };
         assert!(e.to_string().contains("metric"));
+        let e = CoreError::WarmUnsupported { kind: "metricball" };
+        assert!(e.to_string().contains("warm-start"));
+        assert!(e.to_string().contains("metricball"));
     }
 
     #[test]

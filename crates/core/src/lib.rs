@@ -61,8 +61,10 @@ pub mod greedy;
 pub mod jv;
 pub mod kmedian;
 pub mod localsearch;
+pub mod metricball;
 mod model;
 pub mod mp;
+pub mod outliers;
 pub mod paydual;
 mod report;
 pub mod round;
@@ -72,7 +74,7 @@ pub mod seqsim;
 pub mod theory;
 pub mod warm;
 
-pub use dispatch::SolverKind;
+pub use dispatch::{SolverKind, AUTO_LOCAL_SEARCH_LINK_LIMIT};
 pub use error::CoreError;
 pub use model::{client_node, facility_node, node_role, topology_of, Role};
 pub use report::RunReport;

@@ -49,6 +49,13 @@ pub fn k_of_phases(phases: u32) -> u32 {
     paydual_rounds(phases)
 }
 
+/// The CONGEST round count MetricBall uses for `s` phases: three rounds
+/// per ball-growing phase (bid / deny / resolve) plus the three-round
+/// coverage tail (demand / open / connect).
+pub fn metricball_rounds(phases: u32) -> u32 {
+    3 * phases + 3
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

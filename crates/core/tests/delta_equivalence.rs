@@ -201,7 +201,16 @@ proptest! {
         let mut warm = WarmCache::new(&inst);
         churn(&mut inst, &mut warm, seed, 2);
         for kind in SolverKind::ALL {
-            let w = kind.solve_warm(&inst, 7, &mut warm).unwrap();
+            let w = match kind.solve_warm(&inst, 7, &mut warm) {
+                Ok(w) => w,
+                // The portfolio kinds decline warm sessions by contract
+                // (typed boundary); cold dispatch still covers them.
+                Err(distfl_core::CoreError::WarmUnsupported { kind: name }) => {
+                    prop_assert_eq!(name, kind.name());
+                    continue;
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("{kind}: {e}"))),
+            };
             let c = kind.solve(&inst, 7).unwrap();
             prop_assert_eq!(&w.solution, &c.solution, "kind {}", kind);
             match (w.dual, c.dual) {

@@ -6,7 +6,9 @@
 //!
 //! * **metric vs non-metric** — [`Euclidean`], [`Clustered`], [`GridNetwork`]
 //!   produce metric instances; [`UniformRandom`], [`PowerLaw`],
-//!   [`AdversarialGreedy`] are non-metric,
+//!   [`AdversarialGreedy`] are non-metric; [`Metricized`] wraps any family
+//!   with its shortest-path metric closure so every family has a metric
+//!   twin,
 //! * **coefficient spread `ρ`** — [`PowerLaw`] pins `ρ` exactly,
 //! * **sparse vs dense** — [`GridNetwork`] is radius-sparse, the rest dense,
 //! * **application-shaped** — [`CdnTrace`] is the synthetic stand-in for a
@@ -21,6 +23,7 @@ mod clustered;
 mod euclidean;
 mod grid;
 mod line;
+mod metricize;
 mod powerlaw;
 mod uniform;
 
@@ -30,6 +33,7 @@ pub use clustered::Clustered;
 pub use euclidean::Euclidean;
 pub use grid::GridNetwork;
 pub use line::{LineCity, LineLayout};
+pub use metricize::{metric_closure, Metricized};
 pub use powerlaw::PowerLaw;
 pub use uniform::UniformRandom;
 

@@ -19,7 +19,8 @@
 //!   spread `ρ`, sparse vs dense),
 //! * [`spread`] — the coefficient-spread quantities `ρ` and `B` that drive
 //!   the round/approximation trade-off,
-//! * [`metric`] — metricity diagnostics,
+//! * [`metric`] — metricity diagnostics, and [`classify`] — the
+//!   deterministic instance profiler behind `SolverKind::Auto` routing,
 //! * [`textio`] — a dependency-free plain-text serialization format,
 //! * [`orlib`] — reader/writer for the OR-Library benchmark format.
 //!
@@ -39,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classify;
 mod cost;
 mod error;
 pub mod generators;

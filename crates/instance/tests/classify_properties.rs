@@ -1,0 +1,78 @@
+//! Property-based tests for the instance classifier.
+//!
+//! The load-bearing property for `SolverKind::Auto` routing: the
+//! classifier may *miss* a violation (sampling), but it must never
+//! *invent* one — an instance from a metric generator family is never
+//! labelled [`Metricity::Violated`]. Every defect the classifier reports
+//! is a concrete cost quadruple, so this holds by construction; the
+//! proptest pins it against regressions across all metric families,
+//! including shortest-path closures of the adversarially non-metric ones.
+
+use proptest::prelude::*;
+
+use distfl_instance::classify::{classify, Metricity};
+use distfl_instance::generators::{
+    Clustered, Euclidean, GridNetwork, InstanceGenerator, Metricized, PowerLaw, UniformRandom,
+};
+use distfl_instance::Instance;
+
+/// An instance drawn from one of the metric families, across the
+/// exhaustive/sampled size boundary.
+fn metric_instance() -> impl Strategy<Value = Instance> {
+    (0usize..5, 1usize..12, 1usize..40, 0u64..500).prop_map(|(family, m, n, seed)| match family {
+        0 => Euclidean::new(m, n).unwrap().generate(seed).unwrap(),
+        1 => Clustered::new(1 + m / 4, m, n).unwrap().generate(seed).unwrap(),
+        2 => {
+            let side = 2 + (m % 5);
+            GridNetwork::new(side, side, m.min(side * side).max(1), n)
+                .unwrap()
+                .generate(seed)
+                .unwrap()
+        }
+        3 => Metricized::new(UniformRandom::new(m, n).unwrap()).generate(seed).unwrap(),
+        _ => Metricized::new(PowerLaw::new(m, n, 1e5).unwrap()).generate(seed).unwrap(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A metric-family instance is never labelled non-metric.
+    #[test]
+    fn metric_families_are_never_labelled_violated(inst in metric_instance()) {
+        let profile = classify(&inst);
+        prop_assert!(
+            profile.metricity != Metricity::Violated,
+            "metric instance mislabelled (defect {}, exhaustive {})",
+            profile.observed_defect,
+            profile.exhaustive
+        );
+        prop_assert!(profile.metricity.admits_metric_solver());
+    }
+
+    /// Classification is a pure function of the instance.
+    #[test]
+    fn classification_is_deterministic(inst in metric_instance()) {
+        prop_assert_eq!(classify(&inst), classify(&inst));
+    }
+
+    /// Sampling never reports a defect the exhaustive scan would not: on
+    /// instances small enough to check both ways, any sampled defect is a
+    /// lower bound on the true one.
+    #[test]
+    fn reported_defects_are_real(
+        m in 1usize..8,
+        n in 1usize..15,
+        seed in 0u64..500,
+    ) {
+        let inst = UniformRandom::new(m, n).unwrap().generate(seed).unwrap();
+        let profile = classify(&inst);
+        let truth = distfl_instance::metric::metricity_defect(&inst);
+        prop_assert!(
+            profile.observed_defect <= truth,
+            "classifier defect {} exceeds exhaustive defect {}",
+            profile.observed_defect,
+            truth
+        );
+    }
+}

@@ -53,7 +53,12 @@
 //! ```
 //!
 //! `rounds` is the CONGEST round count for distributed solvers and
-//! `null` for sequential ones. `span` is the request's span id — the
+//! `null` for sequential ones. A request with `"solver":"auto"` is routed
+//! by the instance classifier (`distfl_instance::classify` through
+//! `SolverKind::resolve`) and its response additionally carries
+//! `"routed":"<concrete kind>"` right after `solver`; concrete-kind
+//! responses never carry the field, so their bytes are unchanged by the
+//! portfolio. `span` is the request's span id — the
 //! FNV-1a hash of the request line, which also tags the `serve`-category
 //! span recorded in the `distfl-obs` registry, so a trace of a live
 //! request can be joined to its response. Errors are typed:
@@ -565,11 +570,15 @@ pub fn span_hex(span_id: u64) -> String {
 
 /// Renders a solve success response line (no trailing newline). `solver`
 /// and `seed` are passed explicitly because both stateless and session
-/// solves report them.
+/// solves report them. `routed` is the concrete kind the classifier
+/// picked when the request asked for `auto`; it is **only** emitted for
+/// auto requests, so response bytes for every concrete kind are identical
+/// to what they were before the portfolio existed.
 pub fn render_success(
     request: &Request,
     solver: SolverKind,
     seed: u64,
+    routed: Option<SolverKind>,
     cost: f64,
     open: &[usize],
     rounds: Option<u32>,
@@ -578,6 +587,9 @@ pub fn render_success(
     w.key("id").string(&request.id);
     w.key("ok").boolean(true);
     w.key("solver").string(solver.name());
+    if let Some(routed) = routed {
+        w.key("routed").string(routed.name());
+    }
     w.key("seed").number_u64(seed);
     w.key("cost").number(cost);
     w.key("open").begin_array();
@@ -818,9 +830,24 @@ mod tests {
     #[test]
     fn responses_are_wellformed_json() {
         let Parsed::Request(req) = parse_line(INLINE).unwrap() else { panic!() };
-        let ok = render_success(&req, SolverKind::Greedy, 3, 5.5, &[0, 2], Some(17));
+        let ok = render_success(&req, SolverKind::Greedy, 3, None, 5.5, &[0, 2], Some(17));
         distfl_obs::validate_json(&ok).unwrap();
         assert!(ok.contains("\"rounds\":17"), "{ok}");
+        assert!(!ok.contains("routed"), "concrete kinds must not emit routed: {ok}");
+        let auto = render_success(
+            &req,
+            SolverKind::Auto,
+            3,
+            Some(SolverKind::MetricBall),
+            5.5,
+            &[0],
+            Some(9),
+        );
+        distfl_obs::validate_json(&auto).unwrap();
+        assert!(
+            auto.contains("\"solver\":\"auto\"") && auto.contains("\"routed\":\"metricball\""),
+            "{auto}"
+        );
         let shape = SessionShape { facilities: 2, clients: 3, links: 5, epoch: 1 };
         let ack = render_create_ack(&req, "s1", shape);
         distfl_obs::validate_json(&ack).unwrap();

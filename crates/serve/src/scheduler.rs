@@ -143,8 +143,15 @@ pub fn execute(request: &Request, sessions: &SessionCache) -> String {
                 Ok(instance) => instance,
                 Err(detail) => return fail(ErrorKind::InvalidInstance, detail),
             };
-            match solver.solve(&instance, *seed) {
-                Ok(outcome) => render_outcome(request, *solver, *seed, &instance, &outcome),
+            // Resolve `auto` here (not inside `solve`) so the response can
+            // report the route and the per-route counter can tick.
+            let resolved = solver.resolve(&instance);
+            let routed = (*solver != resolved).then_some(resolved);
+            if let Some(resolved) = routed {
+                distfl_obs::counter(auto_route_counter(resolved)).incr();
+            }
+            match resolved.solve(&instance, *seed) {
+                Ok(outcome) => render_outcome(request, *solver, *seed, routed, &instance, &outcome),
                 Err(e) => fail(ErrorKind::SolverFailed, e.to_string()),
             }
         }
@@ -201,8 +208,12 @@ pub fn execute(request: &Request, sessions: &SessionCache) -> String {
             };
             let mut guard = handle.lock().unwrap();
             let SessionState { instance, warm, .. } = &mut *guard;
+            // Portfolio kinds (metricball, outliers, auto) decline warm
+            // sessions with `CoreError::WarmUnsupported`, which surfaces
+            // here as a typed solver_failed response — the documented
+            // session boundary.
             match solver.solve_warm(instance, *seed, warm) {
-                Ok(outcome) => render_outcome(request, *solver, *seed, instance, &outcome),
+                Ok(outcome) => render_outcome(request, *solver, *seed, None, instance, &outcome),
                 Err(e) => fail(ErrorKind::SolverFailed, e.to_string()),
             }
         }
@@ -251,18 +262,36 @@ fn build_delta(spec: &DeltaSpec) -> Result<DeltaBatch, String> {
     Ok(batch)
 }
 
+/// The per-route counter name for an `auto` request that resolved to
+/// `kind`. A match (not `format!`) because obs counter names are
+/// `&'static str`; `resolve` never returns `Auto`, so that arm is
+/// unreachable.
+fn auto_route_counter(kind: distfl_core::SolverKind) -> &'static str {
+    use distfl_core::SolverKind;
+    match kind {
+        SolverKind::Greedy => "serve.auto.greedy",
+        SolverKind::LocalSearch => "serve.auto.local-search",
+        SolverKind::JainVazirani => "serve.auto.jv",
+        SolverKind::PayDual => "serve.auto.paydual",
+        SolverKind::MetricBall => "serve.auto.metricball",
+        SolverKind::MetricOutliers => "serve.auto.outliers",
+        SolverKind::Auto => unreachable!("resolve never returns Auto"),
+    }
+}
+
 /// Renders a solve outcome as a success line.
 fn render_outcome(
     request: &Request,
     solver: distfl_core::SolverKind,
     seed: u64,
+    routed: Option<distfl_core::SolverKind>,
     instance: &Instance,
     outcome: &distfl_core::Outcome,
 ) -> String {
     let cost = outcome.solution.cost(instance).value();
     let open: Vec<usize> = outcome.solution.open_facilities().map(|i| i.index()).collect();
     let rounds = outcome.transcript.as_ref().map(|t| t.num_rounds()).or(outcome.modeled_rounds);
-    proto::render_success(request, solver, seed, cost, &open, rounds)
+    proto::render_success(request, solver, seed, routed, cost, &open, rounds)
 }
 
 #[cfg(test)]
@@ -416,6 +445,52 @@ mod tests {
         assert!(execute(&drop, &sessions).contains("\"dropped\":true"));
         let gone = execute(&drop, &sessions);
         assert!(gone.contains("\"kind\":\"unknown_session\""), "{gone}");
+    }
+
+    /// A 2×3 line-metric instance (points on a segment): the classifier
+    /// verifies it and auto routes it to the metric solver.
+    const METRIC_INSTANCE: &str = r#""instance":{"opening":[1.0,1.0],"links":[[0,0.25,1,0.75],[0,0.5,1,0.5],[0,0.75,1,0.25]]}"#;
+
+    #[test]
+    fn auto_requests_report_their_route_and_match_the_direct_kind() {
+        let auto = execute(
+            &request(&format!(r#"{{"id":"a","solver":"auto","seed":4,{METRIC_INSTANCE}}}"#)),
+            &cache(),
+        );
+        distfl_obs::validate_json(&auto).unwrap();
+        assert!(auto.contains("\"solver\":\"auto\""), "{auto}");
+        assert!(auto.contains("\"routed\":\"metricball\""), "{auto}");
+        let direct = execute(
+            &request(&format!(r#"{{"id":"a","solver":"metricball","seed":4,{METRIC_INSTANCE}}}"#)),
+            &cache(),
+        );
+        assert!(!direct.contains("routed"), "concrete kinds must not emit routed: {direct}");
+        // From `seed` to `span` (cost, open set, rounds) the two lines are
+        // byte-identical: auto ran exactly the kind it reported.
+        let payload = |s: &str| s.split("\"seed\"").nth(1).unwrap().to_string();
+        let strip_span = |s: &str| s.split("\"span\"").next().unwrap().to_string();
+        assert_eq!(strip_span(&payload(&auto)), strip_span(&payload(&direct)));
+    }
+
+    #[test]
+    fn auto_declines_warm_session_solves_with_a_typed_error() {
+        let sessions = cache();
+        execute(
+            &request(&format!(r#"{{"cmd":"create","id":"c","session":"s",{METRIC_INSTANCE}}}"#)),
+            &sessions,
+        );
+        for solver in ["auto", "metricball", "outliers"] {
+            let line = format!(r#"{{"cmd":"solve","id":"q","session":"s","solver":"{solver}"}}"#);
+            let response = execute(&request(&line), &sessions);
+            assert!(response.contains("\"kind\":\"solver_failed\""), "{response}");
+            assert!(response.contains("warm-start"), "{response}");
+        }
+        // The session survives the declined solves.
+        let greedy = execute(
+            &request(r#"{"cmd":"solve","id":"g","session":"s","solver":"greedy"}"#),
+            &sessions,
+        );
+        assert!(greedy.contains("\"ok\":true"), "{greedy}");
     }
 
     #[test]

@@ -463,6 +463,56 @@ fn session_solve_matches_stateless_solve_of_the_mutated_instance() {
     server.shutdown();
 }
 
+/// An `auto` request over a Euclidean (metric) instance serialized to
+/// OR-Library text — the classifier must route it to the metric solver.
+fn auto_euclidean_request(id: &str, seed: u64, facilities: usize, clients: usize) -> String {
+    use distfl_instance::generators::{Euclidean, InstanceGenerator};
+    let inst = Euclidean::new(facilities, clients).unwrap().generate(seed).unwrap();
+    let text = distfl_instance::orlib::to_string(&inst).unwrap();
+    let mut w = distfl_obs::JsonWriter::object();
+    w.key("id").string(id);
+    w.key("solver").string("auto");
+    w.key("seed").number_u64(seed);
+    w.key("orlib").string(&text);
+    w.finish()
+}
+
+#[test]
+fn auto_routing_reports_routes_and_is_byte_identical_across_restarts() {
+    // Metric (Euclidean) payloads must route to metricball; a small
+    // non-metric inline instance must route to local-search. The whole
+    // transcript — including the routed field — must be byte-identical
+    // across restarts, worker counts, and shard counts.
+    let mut mix: Vec<String> =
+        (0..4).map(|i| auto_euclidean_request(&format!("a{i}"), i, 4, 10 + i as usize)).collect();
+    // c(0,c1)=10 > c(0,c0)+c(1,c0)+c(1,c1) = 1.2: a real metric violation.
+    mix.push(
+        r#"{"id":"nm","solver":"auto","instance":{"opening":[4.0,3.0],"links":[[0,1.0,1,0.1],[0,10.0,1,0.1]]}}"#
+            .into(),
+    );
+    let mut runs: Vec<Vec<String>> = Vec::new();
+    for (workers, shards) in [(0, 1), (2, 4), (3, 2)] {
+        let config = ServeConfig { workers: Some(workers), shards, ..ServeConfig::default() };
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let mut client = Client::connect(&server);
+        let transcript: Vec<String> = mix.iter().map(|r| client.roundtrip(r)).collect();
+        server.shutdown();
+        runs.push(transcript);
+    }
+    assert_eq!(runs[0], runs[1], "restart/worker-count changed auto response bytes");
+    assert_eq!(runs[0], runs[2], "restart/shard-count changed auto response bytes");
+    for response in &runs[0][..4] {
+        distfl_obs::validate_json(response).unwrap();
+        assert!(response.contains(r#""solver":"auto""#), "{response}");
+        assert!(response.contains(r#""routed":"metricball""#), "{response}");
+        // The routed solver is distributed: the response reports rounds.
+        assert!(!response.contains(r#""rounds":null"#), "{response}");
+    }
+    let nm = &runs[0][4];
+    assert!(nm.contains(r#""routed":"local-search""#), "{nm}");
+    assert!(nm.contains(r#""rounds":null"#), "{nm}");
+}
+
 #[test]
 fn session_verbs_on_missing_sessions_get_typed_errors() {
     let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
